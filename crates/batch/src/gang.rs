@@ -1,0 +1,267 @@
+//! Gang scheduling (§5).
+//!
+//! The paper lists gang scheduling among the local queue-management models
+//! worth studying. We implement the classic Ousterhout-matrix form: jobs
+//! are packed into *rows* (sets of jobs whose widths fit the cluster
+//! side by side); rows take turns running for one time quantum each, so
+//! every job makes progress concurrently instead of waiting in a queue.
+//!
+//! Gang scheduling time-shares rather than space-shares, so it is driven
+//! by a dedicated simulator ([`run_gang`]) instead of the allocation
+//! profile the space-sharing policies use.
+
+use std::collections::VecDeque;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use crate::cluster::JobOutcome;
+use crate::job::BatchJob;
+
+/// Configuration of the gang scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GangConfig {
+    /// Number of identical nodes.
+    pub capacity: u32,
+    /// Length of one scheduling quantum, in ticks.
+    pub quantum: SimDuration,
+}
+
+impl GangConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `quantum` is zero.
+    #[must_use]
+    pub fn new(capacity: u32, quantum: SimDuration) -> Self {
+        assert!(capacity > 0, "gang capacity must be positive");
+        assert!(!quantum.is_zero(), "gang quantum must be positive");
+        GangConfig { capacity, quantum }
+    }
+}
+
+#[derive(Debug)]
+struct Row {
+    members: Vec<usize>,
+    used: u32,
+}
+
+/// Runs `jobs` under gang scheduling; returns per-job outcomes in arrival
+/// order.
+///
+/// Jobs join the first row with spare width (first-fit); a new row opens
+/// when none fits. Rows rotate round-robin, one quantum at a time. A job's
+/// *actual* runtime is its required service time; it completes once it has
+/// accumulated that much quantum time. The start-time forecast made at
+/// arrival is the beginning of its row's next turn, assuming the row set
+/// stays as it is.
+///
+/// # Panics
+///
+/// Panics if any job is wider than the cluster.
+#[must_use]
+pub fn run_gang(config: GangConfig, jobs: &[BatchJob]) -> Vec<JobOutcome> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival(), jobs[i].id()));
+    for j in jobs {
+        assert!(
+            j.width() <= config.capacity,
+            "job {} width {} exceeds capacity {}",
+            j.id(),
+            j.width(),
+            config.capacity
+        );
+    }
+
+    let q = config.quantum;
+    let mut rows: VecDeque<Row> = VecDeque::new();
+    let mut remaining: Vec<SimDuration> = jobs.iter().map(BatchJob::actual).collect();
+    let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+    let mut next_arrival = 0usize;
+    let mut now = SimTime::ZERO;
+    let mut done = 0usize;
+
+    while done < jobs.len() {
+        // Admit everything that has arrived by now.
+        while next_arrival < order.len() && jobs[order[next_arrival]].arrival() <= now {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            let width = jobs[idx].width();
+            let row_pos = rows
+                .iter()
+                .position(|r| r.used + width <= config.capacity);
+            let row_pos = match row_pos {
+                Some(p) => {
+                    rows[p].members.push(idx);
+                    rows[p].used += width;
+                    p
+                }
+                None => {
+                    rows.push_back(Row {
+                        members: vec![idx],
+                        used: width,
+                    });
+                    rows.len() - 1
+                }
+            };
+            // Forecast: the row at position `row_pos` runs after `row_pos`
+            // more quanta from now (rows rotate from the front).
+            let predicted = now + q.saturating_mul(row_pos as u64);
+            outcomes[idx] = Some(JobOutcome {
+                id: jobs[idx].id(),
+                arrival: jobs[idx].arrival(),
+                predicted_start: predicted,
+                start: SimTime::MAX,
+                end: SimTime::MAX,
+            });
+        }
+
+        let Some(mut row) = rows.pop_front() else {
+            // Idle: jump to the next arrival, keeping the quantum grid.
+            match order.get(next_arrival) {
+                Some(&idx) => {
+                    now = now.max_of(jobs[idx].arrival());
+                    continue;
+                }
+                None => break,
+            }
+        };
+
+        // The front row runs for one quantum.
+        let mut still_running = Vec::with_capacity(row.members.len());
+        for &idx in &row.members {
+            let o = outcomes[idx].as_mut().expect("admitted job has an outcome");
+            if o.start == SimTime::MAX {
+                o.start = now;
+            }
+            if remaining[idx] > q {
+                remaining[idx] = remaining[idx] - q;
+                still_running.push(idx);
+            } else {
+                o.end = now + remaining[idx];
+                remaining[idx] = SimDuration::ZERO;
+                row.used -= jobs[idx].width();
+                done += 1;
+            }
+        }
+        row.members = still_running;
+        now += q;
+        if !row.members.is_empty() {
+            rows.push_back(row);
+        }
+    }
+
+    let mut result: Vec<JobOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every job completed"))
+        .collect();
+    result.sort_by_key(|o| (o.arrival, o.id));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::BatchJobId;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn d(x: u64) -> SimDuration {
+        SimDuration::from_ticks(x)
+    }
+
+    fn job(id: u64, arrival: u64, width: u32, runtime: u64) -> BatchJob {
+        BatchJob::new(BatchJobId(id), t(arrival), width, d(runtime), d(runtime))
+    }
+
+    fn outcome(out: &[JobOutcome], id: u64) -> JobOutcome {
+        *out.iter().find(|o| o.id == BatchJobId(id)).expect("job present")
+    }
+
+    #[test]
+    fn single_job_runs_contiguously() {
+        let out = run_gang(GangConfig::new(4, d(5)), &[job(0, 0, 2, 12)]);
+        let o = outcome(&out, 0);
+        assert_eq!(o.start, t(0));
+        assert_eq!(o.end, t(12));
+        assert_eq!(o.predicted_start, t(0));
+    }
+
+    #[test]
+    fn fitting_jobs_share_a_row_and_run_concurrently() {
+        let out = run_gang(GangConfig::new(4, d(5)), &[job(0, 0, 2, 10), job(1, 0, 2, 10)]);
+        assert_eq!(outcome(&out, 0).start, t(0));
+        assert_eq!(outcome(&out, 1).start, t(0));
+        assert_eq!(outcome(&out, 0).end, t(10));
+        assert_eq!(outcome(&out, 1).end, t(10));
+    }
+
+    #[test]
+    fn oversized_pair_time_slices() {
+        // Two width-3 jobs on 4 nodes: two rows alternate, each job gets
+        // every other quantum.
+        let out = run_gang(GangConfig::new(4, d(5)), &[job(0, 0, 3, 10), job(1, 0, 3, 10)]);
+        let a = outcome(&out, 0);
+        let b = outcome(&out, 1);
+        assert_eq!(a.start, t(0));
+        assert_eq!(b.start, t(5), "second row starts one quantum later");
+        // Each needs 10 ticks of service over alternating quanta:
+        // a runs [0,5) and [10,15) -> ends 15; b runs [5,10) and [15,20).
+        assert_eq!(a.end, t(15));
+        assert_eq!(b.end, t(20));
+    }
+
+    #[test]
+    fn time_slicing_bounds_worst_case_latency() {
+        // Unlike FCFS, a short job never waits for a long one to finish:
+        // it gets a quantum within (rows-1) quanta.
+        let jobs = [job(0, 0, 4, 100), job(1, 1, 1, 5)];
+        let out = run_gang(GangConfig::new(4, d(5)), &jobs);
+        let short = outcome(&out, 1);
+        assert!(
+            short.start <= t(10),
+            "short job started at {} despite time-slicing",
+            short.start
+        );
+        assert!(short.end < t(30));
+    }
+
+    #[test]
+    fn row_width_never_exceeds_capacity() {
+        let jobs: Vec<BatchJob> = (0..12)
+            .map(|i| job(i, i % 5, 1 + (i % 4) as u32, 6 + i % 7))
+            .collect();
+        let out = run_gang(GangConfig::new(4, d(3)), &jobs);
+        // Reconstruct concurrency at quantum boundaries from outcomes:
+        // jobs that share a running interval must fit the capacity only if
+        // they are in the same row — which we can't see from outside; what
+        // we can check is completion and sane times.
+        assert_eq!(out.len(), jobs.len());
+        for o in &out {
+            assert!(o.start >= o.arrival);
+            assert!(o.end > o.start);
+        }
+    }
+
+    #[test]
+    fn total_service_time_is_preserved() {
+        let jobs = [job(0, 0, 2, 7), job(1, 0, 2, 9)];
+        let out = run_gang(GangConfig::new(2, d(4)), &jobs);
+        // Width-2 jobs on 2 nodes never share a row; they alternate.
+        // j0: [0,4) + [8,11) = 7 service; j1: [4,8) + [11..) hmm — row
+        // rotation after a member finishes mid-quantum keeps the grid, so
+        // j1 finishes after two more turns.
+        let a = outcome(&out, 0);
+        let b = outcome(&out, 1);
+        assert!(a.end > a.start && b.end > b.start);
+        assert!(b.end.ticks() >= 7 + 9, "total service preserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn too_wide_job_rejected() {
+        let _ = run_gang(GangConfig::new(2, d(5)), &[job(0, 0, 3, 5)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Jobs as a local batch system sees them.
+
+use std::fmt;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+/// Identifier of a job inside one local batch system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BatchJobId(pub u64);
+
+impl fmt::Display for BatchJobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A rigid parallel job submitted to a local batch system: `width` nodes for
+/// up to `estimate` ticks, actually running for `actual` ticks.
+///
+/// At the application level each task of a compound job arrives here as a
+/// width-1 batch job ("the local management system interprets it as a job
+/// accompanied by a resource request", §1); wider jobs model the independent
+/// local workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchJob {
+    id: BatchJobId,
+    arrival: SimTime,
+    width: u32,
+    estimate: SimDuration,
+    actual: SimDuration,
+}
+
+impl BatchJob {
+    /// Creates a batch job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `estimate` is zero, `actual` is zero, or
+    /// `actual > estimate` (batch systems kill jobs at their wall limit, so
+    /// an actual runtime above the estimate cannot be observed).
+    #[must_use]
+    pub fn new(
+        id: BatchJobId,
+        arrival: SimTime,
+        width: u32,
+        estimate: SimDuration,
+        actual: SimDuration,
+    ) -> Self {
+        assert!(width > 0, "batch job width must be positive");
+        assert!(!estimate.is_zero(), "batch job estimate must be positive");
+        assert!(!actual.is_zero(), "batch job actual runtime must be positive");
+        assert!(
+            actual <= estimate,
+            "actual runtime {actual} exceeds wall-time estimate {estimate}"
+        );
+        BatchJob {
+            id,
+            arrival,
+            width,
+            estimate,
+            actual,
+        }
+    }
+
+    /// The job's id.
+    #[must_use]
+    pub fn id(&self) -> BatchJobId {
+        self.id
+    }
+
+    /// Submission time.
+    #[must_use]
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Number of nodes required simultaneously.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// User wall-time estimate (what the scheduler plans with).
+    #[must_use]
+    pub fn estimate(&self) -> SimDuration {
+        self.estimate
+    }
+
+    /// Real runtime (what actually happens).
+    #[must_use]
+    pub fn actual(&self) -> SimDuration {
+        self.actual
+    }
+
+    /// The job's work under its estimate (`width × estimate`), the key LWF
+    /// orders by.
+    #[must_use]
+    pub fn estimated_work(&self) -> u64 {
+        u64::from(self.width) * self.estimate.ticks()
+    }
+}
+
+impl fmt::Display for BatchJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[w{} est {} act {} @{}]",
+            self.id, self.width, self.estimate, self.actual, self.arrival
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn d(x: u64) -> SimDuration {
+        SimDuration::from_ticks(x)
+    }
+
+    #[test]
+    fn construction_and_work() {
+        let j = BatchJob::new(BatchJobId(1), t(5), 2, d(10), d(7));
+        assert_eq!(j.width(), 2);
+        assert_eq!(j.estimated_work(), 20);
+        assert_eq!(j.actual(), d(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds wall-time estimate")]
+    fn actual_above_estimate_rejected() {
+        let _ = BatchJob::new(BatchJobId(1), t(0), 1, d(5), d(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = BatchJob::new(BatchJobId(1), t(0), 0, d(5), d(5));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let j = BatchJob::new(BatchJobId(2), t(1), 3, d(4), d(2));
+        let s = j.to_string();
+        assert!(s.contains("b2") && s.contains("w3"), "{s}");
+    }
+}

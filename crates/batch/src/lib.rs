@@ -1,0 +1,53 @@
+//! # gridsched-batch
+//!
+//! Local batch-job management systems for the `gridsched` reproduction of
+//! Toporkov's PaCT 2009 scheduling framework.
+//!
+//! The paper's two-level architecture hands each task of a compound job to
+//! a *local* batch system as a single job with a resource request; §5 then
+//! discusses how the local queue policy (FCFS, LWF, backfilling) and
+//! advance reservations affect waiting times and start-time forecasts.
+//! This crate simulates exactly that:
+//!
+//! - [`job::BatchJob`]: rigid parallel jobs with wall-time estimates and
+//!   (shorter) actual runtimes;
+//! - [`profile::Profile`]: the piecewise-constant allocation profile that
+//!   scheduling decisions query;
+//! - [`policy::QueuePolicy`]: FCFS / LWF / EASY / conservative backfilling;
+//! - [`cluster::ClusterConfig`]: the event-driven cluster simulation with
+//!   advance reservations and per-job start-time forecasts.
+//!
+//! # Examples
+//!
+//! ```
+//! use gridsched_batch::cluster::ClusterConfig;
+//! use gridsched_batch::job::{BatchJob, BatchJobId};
+//! use gridsched_batch::policy::QueuePolicy;
+//! use gridsched_sim::time::{SimDuration, SimTime};
+//!
+//! let cluster = ClusterConfig::new(4, QueuePolicy::EasyBackfill);
+//! let jobs = vec![BatchJob::new(
+//!     BatchJobId(0),
+//!     SimTime::ZERO,
+//!     2,
+//!     SimDuration::from_ticks(10),
+//!     SimDuration::from_ticks(8),
+//! )];
+//! let outcome = cluster.run(&jobs);
+//! assert_eq!(outcome.jobs()[0].wait(), SimDuration::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod gang;
+pub mod job;
+pub mod policy;
+pub mod profile;
+
+pub use cluster::{AdvanceReservation, BatchOutcome, ClusterConfig, JobOutcome};
+pub use gang::{run_gang, GangConfig};
+pub use job::{BatchJob, BatchJobId};
+pub use policy::QueuePolicy;
+pub use profile::Profile;

@@ -1,0 +1,110 @@
+//! Queue management policies (§5).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The local queue-management disciplines the paper discusses in §5:
+/// FCFS (used in its experiments), least-work-first, and the two standard
+/// backfilling variants (EASY as in the Maui scheduler, and conservative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueuePolicy {
+    /// First-come-first-served: the queue head blocks everyone behind it.
+    Fcfs,
+    /// Least-work-first: the queued job with the smallest
+    /// `width × estimate` runs next.
+    Lwf,
+    /// EASY backfilling: jobs may jump the queue if they do not delay the
+    /// head's shadow reservation.
+    EasyBackfill,
+    /// Conservative backfilling: every queued job holds a reservation;
+    /// jumping is allowed only if no earlier reservation moves.
+    ConservativeBackfill,
+}
+
+impl QueuePolicy {
+    /// All policies, in the order §5 discusses them.
+    pub const ALL: [QueuePolicy; 4] = [
+        QueuePolicy::Fcfs,
+        QueuePolicy::Lwf,
+        QueuePolicy::EasyBackfill,
+        QueuePolicy::ConservativeBackfill,
+    ];
+
+    /// Short name used in report tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueuePolicy::Fcfs => "FCFS",
+            QueuePolicy::Lwf => "LWF",
+            QueuePolicy::EasyBackfill => "EASY",
+            QueuePolicy::ConservativeBackfill => "CONS",
+        }
+    }
+}
+
+impl fmt::Display for QueuePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`QueuePolicy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    input: String,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown queue policy {:?} (expected FCFS, LWF, EASY or CONS)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for QueuePolicy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FCFS" => Ok(QueuePolicy::Fcfs),
+            "LWF" => Ok(QueuePolicy::Lwf),
+            "EASY" => Ok(QueuePolicy::EasyBackfill),
+            "CONS" | "CONSERVATIVE" => Ok(QueuePolicy::ConservativeBackfill),
+            _ => Err(ParsePolicyError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in QueuePolicy::ALL {
+            assert_eq!(p.name().parse::<QueuePolicy>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("fcfs".parse::<QueuePolicy>().unwrap(), QueuePolicy::Fcfs);
+        assert_eq!(
+            "conservative".parse::<QueuePolicy>().unwrap(),
+            QueuePolicy::ConservativeBackfill
+        );
+    }
+
+    #[test]
+    fn parse_error_is_descriptive() {
+        let err = "SJF".parse::<QueuePolicy>().unwrap_err();
+        assert!(err.to_string().contains("SJF"));
+    }
+}

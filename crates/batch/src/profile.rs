@@ -1,0 +1,275 @@
+//! Piecewise-constant capacity allocation profiles.
+//!
+//! A local batch system with `m` identical nodes tracks how many nodes are
+//! allocated at every future instant — by running jobs (until their
+//! *estimated* ends) and by advance reservations. Scheduling decisions
+//! (FCFS head starts, backfill shadow times, reservation placement) are all
+//! queries against this profile.
+
+use std::collections::BTreeMap;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use gridsched_model::window::TimeWindow;
+
+/// Piecewise-constant map from time to allocated node count.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_batch::profile::Profile;
+/// use gridsched_model::window::TimeWindow;
+/// use gridsched_sim::time::{SimDuration, SimTime};
+///
+/// let mut p = Profile::new();
+/// let w = TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(10)).unwrap();
+/// p.add(w, 2);
+/// assert_eq!(p.allocation_at(SimTime::from_ticks(5)), 2);
+/// // With 3 nodes total, a 1-wide job fits immediately…
+/// assert_eq!(
+///     p.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(4), 1, 3),
+///     SimTime::ZERO
+/// );
+/// // …but a 2-wide job must wait for the window to end.
+/// assert_eq!(
+///     p.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(4), 2, 3),
+///     SimTime::from_ticks(10)
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Capacity deltas: +width at window start, -width at window end.
+    deltas: BTreeMap<SimTime, i64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Allocates `width` nodes over `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` — zero-width allocations are a logic error.
+    pub fn add(&mut self, window: TimeWindow, width: u32) {
+        assert!(width > 0, "Profile::add: zero width");
+        *self.deltas.entry(window.start()).or_insert(0) += i64::from(width);
+        *self.deltas.entry(window.end()).or_insert(0) -= i64::from(width);
+        self.prune(window.start());
+        self.prune(window.end());
+    }
+
+    /// Removes a previously added allocation. The caller must pass exactly
+    /// the window/width pair it added.
+    pub fn remove(&mut self, window: TimeWindow, width: u32) {
+        assert!(width > 0, "Profile::remove: zero width");
+        *self.deltas.entry(window.start()).or_insert(0) -= i64::from(width);
+        *self.deltas.entry(window.end()).or_insert(0) += i64::from(width);
+        self.prune(window.start());
+        self.prune(window.end());
+    }
+
+    fn prune(&mut self, key: SimTime) {
+        if self.deltas.get(&key) == Some(&0) {
+            self.deltas.remove(&key);
+        }
+    }
+
+    /// Allocation at instant `t`.
+    #[must_use]
+    pub fn allocation_at(&self, t: SimTime) -> u32 {
+        let sum: i64 = self
+            .deltas
+            .range(..=t)
+            .map(|(_, &d)| d)
+            .sum();
+        u32::try_from(sum.max(0)).expect("allocation out of range")
+    }
+
+    /// Maximum allocation over `[window.start, window.end)`.
+    #[must_use]
+    pub fn max_allocation_in(&self, window: TimeWindow) -> u32 {
+        let mut current = i64::from(self.allocation_at(window.start()));
+        let mut max = current;
+        for (_, &d) in self
+            .deltas
+            .range((
+                std::ops::Bound::Excluded(window.start()),
+                std::ops::Bound::Excluded(window.end()),
+            ))
+        {
+            current += d;
+            max = max.max(current);
+        }
+        u32::try_from(max.max(0)).expect("allocation out of range")
+    }
+
+    /// Earliest `t >= from` such that allocating `width` more nodes over
+    /// `[t, t + duration)` never exceeds `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > capacity` (such a job can never run).
+    #[must_use]
+    pub fn earliest_fit(
+        &self,
+        from: SimTime,
+        duration: SimDuration,
+        width: u32,
+        capacity: u32,
+    ) -> SimTime {
+        assert!(
+            width <= capacity,
+            "job width {width} exceeds cluster capacity {capacity}"
+        );
+        let budget = capacity - width;
+        let mut candidate = from;
+        loop {
+            let window =
+                TimeWindow::starting_at(candidate, duration.max_one()).expect("non-empty window");
+            if self.max_allocation_in(window) <= budget {
+                return candidate;
+            }
+            // Jump to the next breakpoint where allocation can decrease.
+            let next = self
+                .deltas
+                .range((std::ops::Bound::Excluded(candidate), std::ops::Bound::Unbounded))
+                .map(|(&t, _)| t)
+                .next();
+            match next {
+                Some(t) => candidate = t,
+                // No more breakpoints but still over budget: impossible,
+                // since allocation past the last breakpoint is 0.
+                None => unreachable!("profile allocation never drops to zero"),
+            }
+        }
+    }
+
+    /// Whether the profile has no allocations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Number of breakpoints (diagnostics).
+    #[must_use]
+    pub fn breakpoints(&self) -> usize {
+        self.deltas.len()
+    }
+}
+
+/// Extension used internally: treat zero durations as one tick so windows
+/// stay non-empty.
+trait MaxOne {
+    fn max_one(self) -> SimDuration;
+}
+
+impl MaxOne for SimDuration {
+    fn max_one(self) -> SimDuration {
+        if self.is_zero() {
+            SimDuration::TICK
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_ticks(a), SimTime::from_ticks(b)).unwrap()
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn d(x: u64) -> SimDuration {
+        SimDuration::from_ticks(x)
+    }
+
+    #[test]
+    fn allocation_tracks_overlapping_windows() {
+        let mut p = Profile::new();
+        p.add(w(0, 10), 2);
+        p.add(w(5, 15), 3);
+        assert_eq!(p.allocation_at(t(0)), 2);
+        assert_eq!(p.allocation_at(t(5)), 5);
+        assert_eq!(p.allocation_at(t(10)), 3);
+        assert_eq!(p.allocation_at(t(15)), 0);
+        assert_eq!(p.max_allocation_in(w(0, 20)), 5);
+        assert_eq!(p.max_allocation_in(w(10, 20)), 3);
+    }
+
+    #[test]
+    fn remove_restores_profile() {
+        let mut p = Profile::new();
+        p.add(w(0, 10), 2);
+        p.add(w(5, 15), 3);
+        p.remove(w(5, 15), 3);
+        assert_eq!(p.allocation_at(t(7)), 2);
+        p.remove(w(0, 10), 2);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn earliest_fit_simple() {
+        let mut p = Profile::new();
+        p.add(w(0, 10), 3); // cluster of 4: only 1 node free until t10
+        assert_eq!(p.earliest_fit(t(0), d(5), 1, 4), t(0));
+        assert_eq!(p.earliest_fit(t(0), d(5), 2, 4), t(10));
+        assert_eq!(p.earliest_fit(t(3), d(5), 1, 4), t(3));
+    }
+
+    #[test]
+    fn earliest_fit_must_clear_whole_duration() {
+        let mut p = Profile::new();
+        p.add(w(4, 6), 4); // full blockage in the middle, capacity 4
+        // A 3-tick 1-wide job starting at t0 would run into the blockage at
+        // t4? No: [0,3) clears it. A 5-tick job cannot.
+        assert_eq!(p.earliest_fit(t(0), d(3), 1, 4), t(0));
+        assert_eq!(p.earliest_fit(t(0), d(5), 1, 4), t(6));
+        // From t2, even a 2-tick job collides with [4,6).
+        assert_eq!(p.earliest_fit(t(3), d(2), 1, 4), t(6));
+    }
+
+    #[test]
+    fn earliest_fit_threads_between_reservations() {
+        let mut p = Profile::new();
+        p.add(w(0, 2), 2);
+        p.add(w(6, 8), 2);
+        // Capacity 2, width 2: must fit entirely inside [2, 6).
+        assert_eq!(p.earliest_fit(t(0), d(4), 2, 2), t(2));
+        assert_eq!(p.earliest_fit(t(0), d(5), 2, 2), t(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster capacity")]
+    fn oversized_job_rejected() {
+        let _ = Profile::new().earliest_fit(t(0), d(1), 5, 4);
+    }
+
+    #[test]
+    fn zero_duration_treated_as_tick() {
+        let mut p = Profile::new();
+        p.add(w(0, 4), 1);
+        assert_eq!(p.earliest_fit(t(0), SimDuration::ZERO, 1, 1), t(4));
+    }
+
+    #[test]
+    fn breakpoints_are_pruned() {
+        let mut p = Profile::new();
+        p.add(w(0, 10), 1);
+        p.add(w(0, 10), 1);
+        assert_eq!(p.breakpoints(), 2);
+        p.remove(w(0, 10), 1);
+        assert_eq!(p.breakpoints(), 2);
+        p.remove(w(0, 10), 1);
+        assert_eq!(p.breakpoints(), 0);
+    }
+}

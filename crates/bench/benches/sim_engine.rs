@@ -1,0 +1,73 @@
+//! Criterion bench: raw discrete-event engine throughput and timetable
+//! operations (the substrate everything else stands on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gridsched::model::timetable::{ReservationOwner, Timetable};
+use gridsched::model::window::TimeWindow;
+use gridsched::sim::engine::{Engine, Scheduler, World};
+use gridsched::sim::time::{SimDuration, SimTime};
+
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, _now: SimTime, _ev: (), s: &mut Scheduler<'_, ()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.after(SimDuration::TICK, ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for events in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("event_chain", events), &events, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new();
+                engine.prime(SimTime::ZERO, ());
+                let mut world = Chain { remaining: n };
+                engine.run(&mut world)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timetable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timetable");
+    // A timetable with 1000 busy windows; measure earliest-fit probing.
+    let mut tt = Timetable::new();
+    for k in 0..1000u64 {
+        let w = TimeWindow::new(
+            SimTime::from_ticks(k * 10),
+            SimTime::from_ticks(k * 10 + 7),
+        )
+        .expect("valid");
+        tt.reserve(w, ReservationOwner::Background(k)).expect("free");
+    }
+    group.bench_function("earliest_fit_1000_reservations", |b| {
+        b.iter(|| {
+            tt.earliest_fit(
+                SimTime::ZERO,
+                SimDuration::from_ticks(4),
+                SimTime::from_ticks(20_000),
+            )
+        })
+    });
+    group.bench_function("reserve_release_cycle", |b| {
+        let w = TimeWindow::new(SimTime::from_ticks(10_007), SimTime::from_ticks(10_009))
+            .expect("valid");
+        b.iter(|| {
+            let id = tt.reserve(w, ReservationOwner::Background(u64::MAX)).expect("free");
+            tt.release(id).expect("present");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_timetable);
+criterion_main!(benches);

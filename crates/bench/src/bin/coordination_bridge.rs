@@ -1,0 +1,142 @@
+//! Coordination across the two levels: what application-level reservations
+//! cost the local queues.
+//!
+//! §5: "advance reservations have impact on the quality of service …
+//! preliminary reservation nearly always increases queue waiting time."
+//! Here the reservations are not synthetic: they are the wall-time windows
+//! of real supporting schedules built by the critical works method, pushed
+//! through [`gridsched::flow::bridge`] into each domain's local batch
+//! system, which also serves its own independent jobs.
+//!
+//! Run with: `cargo run --release -p gridsched-bench --bin coordination_bridge`
+//! Knobs: `--jobs N --local-jobs N --seed N`
+
+use gridsched::batch::cluster::ClusterConfig;
+use gridsched::batch::policy::QueuePolicy;
+use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched::flow::bridge::domain_reservations;
+use gridsched::metrics::table::{ratio, Table};
+use gridsched::model::node::ResourcePool;
+use gridsched::model::timetable::ReservationOwner;
+use gridsched::model::ids::GlobalTaskId;
+use gridsched::sim::rng::SimRng;
+use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
+use gridsched::workload::jobs::{generate_stream, JobConfig};
+use gridsched::workload::pool::{generate_pool, PoolConfig};
+use gridsched_bench::{verdict, Args};
+
+fn main() {
+    let args = Args::capture();
+    let grid_jobs: usize = args.get("jobs", 60);
+    let local_jobs: usize = args.get("local-jobs", 250);
+    let seed: u64 = args.get("seed", 2009);
+    println!(
+        "coordination bridge: {grid_jobs} grid jobs per strategy, {local_jobs} local jobs per domain"
+    );
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "reserved node-ticks",
+        "local wait (no grid)",
+        "local wait (with grid)",
+        "inflation",
+    ]);
+    let mut inflations = Vec::new();
+    for kind in [StrategyKind::S1, StrategyKind::S2, StrategyKind::S3] {
+        let mut rng = SimRng::seed_from(seed);
+        let mut pool = generate_pool(&PoolConfig::default(), &mut rng);
+        let config = StrategyConfig::for_kind(kind, &pool);
+        let stream = generate_stream(
+            &JobConfig {
+                deadline_factor: 4.0,
+                ..JobConfig::default()
+            },
+            grid_jobs,
+            gridsched::sim::time::SimDuration::from_ticks(8),
+            &mut rng,
+        );
+
+        // Activate the cheapest schedule of each admissible grid job,
+        // committing its reservations so later jobs plan around them.
+        let mut activated: Vec<gridsched::core::distribution::Distribution> = Vec::new();
+        for job in &stream {
+            let strategy = Strategy::generate(job, &pool, &config, job.release());
+            if let Some(d) = strategy.best_by_cost() {
+                for p in d.placements() {
+                    pool.timetable_mut(p.node)
+                        .reserve(
+                            p.window,
+                            ReservationOwner::Task(GlobalTaskId {
+                                job: job.id(),
+                                task: p.task,
+                            }),
+                        )
+                        .expect("schedule built against current availability");
+                }
+                activated.push(d.clone());
+            }
+        }
+
+        // Each domain's local batch system runs its own workload around
+        // the grid reservations.
+        let (reserved_ticks, wait_plain, wait_grid) =
+            domain_waits(&pool, &activated, local_jobs, seed);
+        let inflation = if wait_plain > 0.0 {
+            wait_grid / wait_plain
+        } else {
+            1.0
+        };
+        inflations.push(inflation);
+        table.row(vec![
+            kind.name().to_owned(),
+            reserved_ticks.to_string(),
+            ratio(wait_plain),
+            ratio(wait_grid),
+            format!("{inflation:.2}x"),
+        ]);
+    }
+    println!("\n{table}");
+    println!("paper-shape checks:");
+    verdict(
+        "grid reservations inflate local waiting under every strategy (§5)",
+        inflations.iter().all(|&i| i >= 1.0),
+    );
+}
+
+/// Mean local wait across domains, without and with the grid reservations.
+fn domain_waits(
+    pool: &ResourcePool,
+    activated: &[gridsched::core::distribution::Distribution],
+    local_jobs: usize,
+    seed: u64,
+) -> (u64, f64, f64) {
+    let mut reserved_ticks = 0u64;
+    let mut plain_total = 0.0;
+    let mut grid_total = 0.0;
+    let domains = pool.domains();
+    for &domain in &domains {
+        let capacity = pool.in_domain(domain).count() as u32;
+        let workload = generate_batch_jobs(
+            &BatchWorkloadConfig {
+                jobs: local_jobs,
+                width_max: capacity.min(4),
+                mean_gap: 4,
+                ..BatchWorkloadConfig::default()
+            },
+            &mut SimRng::seed_from(seed ^ u64::from(domain.raw())),
+        );
+        let plain = ClusterConfig::new(capacity, QueuePolicy::EasyBackfill).run(&workload);
+        let mut with_grid = ClusterConfig::new(capacity, QueuePolicy::EasyBackfill);
+        for dist in activated {
+            for r in domain_reservations(dist, pool, domain) {
+                reserved_ticks += r.window.duration().ticks();
+                with_grid.reserve(r);
+            }
+        }
+        let grid = with_grid.run(&workload);
+        plain_total += plain.mean_wait();
+        grid_total += grid.mean_wait();
+    }
+    let n = domains.len() as f64;
+    (reserved_ticks, plain_total / n, grid_total / n)
+}

@@ -1,0 +1,81 @@
+//! Fig. 4 (b) — relative job completion cost and relative task execution
+//! time for the MS1, S2 and S3 strategies.
+//!
+//! Paper's reading: "Lowest-cost strategies are the 'slowest' ones like
+//! S3"; S2 is the fastest (shortest task wall times) and among the most
+//! expensive; MS1's worst-case-padded reservations make its tasks occupy
+//! nodes about as long as S3's coarse ones.
+//!
+//! Run with: `cargo run --release -p gridsched-bench --bin fig4_cost_time`
+//! Knobs: `--jobs N --seed N --perturbations N`
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::metrics::table::{ratio, Table};
+use gridsched_bench::{campaign_for, fig4_campaign_base, normalize, verdict, Args};
+
+fn main() {
+    let args = Args::capture();
+    let base = fig4_campaign_base(&args);
+    println!(
+        "fig4b: {} jobs per strategy, horizon {}, seed {}",
+        base.jobs, base.horizon, base.seed
+    );
+
+    let kinds = [StrategyKind::Ms1, StrategyKind::S2, StrategyKind::S3];
+    let mut costs = Vec::new();
+    let mut windows = Vec::new();
+    let mut traffic = Vec::new();
+    let mut nodes_used = Vec::new();
+    for kind in kinds {
+        let report = campaign_for(kind, &base);
+        costs.push(report.cost_summary().mean());
+        windows.push(report.task_window_summary().mean());
+        traffic.push(report.traffic_summary().mean());
+        nodes_used.push(report.nodes_used_summary().mean());
+    }
+    let rel_cost = normalize(&costs);
+    let rel_window = normalize(&windows);
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "mean job CF",
+        "relative cost",
+        "mean task wall time",
+        "relative time",
+        "mean data traffic",
+        "nodes per job",
+    ]);
+    for (i, kind) in kinds.into_iter().enumerate() {
+        table.row(vec![
+            kind.name().to_owned(),
+            ratio(costs[i]),
+            ratio(rel_cost[i]),
+            ratio(windows[i]),
+            ratio(rel_window[i]),
+            ratio(traffic[i]),
+            ratio(nodes_used[i]),
+        ]);
+    }
+    println!("\nFig. 4 (b) — job completion cost and task execution time:\n{table}");
+    println!("paper reference (relative): cost MS1 ≈ S2 ≈ 1.0, S3 ≈ 0.5;");
+    println!("                            time MS1 ≈ S3 ≈ 1.0, S2 ≈ 0.5\n");
+
+    println!("paper-shape checks:");
+    verdict("fig4b: S3 is the cheapest strategy", rel_cost[2] <= rel_cost[0] && rel_cost[2] <= rel_cost[1]);
+    verdict(
+        "fig4b: S2 has the shortest task wall times",
+        rel_window[1] <= rel_window[0] && rel_window[1] <= rel_window[2],
+    );
+    verdict(
+        "fig4b: MS1's padded reservations hold nodes longer than S2's tight ones",
+        windows[0] > windows[1],
+    );
+    verdict(
+        "fig4b: S3 consolidates onto the fewest nodes (it 'minimizes data exchanges')",
+        nodes_used[2] <= nodes_used[0] && nodes_used[2] <= nodes_used[1],
+    );
+    verdict(
+        "fig4b: replication (MS1) moves the most data over the network",
+        traffic[0] >= traffic[1] && traffic[0] >= traffic[2],
+    );
+}

@@ -1,0 +1,99 @@
+//! Fig. 4 (a) — average node load level per performance group, per
+//! strategy, under coordinated job-flow + application-level scheduling.
+//!
+//! Paper's reading: S2 balances load best across groups; S1 "tries to
+//! occupy 'slow' nodes"; S3 "the processors with the highest performance".
+//!
+//! Run with: `cargo run --release -p gridsched-bench --bin fig4_load`
+//! Knobs: `--jobs N --seed N --perturbations N`
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::metrics::table::{pct, Table};
+use gridsched::model::perf::PerfGroup;
+use gridsched_bench::{campaign_for, fig4_campaign_base, verdict, Args};
+
+fn main() {
+    let args = Args::capture();
+    let mut base = fig4_campaign_base(&args);
+    // Group-load preferences only show under contention: this panel runs a
+    // denser campaign than Fig. 4 (b)/(c) unless overridden.
+    if !args.has("jobs") {
+        base.jobs = 800;
+    }
+    if !args.has("job-gap") {
+        base.job_gap = gridsched::sim::time::SimDuration::from_ticks(3);
+    }
+    if !args.has("horizon") {
+        base.horizon = gridsched::sim::time::SimDuration::from_ticks(2_500);
+    }
+    if !args.has("load") {
+        base.background_load = 0.25;
+    }
+    if !args.has("deadline-factor") {
+        base.job_config.deadline_factor = 2.65;
+    }
+    println!(
+        "fig4a: {} jobs per strategy, horizon {}, seed {}",
+        base.jobs, base.horizon, base.seed
+    );
+
+    let kinds = [StrategyKind::S1, StrategyKind::S2, StrategyKind::S3];
+    let repeats: u64 = args.get("repeats", 3);
+    let mut table = Table::new(vec!["strategy", "fast %", "medium %", "slow %", "spread"]);
+    let mut loads: Vec<Vec<f64>> = Vec::new();
+    for kind in kinds {
+        // Average over several seeds: per-group preferences are a small
+        // systematic effect on top of per-campaign noise.
+        let mut levels = vec![0.0f64; 3];
+        for r in 0..repeats {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed + r;
+            let report = campaign_for(kind, &cfg);
+            for (i, g) in PerfGroup::ALL.into_iter().enumerate() {
+                levels[i] += report.load_level(g) / repeats as f64;
+            }
+        }
+        table.row(vec![
+            kind.name().to_owned(),
+            pct(levels[0]),
+            pct(levels[1]),
+            pct(levels[2]),
+            pct(spread(&levels)),
+        ]);
+        loads.push(levels);
+    }
+    println!("\nFig. 4 (a) — task load by node group:\n{table}");
+
+    println!("paper-shape checks:");
+    verdict(
+        "fig4a: S2 balances groups better than S3",
+        spread(&loads[1]) < spread(&loads[2]),
+    );
+    verdict(
+        "fig4a: S2 balances groups best of all three (paper's strict reading)",
+        spread(&loads[1]) <= spread(&loads[0]) && spread(&loads[1]) <= spread(&loads[2]),
+    );
+    verdict(
+        "fig4a: S1 puts a larger share of its load on slow nodes than S3 does",
+        relative_slow(&loads[0]) > relative_slow(&loads[2]),
+    );
+    verdict(
+        "fig4a: S3 concentrates on the fastest group",
+        loads[2][0] >= loads[2][1] && loads[2][0] >= loads[2][2],
+    );
+}
+
+fn spread(levels: &[f64]) -> f64 {
+    levels.iter().copied().fold(0.0f64, f64::max)
+        - levels.iter().copied().fold(1.0f64, f64::min)
+}
+
+/// Slow-group load as a share of the strategy's total load.
+fn relative_slow(levels: &[f64]) -> f64 {
+    let total: f64 = levels.iter().sum();
+    if total <= 0.0 {
+        0.0
+    } else {
+        levels[2] / total
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 4 (c) — relative strategy time-to-live and start-time deviation
+//! (as a ratio to job run time) for the MS1, S2 and S3 strategies.
+//!
+//! Paper's reading: cheap, slow strategies like S3 "are most persistent in
+//! the term of time-to-live"; the fast, accurate S2 is the least
+//! persistent; the economized MS1 is the least accurate (largest start
+//! deviation from the user's optimistic forecast).
+//!
+//! Run with: `cargo run --release -p gridsched-bench --bin fig4_ttl_deviation`
+//! Knobs: `--jobs N --seed N --perturbations N`
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::metrics::table::{ratio, Table};
+use gridsched_bench::{campaign_for, fig4_campaign_base, normalize, verdict, Args};
+
+fn main() {
+    let args = Args::capture();
+    let base = fig4_campaign_base(&args);
+    println!(
+        "fig4c: {} jobs per strategy, horizon {}, seed {}",
+        base.jobs, base.horizon, base.seed
+    );
+
+    let kinds = [StrategyKind::Ms1, StrategyKind::S2, StrategyKind::S3];
+    let mut ttls = Vec::new();
+    let mut deviations = Vec::new();
+    let mut break_rates = Vec::new();
+    for kind in kinds {
+        let report = campaign_for(kind, &base);
+        ttls.push(report.ttl_summary().mean());
+        deviations.push(report.deviation_summary().mean());
+        let activated = report.records.iter().filter(|r| r.cost.is_some()).count();
+        let breaks: usize = report.records.iter().map(|r| r.breaks).sum();
+        break_rates.push(if activated == 0 {
+            0.0
+        } else {
+            breaks as f64 / activated as f64
+        });
+    }
+    let rel_ttl = normalize(&ttls);
+    let rel_dev = normalize(&deviations);
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "mean TTL",
+        "relative TTL",
+        "start deviation / runtime",
+        "relative deviation",
+        "breaks per job",
+    ]);
+    for (i, kind) in kinds.into_iter().enumerate() {
+        table.row(vec![
+            kind.name().to_owned(),
+            ratio(ttls[i]),
+            ratio(rel_ttl[i]),
+            ratio(deviations[i]),
+            ratio(rel_dev[i]),
+            ratio(break_rates[i]),
+        ]);
+    }
+    println!("\nFig. 4 (c) — time-to-live and start deviation:\n{table}");
+    println!("paper reference (relative): TTL S3 highest, S2 lowest;");
+    println!("                            deviation MS1 ≈ 1.0, S2 ≈ 0.5\n");
+
+    println!("paper-shape checks:");
+    verdict(
+        "fig4c: S3 is the most persistent (highest TTL)",
+        rel_ttl[2] >= rel_ttl[0] && rel_ttl[2] >= rel_ttl[1],
+    );
+    verdict("fig4c: S2 is less persistent than S3", ttls[1] < ttls[2]);
+    verdict(
+        "fig4c: MS1 deviates more from the optimistic forecast than S2",
+        deviations[0] > deviations[1],
+    );
+    verdict(
+        "fig4c: MS1 has the largest relative deviation of the three",
+        rel_dev[0] >= rel_dev[1] && rel_dev[0] >= rel_dev[2],
+    );
+}

@@ -1,0 +1,167 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::flow::metascheduler::FlowAssignment;
+use gridsched::flow::simulation::{run_campaign, CampaignConfig};
+use gridsched::flow::VoReport;
+
+/// Parses `--key value` style overrides from `std::env::args`.
+///
+/// Unknown keys are ignored so every binary accepts the common knobs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    #[must_use]
+    pub fn capture() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i + 1 < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                pairs.push((key.to_owned(), raw[i + 1].clone()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Whether an override for `key` was supplied.
+    #[must_use]
+    pub fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    /// Looks up an override, parsed to `T`, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value does not parse.
+    #[must_use]
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.pairs.iter().rev().find(|(k, _)| k == key) {
+            Some((_, v)) => match v.parse() {
+                Ok(parsed) => parsed,
+                Err(e) => panic!("--{key} {v}: {e}"),
+            },
+            None => default,
+        }
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::capture()
+    }
+}
+
+/// The calibrated campaign configuration shared by the Fig. 4 binaries:
+/// same network, pool mix and deadline pressure as the Fig. 3 experiment,
+/// with a lighter *static* background (the dynamics come from the
+/// perturbation stream instead).
+#[must_use]
+pub fn fig4_campaign_base(args: &Args) -> CampaignConfig {
+    use gridsched::data::network::TransferModel;
+    use gridsched::sim::time::SimDuration;
+    use gridsched::workload::jobs::JobConfig;
+    use gridsched::workload::pool::PoolConfig;
+
+    CampaignConfig {
+        jobs: args.get("jobs", 400),
+        perturbations: args.get("perturbations", 400),
+        background_load: args.get("load", 0.1),
+        horizon: SimDuration::from_ticks(args.get("horizon", 5_000)),
+        job_gap: SimDuration::from_ticks(args.get("job-gap", 12)),
+        seed: args.get("seed", 2009),
+        job_config: JobConfig {
+            deadline_factor: args.get("deadline-factor", 6.0),
+            ..JobConfig::default()
+        },
+        pool_config: PoolConfig {
+            group_shares: (0.25, 0.35, 0.40),
+            ..PoolConfig::default()
+        },
+        transfer_model: TransferModel::new(5.0, 3.5, SimDuration::from_ticks(1)),
+        ..CampaignConfig::default()
+    }
+}
+
+/// Runs one single-flow campaign for `kind`, sharing every other knob.
+#[must_use]
+pub fn campaign_for(kind: StrategyKind, base: &CampaignConfig) -> VoReport {
+    run_campaign(&CampaignConfig {
+        assignment: FlowAssignment::Single(kind),
+        ..base.clone()
+    })
+}
+
+/// Normalizes a slice of values to its maximum (the paper's "relative"
+/// bars). All-zero input stays zero.
+#[must_use]
+pub fn normalize(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / max).collect()
+}
+
+/// Prints a HOLDS/DIFFERS verdict line for a paper-claim check.
+pub fn verdict(label: &str, holds: bool) {
+    let mark = if holds { "HOLDS" } else { "DIFFERS" };
+    println!("  [{mark}] {label}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_scales_to_unit_max() {
+        assert_eq!(normalize(&[2.0, 4.0, 1.0]), vec![0.5, 1.0, 0.25]);
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn args_parse_overrides_and_fall_back() {
+        let args = Args {
+            pairs: vec![
+                ("jobs".into(), "42".into()),
+                ("load".into(), "0.5".into()),
+                ("jobs".into(), "99".into()), // last wins
+            ],
+        };
+        assert_eq!(args.get("jobs", 7usize), 99);
+        assert!((args.get("load", 0.0f64) - 0.5).abs() < 1e-12);
+        assert_eq!(args.get("seed", 123u64), 123);
+        assert!(args.has("jobs"));
+        assert!(!args.has("seed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs")]
+    fn args_report_bad_values() {
+        let args = Args {
+            pairs: vec![("jobs".into(), "many".into())],
+        };
+        let _: usize = args.get("jobs", 1);
+    }
+
+    #[test]
+    fn fig4_base_is_deterministic_given_same_args() {
+        let args = Args { pairs: Vec::new() };
+        assert_eq!(fig4_campaign_base(&args), fig4_campaign_base(&args));
+    }
+}

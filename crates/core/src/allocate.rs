@@ -1,0 +1,525 @@
+//! Dynamic-programming co-allocation of one critical work.
+//!
+//! §2: "The strategy is built by using methods of dynamic programming in a
+//! way that allows optimizing scheduling and resource allocation for a set
+//! of tasks". For one critical work (a chain of tasks) we run a Pareto
+//! dynamic program over `(chain position, candidate node)`:
+//! each state keeps the non-dominated `(finish time, accumulated cost)`
+//! frontier, so the final choice can minimize the paper's cost function
+//! `CF` subject to the job's deadline.
+//!
+//! Constraints honoured per task:
+//!
+//! - node availability windows (the local timetables' free slots);
+//! - precedence against *already placed* tasks: placed producers set the
+//!   earliest start and the input-staging stall, placed consumers bound the
+//!   latest finish (minus the transfer back);
+//! - the job deadline, tightened by an optimistic estimate of the work
+//!   remaining downstream of each task.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use gridsched_data::policy::DataPolicy;
+use gridsched_model::estimate::EstimateScenario;
+use gridsched_model::ids::{NodeId, TaskId};
+use gridsched_model::job::Job;
+use gridsched_model::node::ResourcePool;
+use gridsched_model::timetable::Timetable;
+use gridsched_model::window::TimeWindow;
+
+use crate::cost::{task_cost, Cost};
+use crate::distribution::Placement;
+
+/// Shared inputs of one scheduling run.
+#[derive(Debug)]
+pub struct AllocationContext<'a> {
+    /// The compound job being scheduled.
+    pub job: &'a Job,
+    /// The virtual organization's nodes.
+    pub pool: &'a ResourcePool,
+    /// Data-access policy (decides staging delays).
+    pub policy: &'a DataPolicy,
+    /// Estimation scenario (duration multiplier).
+    pub scenario: EstimateScenario,
+    /// Earliest instant any task may start.
+    pub release: SimTime,
+    /// Absolute completion deadline.
+    pub deadline: SimTime,
+    /// Restrict placement to one domain's nodes (Fig. 1: a job manager
+    /// controls a single domain). `None` allocates VO-wide.
+    pub domain: Option<gridsched_model::ids::DomainId>,
+    /// Optimization criterion for picking among Pareto-optimal schedules.
+    pub objective: crate::objective::Objective,
+}
+
+impl AllocationContext<'_> {
+    /// Optimistic remaining work downstream of each task: longest path of
+    /// scenario-scaled durations on the fastest node class, zero transfer.
+    /// Used to tighten per-task finish bounds under the job deadline.
+    #[must_use]
+    pub fn remaining_optimistic(&self) -> Vec<SimDuration> {
+        let fastest = self.pool.fastest_perf();
+        let n = self.job.task_count();
+        let mut rem = vec![SimDuration::ZERO; n];
+        for &t in self.job.topo_order().iter().rev() {
+            let mut best = SimDuration::ZERO;
+            for e in self.job.outgoing(t) {
+                let succ = e.to();
+                let candidate = self.scenario.duration(self.job.task(succ), fastest)
+                    + rem[succ.index()];
+                if candidate > best {
+                    best = candidate;
+                }
+            }
+            rem[t.index()] = best;
+        }
+        rem
+    }
+}
+
+/// Failure to allocate a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocateError {
+    /// The first task for which no feasible placement exists.
+    pub task: TaskId,
+}
+
+impl fmt::Display for AllocateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no feasible placement for task {}", self.task)
+    }
+}
+
+impl std::error::Error for AllocateError {}
+
+#[derive(Debug, Clone, Copy)]
+struct State {
+    start: SimTime,
+    finish: SimTime,
+    stall: SimDuration,
+    cost: Cost,
+    /// `(node index at previous position, state index in its frontier)`.
+    parent: Option<(usize, usize)>,
+}
+
+/// Allocates `chain` onto the availability in `timetables` (indexed by
+/// `NodeId::index`), minimizing accumulated cost subject to the deadline.
+///
+/// `placed` holds placements committed by earlier critical works of the
+/// same job; their times constrain this chain.
+///
+/// # Errors
+///
+/// Returns [`AllocateError`] naming the first chain task that cannot be
+/// placed feasibly.
+///
+/// # Panics
+///
+/// Panics if `chain` is empty or `timetables.len() != pool.len()`.
+pub fn allocate_chain(
+    ctx: &AllocationContext<'_>,
+    chain: &[TaskId],
+    placed: &HashMap<TaskId, Placement>,
+    timetables: &[Timetable],
+) -> Result<Vec<Placement>, AllocateError> {
+    assert!(!chain.is_empty(), "cannot allocate an empty chain");
+    assert_eq!(
+        timetables.len(),
+        ctx.pool.len(),
+        "timetable slice must cover every node"
+    );
+    let rem = ctx.remaining_optimistic();
+    let nodes: Vec<NodeId> = ctx.pool.nodes().map(|n| n.id()).collect();
+    // frontiers[position][node index] -> Pareto states.
+    let mut frontiers: Vec<Vec<Vec<State>>> = Vec::with_capacity(chain.len());
+
+    for (pos, &task_id) in chain.iter().enumerate() {
+        let task = ctx.job.task(task_id);
+        let mut level: Vec<Vec<State>> = vec![Vec::new(); nodes.len()];
+        for (ni, &node_id) in nodes.iter().enumerate() {
+            if let Some(domain) = ctx.domain {
+                if ctx.pool.node(node_id).domain() != domain {
+                    continue;
+                }
+            }
+            let perf = ctx.pool.node(node_id).perf();
+            if !task.runs_on(perf) {
+                continue;
+            }
+            let exec = ctx.scenario.duration(task, perf);
+            // Constraints from placed neighbours, independent of the DP
+            // predecessor state.
+            let mut ready_placed = ctx.release;
+            let mut stall_placed = SimDuration::ZERO;
+            for e in ctx.job.incoming(task_id) {
+                if let Some(p) = placed.get(&e.from()) {
+                    ready_placed = ready_placed.max_of(p.window.end());
+                    let d = ctx
+                        .policy
+                        .consumer_delay(e.volume(), p.node, node_id, ctx.pool);
+                    if d > stall_placed {
+                        stall_placed = d;
+                    }
+                }
+            }
+            let mut finish_bound = saturating_deadline(ctx.deadline, rem[task_id.index()]);
+            for e in ctx.job.outgoing(task_id) {
+                if let Some(p) = placed.get(&e.to()) {
+                    let d = ctx
+                        .policy
+                        .consumer_delay(e.volume(), node_id, p.node, ctx.pool);
+                    let bound = saturating_deadline(p.window.start(), d);
+                    if bound < finish_bound {
+                        finish_bound = bound;
+                    }
+                }
+            }
+            if pos == 0 {
+                let dur = stall_placed + exec;
+                if let Some(state) = fit_state(
+                    &timetables[node_id.index()],
+                    ready_placed,
+                    dur,
+                    stall_placed,
+                    finish_bound,
+                    task_cost(task.volume(), dur),
+                    None,
+                ) {
+                    level[ni].push(state);
+                }
+            } else {
+                // The arc connecting the previous chain element to this one.
+                let prev_task = chain[pos - 1];
+                let chain_edge = ctx
+                    .job
+                    .incoming(task_id)
+                    .find(|e| e.from() == prev_task)
+                    .expect("consecutive chain tasks are connected");
+                for (pni, prev_states) in frontiers[pos - 1].iter().enumerate() {
+                    let prev_node = nodes[pni];
+                    let chain_stall =
+                        ctx.policy
+                            .consumer_delay(chain_edge.volume(), prev_node, node_id, ctx.pool);
+                    let stall = stall_placed.max(chain_stall);
+                    let dur = stall + exec;
+                    let step_cost = task_cost(task.volume(), dur);
+                    for (si, prev) in prev_states.iter().enumerate() {
+                        let ready = ready_placed.max_of(prev.finish);
+                        if let Some(state) = fit_state(
+                            &timetables[node_id.index()],
+                            ready,
+                            dur,
+                            stall,
+                            finish_bound,
+                            prev.cost + step_cost,
+                            Some((pni, si)),
+                        ) {
+                            level[ni].push(state);
+                        }
+                    }
+                }
+            }
+        }
+        for states in &mut level {
+            prune_pareto(states);
+        }
+        if level.iter().all(Vec::is_empty) {
+            return Err(AllocateError { task: task_id });
+        }
+        frontiers.push(level);
+    }
+
+    // Pick the best final state under the objective (ties: smaller node
+    // index, for determinism). A MinTime budget filters the frontier; if
+    // nothing fits the budget the cheapest state is the fallback.
+    let last = frontiers.last().expect("chain is non-empty");
+    let mut best: Option<(usize, usize)> = None;
+    let mut cheapest: Option<(usize, usize)> = None;
+    for (ni, states) in last.iter().enumerate() {
+        for (si, s) in states.iter().enumerate() {
+            let key = (s.finish.ticks(), s.cost);
+            if ctx.objective.admits(s.cost) {
+                let better = match best {
+                    None => true,
+                    Some((bni, bsi)) => {
+                        let b = &last[bni][bsi];
+                        let bkey = (b.finish.ticks(), b.cost);
+                        ctx.objective.prefers(key, bkey) || (key == bkey && ni < bni)
+                    }
+                };
+                if better {
+                    best = Some((ni, si));
+                }
+            }
+            let cheaper = match cheapest {
+                None => true,
+                Some((bni, bsi)) => {
+                    let b = &last[bni][bsi];
+                    (s.cost, s.finish, ni) < (b.cost, b.finish, bni)
+                }
+            };
+            if cheaper {
+                cheapest = Some((ni, si));
+            }
+        }
+    }
+    let (mut ni, mut si) = best
+        .or(cheapest)
+        .expect("non-empty final frontier");
+
+    // Backtrack.
+    let mut placements = Vec::with_capacity(chain.len());
+    for pos in (0..chain.len()).rev() {
+        let state = frontiers[pos][ni][si];
+        let prev_cost = state
+            .parent
+            .map(|(pni, psi)| frontiers[pos - 1][pni][psi].cost)
+            .unwrap_or(0);
+        placements.push(Placement {
+            task: chain[pos],
+            node: nodes[ni],
+            window: TimeWindow::new(state.start, state.finish)
+                .expect("placement windows are non-empty"),
+            stall: state.stall,
+            cost: state.cost - prev_cost,
+        });
+        if let Some((pni, psi)) = state.parent {
+            ni = pni;
+            si = psi;
+        }
+    }
+    placements.reverse();
+    Ok(placements)
+}
+
+/// `deadline - slack`, clamped at the epoch.
+fn saturating_deadline(deadline: SimTime, slack: SimDuration) -> SimTime {
+    SimTime::from_ticks(deadline.ticks().saturating_sub(slack.ticks()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fit_state(
+    timetable: &Timetable,
+    ready: SimTime,
+    duration: SimDuration,
+    stall: SimDuration,
+    finish_bound: SimTime,
+    cost: Cost,
+    parent: Option<(usize, usize)>,
+) -> Option<State> {
+    let start = timetable.earliest_fit(ready, duration, finish_bound)?;
+    Some(State {
+        start,
+        finish: start + duration,
+        stall,
+        cost,
+        parent,
+    })
+}
+
+/// Keeps only non-dominated `(finish, cost)` states, sorted by finish.
+fn prune_pareto(states: &mut Vec<State>) {
+    states.sort_by_key(|s| (s.finish, s.cost));
+    let mut best_cost = Cost::MAX;
+    states.retain(|s| {
+        if s.cost < best_cost {
+            best_cost = s.cost;
+            true
+        } else {
+            false
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_model::fixtures::pipeline_job;
+    use gridsched_model::ids::{DomainId, JobId};
+    use gridsched_model::perf::Perf;
+    use gridsched_model::timetable::ReservationOwner;
+    use gridsched_model::volume::Volume;
+
+    fn pool_two_nodes() -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        pool.add_node(DomainId::new(0), Perf::FULL); // N0 fast
+        pool.add_node(DomainId::new(0), Perf::new(0.5).unwrap()); // N1 slow
+        pool
+    }
+
+    fn ctx<'a>(
+        job: &'a Job,
+        pool: &'a ResourcePool,
+        policy: &'a DataPolicy,
+        deadline: u64,
+    ) -> AllocationContext<'a> {
+        AllocationContext {
+            job,
+            pool,
+            policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
+            deadline: SimTime::from_ticks(deadline),
+            domain: None,
+            objective: crate::objective::Objective::MinCost,
+        }
+    }
+
+    #[test]
+    fn single_task_prefers_cheaper_slow_node_when_deadline_allows() {
+        let job = pipeline_job(JobId::new(0), &[20.0], SimDuration::from_ticks(100));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 100);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let ps = allocate_chain(&c, &[TaskId::new(0)], &HashMap::new(), &tts).unwrap();
+        // N1 (perf 0.5): dur 4, cost ceil(20/4)=5 < N0: dur 2, cost 10.
+        assert_eq!(ps[0].node, NodeId::new(1));
+        assert_eq!(ps[0].cost, 5);
+        assert_eq!(ps[0].window.duration().ticks(), 4);
+    }
+
+    #[test]
+    fn tight_deadline_forces_fast_node() {
+        let job = pipeline_job(JobId::new(0), &[20.0], SimDuration::from_ticks(3));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 3);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let ps = allocate_chain(&c, &[TaskId::new(0)], &HashMap::new(), &tts).unwrap();
+        assert_eq!(ps[0].node, NodeId::new(0));
+        assert_eq!(ps[0].cost, 10);
+    }
+
+    #[test]
+    fn impossible_deadline_reports_task() {
+        let job = pipeline_job(JobId::new(0), &[20.0], SimDuration::from_ticks(1));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 1);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let err = allocate_chain(&c, &[TaskId::new(0)], &HashMap::new(), &tts).unwrap_err();
+        assert_eq!(err.task, TaskId::new(0));
+        assert!(err.to_string().contains("P0"));
+    }
+
+    #[test]
+    fn chain_respects_precedence_and_transfers() {
+        let job = pipeline_job(JobId::new(0), &[20.0, 20.0], SimDuration::from_ticks(100));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 100);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let chain = [TaskId::new(0), TaskId::new(1)];
+        let ps = allocate_chain(&c, &chain, &HashMap::new(), &tts).unwrap();
+        assert!(ps[1].window.start() >= ps[0].window.end());
+        if ps[0].node != ps[1].node {
+            // Cross-node hop pays a staging stall inside the second window.
+            assert!(ps[1].stall.ticks() > 0);
+        }
+    }
+
+    #[test]
+    fn busy_timetable_delays_start() {
+        let job = pipeline_job(JobId::new(0), &[20.0], SimDuration::from_ticks(10));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 10);
+        let mut tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        // Block the slow node entirely and the fast node until t3.
+        tts[1]
+            .reserve(
+                TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(10)).unwrap(),
+                ReservationOwner::Background(0),
+            )
+            .unwrap();
+        tts[0]
+            .reserve(
+                TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(3)).unwrap(),
+                ReservationOwner::Background(1),
+            )
+            .unwrap();
+        let ps = allocate_chain(&c, &[TaskId::new(0)], &HashMap::new(), &tts).unwrap();
+        assert_eq!(ps[0].node, NodeId::new(0));
+        assert_eq!(ps[0].window.start(), SimTime::from_ticks(3));
+    }
+
+    #[test]
+    fn placed_predecessor_sets_ready_time_and_stall() {
+        let job = pipeline_job(JobId::new(0), &[20.0, 20.0], SimDuration::from_ticks(100));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 100);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let mut placed = HashMap::new();
+        placed.insert(
+            TaskId::new(0),
+            Placement {
+                task: TaskId::new(0),
+                node: NodeId::new(0),
+                window: TimeWindow::new(SimTime::from_ticks(5), SimTime::from_ticks(7)).unwrap(),
+                stall: SimDuration::ZERO,
+                cost: 10,
+            },
+        );
+        let ps = allocate_chain(&c, &[TaskId::new(1)], &placed, &tts).unwrap();
+        assert!(ps[0].window.start() >= SimTime::from_ticks(7));
+    }
+
+    #[test]
+    fn placed_successor_bounds_finish() {
+        let job = pipeline_job(JobId::new(0), &[20.0, 20.0], SimDuration::from_ticks(100));
+        let pool = pool_two_nodes();
+        let policy = DataPolicy::remote_access();
+        let c = ctx(&job, &pool, &policy, 100);
+        let tts: Vec<Timetable> = (0..pool.len()).map(|_| Timetable::new()).collect();
+        let mut placed = HashMap::new();
+        // Successor starts at t4 on N0: producer must finish by then
+        // (minus the transfer if cross-node).
+        placed.insert(
+            TaskId::new(1),
+            Placement {
+                task: TaskId::new(1),
+                node: NodeId::new(0),
+                window: TimeWindow::new(SimTime::from_ticks(4), SimTime::from_ticks(6)).unwrap(),
+                stall: SimDuration::ZERO,
+                cost: 10,
+            },
+        );
+        let ps = allocate_chain(&c, &[TaskId::new(0)], &placed, &tts).unwrap();
+        assert!(ps[0].window.end() <= SimTime::from_ticks(4));
+        // Only the fast node can run 20 units in ≤4 ticks from t0 — well,
+        // the slow node needs 4 ticks exactly, but then the cross-node
+        // transfer bound bites. Verify feasibility was respected instead:
+        let slack = if ps[0].node == NodeId::new(0) {
+            SimDuration::ZERO
+        } else {
+            policy.consumer_delay(
+                Volume::new(gridsched_model::fixtures::FIG2_EDGE_VOLUME),
+                ps[0].node,
+                NodeId::new(0),
+                &pool,
+            )
+        };
+        assert!(ps[0].window.end() + slack <= SimTime::from_ticks(4));
+    }
+
+    #[test]
+    fn pareto_prune_keeps_tradeoff_frontier() {
+        let mk = |finish: u64, cost: Cost| State {
+            start: SimTime::ZERO,
+            finish: SimTime::from_ticks(finish),
+            stall: SimDuration::ZERO,
+            cost,
+            parent: None,
+        };
+        let mut states = vec![mk(10, 5), mk(5, 10), mk(7, 7), mk(12, 5), mk(6, 12)];
+        prune_pareto(&mut states);
+        let kept: Vec<(u64, Cost)> = states.iter().map(|s| (s.finish.ticks(), s.cost)).collect();
+        // Sorted by finish, strictly decreasing cost: (5,10), (7,7), (10,5).
+        assert_eq!(kept, vec![(5, 10), (7, 7), (10, 5)]);
+    }
+}

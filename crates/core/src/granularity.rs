@@ -1,0 +1,186 @@
+//! Computation granularity (fine vs coarse grain).
+//!
+//! §4 separates strategies "with fine-grain computations" (S1, S2: the job
+//! keeps its many small tasks and pays for their data exchanges) from
+//! "coarse-grain computations" (S3: the computation is decomposed into
+//! fewer, larger units with minimal exchange). Coarsening merges every
+//! maximal *linear* segment of the information graph — a run of tasks with
+//! no fan-in/fan-out between them — into a single task whose volume is the
+//! sum of its parts, removing the internal transfer arcs entirely.
+
+use gridsched_model::ids::{JobId, TaskId};
+use gridsched_model::job::{Job, JobBuilder};
+use gridsched_model::perf::Perf;
+use gridsched_model::volume::Volume;
+
+/// A coarsened job plus the task mapping back to the original.
+#[derive(Debug, Clone)]
+pub struct CoarsenedJob {
+    /// The merged job (same id, deadline and release as the original).
+    pub job: Job,
+    /// `mapping[original_task.index()]` = task in the coarsened job.
+    pub mapping: Vec<TaskId>,
+}
+
+/// Merges maximal linear segments of `job` into single tasks.
+///
+/// Tasks `a → b` merge when `a` has exactly one outgoing arc, `b` exactly
+/// one incoming arc, and that arc connects them. Volumes add; the stricter
+/// of the two minimum-performance requirements wins; the internal arc
+/// disappears. Arcs between different groups are kept (parallel arcs
+/// between the same pair of groups are combined, volumes summed).
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_core::granularity::coarsen;
+/// use gridsched_model::fixtures::pipeline_job;
+/// use gridsched_model::ids::JobId;
+/// use gridsched_sim::time::SimDuration;
+///
+/// let job = pipeline_job(JobId::new(0), &[10.0, 20.0, 30.0], SimDuration::from_ticks(50));
+/// let coarse = coarsen(&job);
+/// assert_eq!(coarse.job.task_count(), 1); // the whole pipeline fuses
+/// ```
+#[must_use]
+pub fn coarsen(job: &Job) -> CoarsenedJob {
+    let n = job.task_count();
+    // group[i] = group index of original task i.
+    let mut group = vec![usize::MAX; n];
+    let mut groups: Vec<Vec<TaskId>> = Vec::new();
+    for &t in job.topo_order() {
+        if group[t.index()] != usize::MAX {
+            continue;
+        }
+        // `t` starts a new group; absorb a linear run downstream.
+        let gi = groups.len();
+        let mut run = vec![t];
+        group[t.index()] = gi;
+        let mut current = t;
+        loop {
+            let mut outs = job.outgoing(current);
+            let (Some(edge), None) = (outs.next(), outs.next()) else {
+                break;
+            };
+            let next = edge.to();
+            if job.predecessors(next).count() != 1 || group[next.index()] != usize::MAX {
+                break;
+            }
+            group[next.index()] = gi;
+            run.push(next);
+            current = next;
+        }
+        groups.push(run);
+    }
+
+    let mut builder = JobBuilder::new();
+    for members in &groups {
+        let volume: Volume = members.iter().map(|&t| job.task(t).volume()).sum();
+        let min_perf: Option<Perf> = members
+            .iter()
+            .filter_map(|&t| job.task(t).min_perf())
+            .max();
+        builder.add_task_with(volume, min_perf);
+    }
+    // Cross-group arcs, with parallel arcs combined.
+    let mut combined: std::collections::BTreeMap<(usize, usize), Volume> =
+        std::collections::BTreeMap::new();
+    for e in job.edges() {
+        let (gf, gt) = (group[e.from().index()], group[e.to().index()]);
+        if gf != gt {
+            let slot = combined.entry((gf, gt)).or_insert(Volume::ZERO);
+            *slot = *slot + e.volume();
+        }
+    }
+    for ((gf, gt), volume) in combined {
+        builder.add_edge(TaskId::new(gf as u32), TaskId::new(gt as u32), volume);
+    }
+    builder.deadline(job.deadline());
+    builder.release_at(job.release());
+    let coarse = builder
+        .build(JobId::new(job.id().raw()))
+        .expect("coarsening a valid DAG yields a valid DAG");
+    CoarsenedJob {
+        job: coarse,
+        mapping: group.into_iter().map(|g| TaskId::new(g as u32)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_model::fixtures::{fig2_job, pipeline_job};
+    use gridsched_sim::time::SimDuration;
+
+    #[test]
+    fn pipeline_fuses_to_one_task() {
+        let job = pipeline_job(JobId::new(3), &[10.0, 20.0, 30.0], SimDuration::from_ticks(50));
+        let c = coarsen(&job);
+        assert_eq!(c.job.task_count(), 1);
+        assert_eq!(c.job.edges().len(), 0);
+        assert_eq!(c.job.task(TaskId::new(0)).volume(), Volume::new(60.0));
+        assert_eq!(c.mapping, vec![TaskId::new(0); 3]);
+        assert_eq!(c.job.deadline(), job.deadline());
+        assert_eq!(c.job.id(), job.id());
+    }
+
+    #[test]
+    fn fig2_fork_join_is_not_merged() {
+        // Every task of the Fig. 2 job sits at a fan-in or fan-out, so
+        // coarsening changes nothing structurally.
+        let job = fig2_job();
+        let c = coarsen(&job);
+        assert_eq!(c.job.task_count(), 6);
+        assert_eq!(c.job.edges().len(), 8);
+        assert_eq!(c.job.total_volume(), job.total_volume());
+    }
+
+    #[test]
+    fn diamond_with_linear_arms_merges_arms() {
+        // A -> (B1 -> B2) -> C and A -> D -> C: the B1-B2 run fuses.
+        let v = Volume::new;
+        let mut b = JobBuilder::new();
+        let a = b.add_task(v(10.0));
+        let b1 = b.add_task(v(10.0));
+        let b2 = b.add_task(v(10.0));
+        let d = b.add_task(v(10.0));
+        let c = b.add_task(v(10.0));
+        b.add_edge(a, b1, v(1.0));
+        b.add_edge(b1, b2, v(1.0));
+        b.add_edge(b2, c, v(1.0));
+        b.add_edge(a, d, v(1.0));
+        b.add_edge(d, c, v(1.0));
+        b.deadline(SimDuration::from_ticks(100));
+        let job = b.build(JobId::new(0)).unwrap();
+        let coarse = coarsen(&job);
+        assert_eq!(coarse.job.task_count(), 4);
+        assert_eq!(coarse.job.edges().len(), 4);
+        // Total volume preserved.
+        assert_eq!(coarse.job.total_volume(), job.total_volume());
+    }
+
+    #[test]
+    fn volume_is_always_preserved() {
+        let job = fig2_job();
+        assert_eq!(coarsen(&job).job.total_volume(), job.total_volume());
+        let pipe = pipeline_job(JobId::new(1), &[5.0, 5.0], SimDuration::from_ticks(10));
+        assert_eq!(coarsen(&pipe).job.total_volume(), pipe.total_volume());
+    }
+
+    #[test]
+    fn coarse_job_has_no_fewer_constraints() {
+        // Min-perf requirements survive merging (strictest wins).
+        let mut b = JobBuilder::new();
+        let a = b.add_task_with(Volume::new(10.0), Some(Perf::new(0.5).unwrap()));
+        let c = b.add_task_with(Volume::new(10.0), Some(Perf::new(0.9).unwrap()));
+        b.add_edge(a, c, Volume::new(1.0));
+        b.deadline(SimDuration::from_ticks(100));
+        let job = b.build(JobId::new(0)).unwrap();
+        let coarse = coarsen(&job);
+        assert_eq!(coarse.job.task_count(), 1);
+        assert_eq!(
+            coarse.job.task(TaskId::new(0)).min_perf(),
+            Some(Perf::new(0.9).unwrap())
+        );
+    }
+}

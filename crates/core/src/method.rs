@@ -1,0 +1,783 @@
+//! The critical works method (§3).
+//!
+//! A "multiphase procedure, which is searching for a next critical work —
+//! the longest … chain of unassigned tasks along with the best combination
+//! of available resources, and resolving collisions caused by conflicts
+//! between tasks of different critical works competing for the same
+//! resource."
+//!
+//! Phases, per estimation scenario:
+//!
+//! 1. decompose the job into vertex-disjoint critical works, longest first
+//!    ([`crate::chains`]);
+//! 2. allocate each work by dynamic programming against the *background*
+//!    availability — deliberately ignoring the sibling works' reservations
+//!    ([`crate::allocate`]);
+//! 3. if the resulting placements collide with a sibling work's
+//!    reservation, record the collision (node and performance group — the
+//!    Fig. 3b statistic) and re-allocate the work against the true
+//!    availability;
+//! 4. commit the work's reservations and continue.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gridsched_sim::time::SimTime;
+
+use gridsched_data::policy::DataPolicy;
+use gridsched_model::estimate::EstimateScenario;
+use gridsched_model::ids::{GlobalTaskId, TaskId};
+use gridsched_model::job::Job;
+use gridsched_model::node::ResourcePool;
+use gridsched_model::timetable::{ReservationOwner, Timetable};
+
+use crate::allocate::{allocate_chain, AllocationContext};
+use crate::chains::{next_critical_work, CriticalWork};
+use crate::distribution::{CollisionRecord, Distribution, Placement};
+
+/// Vertex-disjoint critical works over the not-yet-placed tasks only.
+fn decompose_remaining(
+    req: &ScheduleRequest<'_>,
+    unassigned: &std::collections::HashSet<TaskId>,
+    fastest: gridsched_model::perf::Perf,
+) -> Vec<CriticalWork> {
+    let mut remaining = unassigned.clone();
+    let mut works = Vec::new();
+    while let Some(work) = next_critical_work(
+        req.job,
+        &remaining,
+        |t| req.scenario.duration(req.job.task(t), fastest),
+        |e| req.policy.transfer_model().intra_domain_time(e.volume()),
+    ) {
+        for t in &work.tasks {
+            remaining.remove(t);
+        }
+        works.push(work);
+    }
+    works
+}
+
+/// Inputs of one critical-works scheduling run.
+///
+/// The allocator optimizes [`crate::objective::Objective::MinCost`] —
+/// the paper's default criterion. Use
+/// [`build_distribution_with_objective`] for the multicriteria variants.
+#[derive(Debug)]
+pub struct ScheduleRequest<'a> {
+    /// The compound job.
+    pub job: &'a Job,
+    /// The resource pool whose timetables describe current availability.
+    pub pool: &'a ResourcePool,
+    /// Data-access policy.
+    pub policy: &'a DataPolicy,
+    /// Estimation scenario to plan under.
+    pub scenario: EstimateScenario,
+    /// Earliest start instant (usually the job's arrival at the
+    /// metascheduler).
+    pub release: SimTime,
+}
+
+/// Failure to construct a supporting schedule for one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// The first task with no feasible placement.
+    pub task: TaskId,
+    /// The scenario that failed.
+    pub scenario: EstimateScenario,
+    /// Collisions recorded before the failure (they still count towards
+    /// the Fig. 3b statistics).
+    pub collisions: Vec<CollisionRecord>,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no admissible schedule under scenario {}: task {} unplaceable",
+            self.scenario, self.task
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Builds one supporting schedule ([`Distribution`]) with the critical
+/// works method.
+///
+/// The pool's timetables are *read* as the background availability; no
+/// reservation is committed to them — the job-flow layer decides whether
+/// to activate the schedule (and then reserves).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some task cannot be placed within the
+/// job's deadline on the available windows.
+pub fn build_distribution(req: &ScheduleRequest<'_>) -> Result<Distribution, ScheduleError> {
+    reschedule(req, &HashMap::new())
+}
+
+/// Rebuilds the schedule for the tasks *not* in `fixed`, keeping the fixed
+/// placements (typically tasks that already started) untouched.
+///
+/// This is the dynamic reallocation mechanism of §2: when resource dynamics
+/// invalidate an active supporting schedule mid-flight, the job manager
+/// replans the remaining tasks from the current instant (`req.release`)
+/// around the work already done.
+///
+/// The fixed placements' deadlines still apply: the job keeps its original
+/// absolute deadline, computed here as `req.release + job.deadline()` — so
+/// callers replanning at time `τ` should pass the *remaining* deadline
+/// budget via a job whose deadline is absolute-deadline − τ, or simply keep
+/// using the original release through [`build_distribution`]. The flow
+/// layer uses [`reschedule_with_deadline`] to pin the absolute deadline
+/// explicitly.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some remaining task cannot be placed.
+pub fn reschedule(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+) -> Result<Distribution, ScheduleError> {
+    let deadline = req.release.saturating_add(req.job.deadline());
+    reschedule_with_deadline(req, fixed, deadline)
+}
+
+/// [`reschedule`] with an explicit absolute deadline (used when replanning
+/// mid-flight, where the deadline was fixed at the original release).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some remaining task cannot be placed.
+pub fn reschedule_with_deadline(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+) -> Result<Distribution, ScheduleError> {
+    run_method(req, fixed, deadline, true)
+}
+
+/// [`reschedule_with_deadline`] under an explicit optimization criterion —
+/// the §5 "dynamic priority change": a job manager replanning a job whose
+/// deadline is endangered can pay more quota for speed. Falls back to
+/// `MinCost` if the aggressive criterion strands a critical work.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some remaining task cannot be placed even
+/// under `MinCost`.
+pub fn reschedule_with_objective(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+    objective: crate::objective::Objective,
+) -> Result<Distribution, ScheduleError> {
+    match run_method_full(req, fixed, deadline, true, None, objective) {
+        Ok(d) => Ok(d),
+        Err(e) if objective == crate::objective::Objective::MinCost => Err(e),
+        Err(_) => run_method_full(
+            req,
+            fixed,
+            deadline,
+            true,
+            None,
+            crate::objective::Objective::MinCost,
+        ),
+    }
+}
+
+/// Single-phase ablation of the critical works method: every chain is
+/// allocated directly against the availability *including* sibling-chain
+/// reservations, so collisions never occur (and are never recorded).
+///
+/// Used by the ablation bench to quantify what the paper's two-phase
+/// "ideal allocation, then collision resolution" buys; not part of the
+/// paper's method itself.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some task cannot be placed within the
+/// job's deadline.
+pub fn build_distribution_direct(
+    req: &ScheduleRequest<'_>,
+) -> Result<Distribution, ScheduleError> {
+    let deadline = req.release.saturating_add(req.job.deadline());
+    run_method(req, &HashMap::new(), deadline, false)
+}
+
+/// [`build_distribution`], but restricted to the nodes of one domain —
+/// the view of a single job manager in the Fig. 1 hierarchy. The
+/// metascheduler can retry another domain on failure (inter-domain job
+/// reallocation).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some task cannot be placed inside the
+/// domain within the job's deadline.
+pub fn build_distribution_in_domain(
+    req: &ScheduleRequest<'_>,
+    domain: gridsched_model::ids::DomainId,
+) -> Result<Distribution, ScheduleError> {
+    assert!(
+        req.pool.in_domain(domain).next().is_some(),
+        "domain {domain} has no nodes"
+    );
+    let deadline = req.release.saturating_add(req.job.deadline());
+    run_method_in(req, &HashMap::new(), deadline, true, Some(domain))
+}
+
+fn run_method(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+    two_phase: bool,
+) -> Result<Distribution, ScheduleError> {
+    run_method_in(req, fixed, deadline, two_phase, None)
+}
+
+/// [`build_distribution`] under an explicit optimization criterion: the
+/// paper's default minimizes cost; `MinTime` buys speed, optionally capped
+/// by a per-critical-work quota budget ("user should pay additional cost
+/// in order to … start the task faster", §3).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if some task cannot be placed within the
+/// job's deadline.
+pub fn build_distribution_with_objective(
+    req: &ScheduleRequest<'_>,
+    objective: crate::objective::Objective,
+) -> Result<Distribution, ScheduleError> {
+    let deadline = req.release.saturating_add(req.job.deadline());
+    let aggressive = run_method_full(req, &HashMap::new(), deadline, true, None, objective);
+    match (aggressive, objective) {
+        (Ok(d), _) => Ok(d),
+        (Err(e), crate::objective::Objective::MinCost) => Err(e),
+        // The sequential chain heuristic can strand later critical works
+        // when earlier ones are packed with zero slack; degrade gracefully
+        // to the conservative criterion rather than fail the scenario.
+        (Err(_), _) => run_method_full(
+            req,
+            &HashMap::new(),
+            deadline,
+            true,
+            None,
+            crate::objective::Objective::MinCost,
+        ),
+    }
+}
+
+fn run_method_in(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+    two_phase: bool,
+    domain: Option<gridsched_model::ids::DomainId>,
+) -> Result<Distribution, ScheduleError> {
+    run_method_full(
+        req,
+        fixed,
+        deadline,
+        two_phase,
+        domain,
+        crate::objective::Objective::MinCost,
+    )
+}
+
+fn run_method_full(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+    two_phase: bool,
+    domain: Option<gridsched_model::ids::DomainId>,
+    objective: crate::objective::Objective,
+) -> Result<Distribution, ScheduleError> {
+    run_method_chains(req, fixed, deadline, two_phase, domain, objective, false)
+}
+
+/// [`build_distribution`] with list-scheduling recovery: if the sequential
+/// critical-works pass strands a later chain (densely packed earlier
+/// chains can leave no gap for a task with both a placed producer and a
+/// placed consumer), retry with singleton chains in topological order,
+/// whose constraints only flow forward and therefore always compose.
+///
+/// Kept separate from [`build_distribution`] because the paper's
+/// admissibility statistics (Fig. 3a) are defined by the critical-works
+/// pass alone; recovery admits marginal schedules the method proper would
+/// reject.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if even the recovery pass cannot place some
+/// task within the deadline.
+pub fn build_distribution_recovering(
+    req: &ScheduleRequest<'_>,
+) -> Result<Distribution, ScheduleError> {
+    let deadline = req.release.saturating_add(req.job.deadline());
+    let objective = crate::objective::Objective::MinCost;
+    match run_method_chains(req, &HashMap::new(), deadline, true, None, objective, false) {
+        Ok(d) => Ok(d),
+        Err(_) => {
+            run_method_chains(req, &HashMap::new(), deadline, true, None, objective, true)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_method_chains(
+    req: &ScheduleRequest<'_>,
+    fixed: &HashMap<TaskId, Placement>,
+    deadline: SimTime,
+    two_phase: bool,
+    domain: Option<gridsched_model::ids::DomainId>,
+    objective: crate::objective::Objective,
+    singleton_chains: bool,
+) -> Result<Distribution, ScheduleError> {
+    let ctx = AllocationContext {
+        job: req.job,
+        pool: req.pool,
+        policy: req.policy,
+        scenario: req.scenario,
+        release: req.release,
+        deadline,
+        domain,
+        objective,
+    };
+    // Chain ranking weights: scenario-scaled durations on the fastest node
+    // class; transfers at the cheapest (intra-domain) price.
+    let fastest = req.pool.fastest_perf();
+    let unassigned: std::collections::HashSet<TaskId> = req
+        .job
+        .tasks()
+        .iter()
+        .map(|t| t.id())
+        .filter(|t| !fixed.contains_key(t))
+        .collect();
+    let works = if singleton_chains {
+        req.job
+            .topo_order()
+            .iter()
+            .filter(|t| unassigned.contains(t))
+            .map(|&t| CriticalWork {
+                tasks: vec![t],
+                length: req.scenario.duration(req.job.task(t), fastest),
+            })
+            .collect()
+    } else {
+        decompose_remaining(req, &unassigned, fastest)
+    };
+
+    // Background availability (fixed) vs availability including this job's
+    // own committed reservations.
+    let background: Vec<Timetable> = req
+        .pool
+        .nodes()
+        .map(|n| req.pool.timetable(n.id()).clone())
+        .collect();
+    let mut with_job = background.clone();
+
+    let mut placed: HashMap<TaskId, Placement> = fixed.clone();
+    let mut collisions: Vec<CollisionRecord> = Vec::new();
+
+    for work in &works {
+        // Phase 1: ideal allocation against the background only (the
+        // single-phase ablation skips straight to the true availability).
+        let ideal = if two_phase {
+            allocate_chain(&ctx, &work.tasks, &placed, &background)
+        } else {
+            allocate_chain(&ctx, &work.tasks, &placed, &with_job)
+        };
+        let chosen = match ideal {
+            Ok(placements) => {
+                let conflicting: Vec<&Placement> = placements
+                    .iter()
+                    .filter(|p| !with_job[p.node.index()].is_free(p.window))
+                    .collect();
+                if conflicting.is_empty() {
+                    Ok(placements)
+                } else {
+                    // Phase 2: collisions with sibling critical works.
+                    for p in &conflicting {
+                        collisions.push(CollisionRecord {
+                            task: p.task,
+                            node: p.node,
+                            group: req.pool.node(p.node).group(),
+                        });
+                    }
+                    allocate_chain(&ctx, &work.tasks, &placed, &with_job)
+                }
+            }
+            Err(e) => Err(e),
+        };
+        let placements = chosen.map_err(|e| ScheduleError {
+            task: e.task,
+            scenario: req.scenario,
+            collisions: collisions.clone(),
+        })?;
+        for p in placements {
+            with_job[p.node.index()]
+                .reserve(
+                    p.window,
+                    ReservationOwner::Task(GlobalTaskId {
+                        job: req.job.id(),
+                        task: p.task,
+                    }),
+                )
+                .expect("allocation chose a free window");
+            placed.insert(p.task, p);
+        }
+    }
+
+    let mut placements: Vec<Placement> = placed.into_values().collect();
+    placements.sort_by_key(|p| p.task);
+    Ok(Distribution::new(req.scenario, placements, collisions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_model::fixtures::{fig2_job, fig2_job_with_deadline};
+    use gridsched_model::ids::{DomainId, NodeId};
+    use gridsched_model::perf::Perf;
+    use gridsched_model::window::TimeWindow;
+    use gridsched_sim::time::SimDuration;
+
+    /// The paper's four node types: performances 1, 1/2, 1/3, 1/4.
+    fn fig2_pool() -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        for j in 1..=4u32 {
+            pool.add_node(DomainId::new(0), Perf::new(1.0 / f64::from(j)).unwrap());
+        }
+        pool
+    }
+
+    fn request<'a>(
+        job: &'a Job,
+        pool: &'a ResourcePool,
+        policy: &'a DataPolicy,
+    ) -> ScheduleRequest<'a> {
+        ScheduleRequest {
+            job,
+            pool,
+            policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fig2_schedule_is_valid_and_meets_deadline() {
+        let job = fig2_job();
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let dist = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        assert_eq!(dist.validate(&job, &pool), Ok(()));
+        assert!(dist.meets_deadline(SimTime::from_ticks(20)), "{dist}");
+        assert!(dist.cost() > 0);
+    }
+
+    #[test]
+    fn tighter_deadline_costs_more() {
+        // The paper's economics: "user should pay additional cost in order
+        // to … start the task faster."
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let relaxed_job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let tight_job = fig2_job_with_deadline(SimDuration::from_ticks(14));
+        let relaxed = build_distribution(&request(&relaxed_job, &pool, &policy)).unwrap();
+        let tight = build_distribution(&request(&tight_job, &pool, &policy)).unwrap();
+        assert!(
+            tight.cost() > relaxed.cost(),
+            "tight {} vs relaxed {}",
+            tight.cost(),
+            relaxed.cost()
+        );
+        assert!(tight.makespan() <= SimTime::from_ticks(14));
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(5));
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let err = build_distribution(&request(&job, &pool, &policy)).unwrap_err();
+        assert_eq!(err.scenario, EstimateScenario::BEST);
+    }
+
+    #[test]
+    fn collisions_recorded_when_chains_contend() {
+        // A two-node pool forces the two critical works of the Fig. 2 job
+        // to fight over the same nodes.
+        let mut pool = ResourcePool::new();
+        pool.add_node(DomainId::new(0), Perf::FULL);
+        pool.add_node(DomainId::new(0), Perf::FULL);
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(40));
+        let policy = DataPolicy::remote_access();
+        let dist = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        assert!(
+            !dist.collisions().is_empty(),
+            "sibling chains on two identical nodes must collide"
+        );
+        assert_eq!(dist.validate(&job, &pool), Ok(()));
+    }
+
+    #[test]
+    fn background_load_shifts_schedule() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let mut pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let free = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        // Occupy every node until t10.
+        for i in 0..pool.len() {
+            let id = NodeId::new(i as u32);
+            pool.timetable_mut(id)
+                .reserve(
+                    TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(10)).unwrap(),
+                    ReservationOwner::Background(0),
+                )
+                .unwrap();
+        }
+        let loaded = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        assert!(loaded.makespan() > free.makespan());
+        for p in loaded.placements() {
+            assert!(p.window.start() >= SimTime::from_ticks(10));
+        }
+    }
+
+    #[test]
+    fn worst_case_scenario_takes_longer() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(100));
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let mut req = request(&job, &pool, &policy);
+        let best = build_distribution(&req).unwrap();
+        req.scenario = EstimateScenario::WORST;
+        let worst = build_distribution(&req).unwrap();
+        assert!(worst.makespan() > best.makespan());
+    }
+
+    #[test]
+    fn release_time_offsets_schedule() {
+        let job = fig2_job();
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let mut req = request(&job, &pool, &policy);
+        req.release = SimTime::from_ticks(100);
+        let dist = build_distribution(&req).unwrap();
+        for p in dist.placements() {
+            assert!(p.window.start() >= SimTime::from_ticks(100));
+        }
+        assert!(dist.meets_deadline(SimTime::from_ticks(120)));
+    }
+
+    #[test]
+    fn reschedule_keeps_fixed_tasks_and_replans_the_rest() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let original = build_distribution(&request(&job, &pool, &policy)).unwrap();
+
+        // Pretend P1 already started exactly as planned; replan the rest
+        // from t3 with the original absolute deadline.
+        let fixed: HashMap<TaskId, crate::distribution::Placement> = [TaskId::new(0)]
+            .into_iter()
+            .map(|t| (t, *original.placement(t)))
+            .collect();
+        let mut req = request(&job, &pool, &policy);
+        req.release = SimTime::from_ticks(3);
+        let replanned =
+            reschedule_with_deadline(&req, &fixed, SimTime::from_ticks(60)).unwrap();
+        assert_eq!(replanned.placement(TaskId::new(0)), original.placement(TaskId::new(0)));
+        assert_eq!(replanned.validate(&job, &pool), Ok(()));
+        for p in replanned.placements() {
+            if p.task != TaskId::new(0) {
+                assert!(p.window.start() >= SimTime::from_ticks(3));
+            }
+        }
+    }
+
+    #[test]
+    fn direct_variant_is_collision_free_and_valid() {
+        let mut pool = ResourcePool::new();
+        pool.add_node(DomainId::new(0), Perf::FULL);
+        pool.add_node(DomainId::new(0), Perf::FULL);
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(40));
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let direct = build_distribution_direct(&req).unwrap();
+        assert!(direct.collisions().is_empty(), "single-phase never collides");
+        assert_eq!(direct.validate(&job, &pool), Ok(()));
+        // The two-phase variant on the same input does record collisions.
+        let two_phase = build_distribution(&req).unwrap();
+        assert!(!two_phase.collisions().is_empty());
+    }
+
+    #[test]
+    fn domain_restriction_keeps_placements_inside_the_domain() {
+        let mut pool = ResourcePool::new();
+        pool.add_node(DomainId::new(0), Perf::FULL);
+        pool.add_node(DomainId::new(0), Perf::new(0.5).unwrap());
+        pool.add_node(DomainId::new(1), Perf::new(0.33).unwrap());
+        pool.add_node(DomainId::new(1), Perf::new(0.33).unwrap());
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let slow_domain = DomainId::new(1);
+        let dist = build_distribution_in_domain(&req, slow_domain).unwrap();
+        for p in dist.placements() {
+            assert_eq!(pool.node(p.node).domain(), slow_domain, "{p}");
+        }
+        assert_eq!(dist.validate(&job, &pool), Ok(()));
+        // At a deadline only fast nodes can meet, the slow domain fails
+        // while the VO-wide schedule succeeds — the case where Fig. 1's
+        // metascheduler reallocates the job to another domain.
+        let tight = fig2_job_with_deadline(SimDuration::from_ticks(20));
+        let tight_req = request(&tight, &pool, &policy);
+        assert!(build_distribution(&tight_req).is_ok());
+        assert!(build_distribution_in_domain(&tight_req, slow_domain).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "has no nodes")]
+    fn empty_domain_is_rejected() {
+        let pool = fig2_pool();
+        let job = fig2_job();
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let _ = build_distribution_in_domain(&req, DomainId::new(9));
+    }
+
+    #[test]
+    fn min_time_objective_is_faster_and_pricier() {
+        use crate::objective::Objective;
+        use gridsched_model::fixtures::pipeline_job;
+        // A single-chain job has no cross-edge constraints, so the pure
+        // MinTime criterion is always feasible when MinCost is.
+        let job = pipeline_job(
+            gridsched_model::ids::JobId::new(1),
+            &[20.0, 30.0, 20.0, 10.0],
+            SimDuration::from_ticks(100),
+        );
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let cheap = build_distribution(&req).unwrap();
+        let fast = build_distribution_with_objective(&req, Objective::FASTEST).unwrap();
+        assert!(fast.makespan() < cheap.makespan(), "fast {fast} vs cheap {cheap}");
+        assert!(fast.cost() > cheap.cost());
+        assert_eq!(fast.validate(&job, &pool), Ok(()));
+    }
+
+    #[test]
+    fn min_time_budget_caps_spending() {
+        use crate::objective::Objective;
+        use gridsched_model::fixtures::pipeline_job;
+        let job = pipeline_job(
+            gridsched_model::ids::JobId::new(1),
+            &[20.0, 30.0, 20.0, 10.0],
+            SimDuration::from_ticks(100),
+        );
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let cheap = build_distribution(&req).unwrap();
+        let unlimited = build_distribution_with_objective(&req, Objective::FASTEST).unwrap();
+        let capped = build_distribution_with_objective(
+            &req,
+            Objective::MinTime {
+                budget: Some((cheap.cost() + unlimited.cost()) / 2),
+            },
+        )
+        .unwrap();
+        // A mid budget lands between the two extremes.
+        assert!(capped.cost() <= (cheap.cost() + unlimited.cost()) / 2);
+        assert!(capped.makespan() >= unlimited.makespan());
+        assert!(capped.makespan() <= cheap.makespan());
+        assert_eq!(capped.validate(&job, &pool), Ok(()));
+    }
+
+    #[test]
+    fn min_time_falls_back_gracefully_on_fork_joins() {
+        use crate::objective::Objective;
+        // On the Fig. 2 fork-join, zero-slack MinTime chains strand the
+        // second critical work; the scheduler degrades to MinCost instead
+        // of failing the scenario.
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+        let cheap = build_distribution(&req).unwrap();
+        let fast = build_distribution_with_objective(&req, Objective::FASTEST).unwrap();
+        assert_eq!(fast.cost(), cheap.cost(), "fallback produced the MinCost schedule");
+        assert_eq!(fast.validate(&job, &pool), Ok(()));
+    }
+
+    #[test]
+    fn recovery_variant_schedules_what_chains_alone_cannot() {
+        use gridsched_workload::jobs::{generate_job, JobConfig};
+        use gridsched_workload::pool::{generate_pool, PoolConfig};
+        let pool = generate_pool(
+            &PoolConfig::default(),
+            &mut gridsched_sim::rng::SimRng::seed_from(1),
+        );
+        let policy = DataPolicy::remote_access();
+        // An 18-task deep fork-join: the packed critical-works pass
+        // strands a cross task; recovery list-schedules it.
+        let job = generate_job(
+            &JobConfig {
+                layers_min: 10,
+                layers_max: 10,
+                width_max: 3,
+                deadline_factor: 20.0,
+                ..JobConfig::default()
+            },
+            gridsched_model::ids::JobId::new(10),
+            SimTime::ZERO,
+            &mut gridsched_sim::rng::SimRng::seed_from(10),
+        );
+        let req = request(&job, &pool, &policy);
+        assert!(build_distribution(&req).is_err(), "chains alone strand this job");
+        let recovered = build_distribution_recovering(&req).unwrap();
+        assert_eq!(recovered.validate(&job, &pool), Ok(()));
+        assert!(recovered.meets_deadline(job.absolute_deadline()));
+    }
+
+    #[test]
+    fn urgent_reschedule_is_no_slower_than_cheap_reschedule() {
+        use crate::objective::Objective;
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(80));
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let original = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        let fixed: HashMap<TaskId, crate::distribution::Placement> = [TaskId::new(0)]
+            .into_iter()
+            .map(|t| (t, *original.placement(t)))
+            .collect();
+        let mut req = request(&job, &pool, &policy);
+        req.release = SimTime::from_ticks(3);
+        let deadline = SimTime::from_ticks(80);
+        let cheap =
+            reschedule_with_objective(&req, &fixed, deadline, Objective::MinCost).unwrap();
+        let req2 = {
+            let mut r = request(&job, &pool, &policy);
+            r.release = SimTime::from_ticks(3);
+            r
+        };
+        let urgent =
+            reschedule_with_objective(&req2, &fixed, deadline, Objective::FASTEST).unwrap();
+        assert!(urgent.makespan() <= cheap.makespan());
+        assert!(urgent.cost() >= cheap.cost());
+        assert_eq!(urgent.validate(&job, &pool), Ok(()));
+    }
+
+    #[test]
+    fn pool_timetables_are_not_mutated() {
+        let job = fig2_job();
+        let pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        let _ = build_distribution(&request(&job, &pool, &policy)).unwrap();
+        for node in pool.nodes() {
+            assert!(pool.timetable(node.id()).is_empty());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Optimization objectives for chain allocation.
+//!
+//! The paper's strategies are *multicriteria* (its refs. [21, 22]): the
+//! same supporting-schedule machinery can optimize different criteria
+//! depending on the virtual organization's policy and the user's quota.
+//! Since the allocation DP keeps a Pareto frontier of `(finish, cost)`
+//! states, switching criterion is just a different choice from that
+//! frontier.
+
+use std::fmt;
+
+use crate::cost::Cost;
+
+/// What the allocator optimizes, subject to the job's deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize the cost function `CF` — the paper's default: meet the
+    /// deadline as cheaply as possible.
+    #[default]
+    MinCost,
+    /// Minimize the finish time — the "pay for speed" end of the paper's
+    /// economics, optionally capped by a quota budget per critical work.
+    MinTime {
+        /// Maximum quota the user will spend on one critical work;
+        /// `None` means unlimited.
+        budget: Option<Cost>,
+    },
+}
+
+impl Objective {
+    /// Minimize time with no budget cap.
+    pub const FASTEST: Objective = Objective::MinTime { budget: None };
+
+    /// Compares two `(finish_ticks, cost)` Pareto states; `true` when the
+    /// first is preferable under this objective. States violating a
+    /// `MinTime` budget should be filtered out with
+    /// [`Objective::admits`] before comparison.
+    #[must_use]
+    pub fn prefers(self, a: (u64, Cost), b: (u64, Cost)) -> bool {
+        match self {
+            Objective::MinCost => (a.1, a.0) < (b.1, b.0),
+            Objective::MinTime { .. } => (a.0, a.1) < (b.0, b.1),
+        }
+    }
+
+    /// Whether a state's accumulated cost is within the objective's
+    /// budget.
+    #[must_use]
+    pub fn admits(self, cost: Cost) -> bool {
+        match self {
+            Objective::MinCost => true,
+            Objective::MinTime { budget } => budget.is_none_or(|b| cost <= b),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinCost => f.write_str("min-cost"),
+            Objective::MinTime { budget: None } => f.write_str("min-time"),
+            Objective::MinTime { budget: Some(b) } => write!(f, "min-time(budget {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_cost_prefers_cheaper() {
+        let o = Objective::MinCost;
+        assert!(o.prefers((10, 5), (5, 6)));
+        assert!(o.prefers((5, 5), (10, 5)), "ties break on finish");
+    }
+
+    #[test]
+    fn min_time_prefers_earlier() {
+        let o = Objective::FASTEST;
+        assert!(o.prefers((5, 100), (10, 1)));
+        assert!(o.prefers((5, 1), (5, 2)), "ties break on cost");
+    }
+
+    #[test]
+    fn budget_gates_admission() {
+        let o = Objective::MinTime { budget: Some(10) };
+        assert!(o.admits(10));
+        assert!(!o.admits(11));
+        assert!(Objective::FASTEST.admits(u64::MAX));
+        assert!(Objective::MinCost.admits(u64::MAX));
+    }
+
+    #[test]
+    fn default_is_the_papers_min_cost() {
+        assert_eq!(Objective::default(), Objective::MinCost);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Objective::MinCost.to_string(), "min-cost");
+        assert_eq!(Objective::FASTEST.to_string(), "min-time");
+        assert_eq!(
+            Objective::MinTime { budget: Some(7) }.to_string(),
+            "min-time(budget 7)"
+        );
+    }
+}

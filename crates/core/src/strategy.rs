@@ -1,0 +1,484 @@
+//! Strategies: sets of supporting schedules.
+//!
+//! §3: "The strategy is a set of possible resource allocation and schedules
+//! (distributions) for all N tasks in the job". §4 studies four strategy
+//! types, distinguished by computation granularity, data policy and
+//! estimate coverage:
+//!
+//! | type | granularity | data policy         | scenarios          |
+//! |------|-------------|---------------------|--------------------|
+//! | S1   | fine        | active replication  | full sweep         |
+//! | S2   | fine        | remote data access  | full sweep         |
+//! | S3   | coarse      | static data storage | full sweep         |
+//! | MS1  | fine        | active replication  | best + worst only  |
+
+use std::fmt;
+
+use gridsched_sim::time::SimTime;
+
+use gridsched_data::policy::DataPolicy;
+use gridsched_model::estimate::ScenarioSweep;
+use gridsched_model::job::Job;
+use gridsched_model::node::ResourcePool;
+
+use crate::distribution::{CollisionRecord, Distribution};
+use crate::granularity::coarsen;
+use crate::method::{build_distribution, ScheduleError, ScheduleRequest};
+
+/// Number of scenarios in the full sweeps of S1/S2/S3.
+pub const FULL_SWEEP_SCENARIOS: usize = 4;
+
+/// The four strategy types of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Fine-grain computations, active data replication.
+    S1,
+    /// Fine-grain computations, remote data access.
+    S2,
+    /// Coarse-grain computations, static data storage.
+    S3,
+    /// S1 economized to best-/worst-case estimations only.
+    Ms1,
+}
+
+impl StrategyKind {
+    /// All kinds, in the paper's order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::S1,
+        StrategyKind::S2,
+        StrategyKind::S3,
+        StrategyKind::Ms1,
+    ];
+
+    /// The paper's name for the kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::S1 => "S1",
+            StrategyKind::S2 => "S2",
+            StrategyKind::S3 => "S3",
+            StrategyKind::Ms1 => "MS1",
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully resolved strategy configuration.
+#[derive(Debug, Clone)]
+pub struct StrategyConfig {
+    kind: StrategyKind,
+    policy: DataPolicy,
+    sweep: ScenarioSweep,
+    coarse_grain: bool,
+}
+
+impl StrategyConfig {
+    /// The standard configuration of a strategy kind against a pool.
+    ///
+    /// S3's static-storage policy stages through the pool's fastest node
+    /// (ties towards the smaller id) — data services live on the strongest
+    /// resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn for_kind(kind: StrategyKind, pool: &ResourcePool) -> Self {
+        assert!(!pool.is_empty(), "cannot configure a strategy for an empty pool");
+        match kind {
+            StrategyKind::S1 => StrategyConfig {
+                kind,
+                policy: DataPolicy::active_replication(),
+                sweep: ScenarioSweep::full(FULL_SWEEP_SCENARIOS),
+                coarse_grain: false,
+            },
+            StrategyKind::S2 => StrategyConfig {
+                kind,
+                policy: DataPolicy::remote_access(),
+                sweep: ScenarioSweep::full(FULL_SWEEP_SCENARIOS),
+                coarse_grain: false,
+            },
+            StrategyKind::S3 => {
+                let storage = pool
+                    .nodes()
+                    .max_by(|a, b| {
+                        a.perf()
+                            .cmp(&b.perf())
+                            .then(b.id().cmp(&a.id()))
+                    })
+                    .expect("non-empty pool")
+                    .id();
+                StrategyConfig {
+                    kind,
+                    policy: DataPolicy::static_storage(storage),
+                    sweep: ScenarioSweep::full(FULL_SWEEP_SCENARIOS),
+                    coarse_grain: true,
+                }
+            }
+            StrategyKind::Ms1 => StrategyConfig {
+                kind,
+                policy: DataPolicy::active_replication(),
+                sweep: ScenarioSweep::best_worst(),
+                coarse_grain: false,
+            },
+        }
+    }
+
+    /// The strategy kind.
+    #[must_use]
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The data policy.
+    #[must_use]
+    pub fn policy(&self) -> &DataPolicy {
+        &self.policy
+    }
+
+    /// The scenario sweep.
+    #[must_use]
+    pub fn sweep(&self) -> &ScenarioSweep {
+        &self.sweep
+    }
+
+    /// Whether the job is coarsened before scheduling.
+    #[must_use]
+    pub fn coarse_grain(&self) -> bool {
+        self.coarse_grain
+    }
+
+    /// Overrides the scenario sweep (for ablations).
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: ScenarioSweep) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Overrides the data policy (for ablations).
+    #[must_use]
+    pub fn with_policy(mut self, policy: DataPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A generated strategy: the supporting schedules that could be built, plus
+/// the scenarios that admitted none.
+#[derive(Debug, Clone)]
+pub struct Strategy {
+    kind: StrategyKind,
+    config: StrategyConfig,
+    /// The job the schedules refer to (coarsened for S3).
+    job: Job,
+    distributions: Vec<Distribution>,
+    failures: Vec<ScheduleError>,
+}
+
+impl Strategy {
+    /// Generates the strategy for `job` on `pool` under `config`, planning
+    /// from `release`.
+    ///
+    /// One supporting schedule is attempted per scenario in the sweep;
+    /// scenarios with no feasible schedule are recorded as failures (their
+    /// collisions still count).
+    #[must_use]
+    pub fn generate(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        let planning_job: Job = if config.coarse_grain {
+            coarsen(job).job
+        } else {
+            job.clone()
+        };
+        let mut distributions = Vec::new();
+        let mut failures = Vec::new();
+        for &scenario in config.sweep.scenarios() {
+            let req = ScheduleRequest {
+                job: &planning_job,
+                pool,
+                policy: &config.policy,
+                scenario,
+                release,
+            };
+            match build_distribution(&req) {
+                Ok(d) => distributions.push(d),
+                Err(e) => failures.push(e),
+            }
+        }
+        Strategy {
+            kind: config.kind,
+            config: config.clone(),
+            job: planning_job,
+            distributions,
+            failures,
+        }
+    }
+
+    /// Regenerates the strategy against the pool's *current* availability,
+    /// planning from `now` — the "supporting and updating strategies based
+    /// on cooperation with local managers" of §2. The original
+    /// configuration (policy, sweep, granularity) is reused.
+    #[must_use]
+    pub fn refresh(&self, pool: &ResourcePool, now: SimTime) -> Strategy {
+        Strategy::generate(&self.job, pool, &self.config, now)
+    }
+
+    /// The configuration this strategy was generated with.
+    #[must_use]
+    pub fn config(&self) -> &StrategyConfig {
+        &self.config
+    }
+
+    /// The strategy's kind.
+    #[must_use]
+    pub fn kind(&self) -> StrategyKind {
+        self.kind
+    }
+
+    /// The job the supporting schedules place (coarsened for S3).
+    #[must_use]
+    pub fn job(&self) -> &Job {
+        &self.job
+    }
+
+    /// The supporting schedules, in sweep order (best-case scenario first).
+    #[must_use]
+    pub fn distributions(&self) -> &[Distribution] {
+        &self.distributions
+    }
+
+    /// Scenarios for which no schedule could be built.
+    #[must_use]
+    pub fn failures(&self) -> &[ScheduleError] {
+        &self.failures
+    }
+
+    /// Whether at least one supporting schedule exists — the paper's
+    /// "admissible solution" criterion (Fig. 3a).
+    #[must_use]
+    pub fn is_admissible(&self) -> bool {
+        !self.distributions.is_empty()
+    }
+
+    /// The cheapest supporting schedule (the default the metascheduler
+    /// activates).
+    #[must_use]
+    pub fn best_by_cost(&self) -> Option<&Distribution> {
+        self.distributions
+            .iter()
+            .min_by_key(|d| (d.cost(), d.makespan()))
+    }
+
+    /// The fastest supporting schedule.
+    #[must_use]
+    pub fn fastest(&self) -> Option<&Distribution> {
+        self.distributions
+            .iter()
+            .min_by_key(|d| (d.makespan(), d.cost()))
+    }
+
+    /// All collisions across schedules and failed scenarios (Fig. 3b).
+    pub fn collisions(&self) -> impl Iterator<Item = &CollisionRecord> {
+        self.distributions
+            .iter()
+            .flat_map(|d| d.collisions().iter())
+            .chain(self.failures.iter().flat_map(|f| f.collisions.iter()))
+    }
+
+    /// Fraction of the sweep that yielded a schedule — the "coverage of
+    /// events in distributed environment" §4 attributes to fuller
+    /// strategies.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.distributions.len() + self.failures.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.distributions.len() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} schedules, {} failures]",
+            self.kind,
+            self.distributions.len(),
+            self.failures.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_data::policy::DataPolicyKind;
+    use gridsched_model::fixtures::{fig2_job, fig2_job_with_deadline};
+    use gridsched_model::ids::DomainId;
+    use gridsched_model::perf::Perf;
+    use gridsched_sim::time::SimDuration;
+
+    fn pool() -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        // Two domains, mixed speeds.
+        for (d, p) in [(0, 1.0), (0, 0.5), (1, 0.8), (1, 0.33)] {
+            pool.add_node(DomainId::new(d), Perf::new(p).unwrap());
+        }
+        pool
+    }
+
+    #[test]
+    fn kind_configs_match_paper_table() {
+        let pool = pool();
+        let s1 = StrategyConfig::for_kind(StrategyKind::S1, &pool);
+        assert_eq!(s1.policy().kind(), DataPolicyKind::ActiveReplication);
+        assert_eq!(s1.sweep().len(), FULL_SWEEP_SCENARIOS);
+        assert!(!s1.coarse_grain());
+
+        let s2 = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        assert_eq!(s2.policy().kind(), DataPolicyKind::RemoteAccess);
+
+        let s3 = StrategyConfig::for_kind(StrategyKind::S3, &pool);
+        assert_eq!(s3.policy().kind(), DataPolicyKind::StaticStorage);
+        assert!(s3.coarse_grain());
+        // Storage on the fastest node (N0, perf 1.0).
+        assert_eq!(
+            s3.policy().storage_node(),
+            Some(gridsched_model::ids::NodeId::new(0))
+        );
+
+        let ms1 = StrategyConfig::for_kind(StrategyKind::Ms1, &pool);
+        assert_eq!(ms1.policy().kind(), DataPolicyKind::ActiveReplication);
+        assert_eq!(ms1.sweep().len(), 2);
+    }
+
+    #[test]
+    fn full_strategy_has_one_schedule_per_scenario_when_relaxed() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S1, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        assert!(s.is_admissible());
+        assert_eq!(s.distributions().len(), FULL_SWEEP_SCENARIOS);
+        assert_eq!(s.coverage(), 1.0);
+    }
+
+    #[test]
+    fn ms1_generates_at_most_two_schedules() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::Ms1, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        assert!(s.distributions().len() <= 2);
+        assert!(s.is_admissible());
+    }
+
+    #[test]
+    fn tight_deadline_drops_worst_case_scenarios_first() {
+        // Pick a deadline only the faster scenarios can meet.
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(18));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        assert!(s.is_admissible());
+        assert!(
+            !s.failures().is_empty(),
+            "the worst-case scenario should be infeasible at deadline 18"
+        );
+        // Surviving schedules are the optimistic ones.
+        for d in s.distributions() {
+            assert!(d.scenario() < gridsched_model::estimate::EstimateScenario::WORST);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_is_inadmissible() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(4));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        assert!(!s.is_admissible());
+        assert_eq!(s.coverage(), 0.0);
+        assert!(s.best_by_cost().is_none());
+    }
+
+    #[test]
+    fn best_by_cost_and_fastest_are_consistent() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        let cheap = s.best_by_cost().unwrap();
+        let fast = s.fastest().unwrap();
+        assert!(cheap.cost() <= fast.cost());
+        assert!(fast.makespan() <= cheap.makespan());
+    }
+
+    #[test]
+    fn s3_plans_on_the_coarsened_job() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S3, &pool);
+        let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        // Fig. 2's fork-join graph does not coarsen, so counts match; the
+        // planning job is still a distinct owned copy.
+        assert_eq!(s.job().task_count(), fig2_job().task_count());
+        for d in s.distributions() {
+            assert_eq!(d.validate(s.job(), &pool), Ok(()));
+        }
+    }
+
+    #[test]
+    fn refresh_replans_against_current_availability() {
+        use gridsched_model::timetable::ReservationOwner;
+        use gridsched_model::window::TimeWindow;
+
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let mut pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        let original = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        assert!(original.is_admissible());
+        // The environment moves on: every node is busy until t30.
+        for i in 0..pool.len() {
+            let id = gridsched_model::ids::NodeId::new(i as u32);
+            pool.timetable_mut(id)
+                .reserve(
+                    TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(30)).unwrap(),
+                    ReservationOwner::Background(0),
+                )
+                .unwrap();
+        }
+        let refreshed = original.refresh(&pool, SimTime::from_ticks(10));
+        assert_eq!(refreshed.kind(), original.kind());
+        assert!(refreshed.is_admissible());
+        for d in refreshed.distributions() {
+            for p in d.placements() {
+                assert!(p.window.start() >= SimTime::from_ticks(30));
+            }
+        }
+    }
+
+    #[test]
+    fn every_distribution_validates() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(100));
+        let pool = pool();
+        for kind in StrategyKind::ALL {
+            let cfg = StrategyConfig::for_kind(kind, &pool);
+            let s = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+            for d in s.distributions() {
+                assert_eq!(d.validate(s.job(), &pool), Ok(()), "{kind}");
+            }
+        }
+    }
+}

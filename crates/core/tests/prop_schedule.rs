@@ -1,0 +1,172 @@
+//! Property tests: every schedule the critical works method emits is
+//! feasible — precedence-correct, non-overlapping, deadline-respecting and
+//! consistent with pre-existing background reservations.
+
+use proptest::prelude::*;
+
+use gridsched_core::method::{build_distribution, ScheduleRequest};
+use gridsched_core::strategy::{Strategy as SchedulingStrategy, StrategyConfig, StrategyKind};
+use gridsched_data::policy::DataPolicy;
+use gridsched_model::estimate::EstimateScenario;
+use gridsched_model::ids::JobId;
+use gridsched_sim::rng::SimRng;
+use gridsched_sim::time::SimTime;
+use gridsched_workload::background::{apply_background_load, BackgroundConfig};
+use gridsched_workload::jobs::{generate_job, JobConfig};
+use gridsched_workload::pool::{generate_pool, PoolConfig};
+
+fn inputs() -> impl Strategy<Value = (u64, f64, f64)> {
+    // (seed, deadline factor, background load)
+    (0u64..10_000, 1.5f64..8.0, 0.0f64..0.7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any schedule built on a randomly loaded pool validates, meets the
+    /// deadline, and never overlaps background reservations.
+    #[test]
+    fn schedules_are_feasible((seed, df, load) in inputs()) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut pool = generate_pool(&PoolConfig::default(), &mut rng);
+        if load > 0.01 {
+            apply_background_load(
+                &mut pool,
+                &BackgroundConfig { load, ..BackgroundConfig::default() },
+                &mut rng,
+            );
+        }
+        let job = generate_job(
+            &JobConfig { deadline_factor: df, ..JobConfig::default() },
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let policy = DataPolicy::remote_access();
+        let result = build_distribution(&ScheduleRequest {
+            job: &job,
+            pool: &pool,
+            policy: &policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
+        });
+        if let Ok(dist) = result {
+            prop_assert_eq!(dist.validate(&job, &pool), Ok(()));
+            prop_assert!(dist.meets_deadline(job.absolute_deadline()));
+            for p in dist.placements() {
+                prop_assert!(
+                    pool.timetable(p.node).is_free(p.window),
+                    "placement {} overlaps background load",
+                    p
+                );
+            }
+        }
+    }
+
+    /// Cost monotonicity: a longer deadline never makes the cheapest
+    /// schedule more expensive (the paper's pay-for-speed economics).
+    /// Restricted to single-chain (pipeline) jobs, where the Pareto DP is
+    /// exact; on fork-joins the multiphase heuristic is only approximately
+    /// monotone.
+    #[test]
+    fn cost_is_monotone_in_deadline(seed in 0u64..2_000) {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&PoolConfig::default(), &mut rng);
+        let policy = DataPolicy::remote_access();
+        let mut previous: Option<u64> = None;
+        for df in [1.5f64, 2.5, 4.0, 8.0] {
+            let mut jrng = SimRng::seed_from(seed + 1);
+            let job = generate_job(
+                &JobConfig {
+                    deadline_factor: df,
+                    width_max: 1, // pipeline: a single critical work
+                    ..JobConfig::default()
+                },
+                JobId::new(seed),
+                SimTime::ZERO,
+                &mut jrng,
+            );
+            let result = build_distribution(&ScheduleRequest {
+                job: &job,
+                pool: &pool,
+                policy: &policy,
+                scenario: EstimateScenario::BEST,
+                release: SimTime::ZERO,
+            });
+            if let Ok(dist) = result {
+                if let Some(prev) = previous {
+                    prop_assert!(
+                        dist.cost() <= prev,
+                        "cost rose from {prev} to {} when deadline loosened to {df}",
+                        dist.cost()
+                    );
+                }
+                previous = Some(dist.cost());
+            }
+        }
+    }
+
+    /// Every strategy kind produces only valid, deadline-meeting schedules
+    /// on random inputs; MS1 never has more schedules than S1.
+    #[test]
+    fn strategies_produce_valid_schedules(seed in 0u64..2_000) {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&PoolConfig::default(), &mut rng);
+        let job = generate_job(
+            &JobConfig { deadline_factor: 5.0, ..JobConfig::default() },
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let mut s1_count = None;
+        for kind in StrategyKind::ALL {
+            let config = StrategyConfig::for_kind(kind, &pool);
+            let strategy = SchedulingStrategy::generate(&job, &pool, &config, SimTime::ZERO);
+            for d in strategy.distributions() {
+                prop_assert_eq!(d.validate(strategy.job(), &pool), Ok(()), "{}", kind);
+                prop_assert!(d.meets_deadline(strategy.job().absolute_deadline()));
+            }
+            match kind {
+                StrategyKind::S1 => s1_count = Some(strategy.distributions().len()),
+                StrategyKind::Ms1 => {
+                    if let Some(s1) = s1_count {
+                        prop_assert!(strategy.distributions().len() <= s1.max(2));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Scheduling is a pure function of its inputs: the pool's timetables
+    /// are never mutated.
+    #[test]
+    fn scheduling_never_mutates_the_pool((seed, df, load) in inputs()) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut pool = generate_pool(&PoolConfig::default(), &mut rng);
+        if load > 0.01 {
+            apply_background_load(
+                &mut pool,
+                &BackgroundConfig { load, ..BackgroundConfig::default() },
+                &mut rng,
+            );
+        }
+        let before: Vec<usize> = pool.nodes().map(|n| pool.timetable(n.id()).len()).collect();
+        let job = generate_job(
+            &JobConfig { deadline_factor: df, ..JobConfig::default() },
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let policy = DataPolicy::active_replication();
+        let _ = build_distribution(&ScheduleRequest {
+            job: &job,
+            pool: &pool,
+            policy: &policy,
+            scenario: EstimateScenario::WORST,
+            release: SimTime::ZERO,
+        });
+        let after: Vec<usize> = pool.nodes().map(|n| pool.timetable(n.id()).len()).collect();
+        prop_assert_eq!(before, after);
+    }
+}

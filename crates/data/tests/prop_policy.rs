@@ -1,0 +1,114 @@
+//! Property tests: data-policy delay structure.
+
+use proptest::prelude::*;
+
+use gridsched_data::network::TransferModel;
+use gridsched_data::policy::DataPolicy;
+use gridsched_model::ids::{DomainId, NodeId};
+use gridsched_model::node::ResourcePool;
+use gridsched_model::perf::Perf;
+use gridsched_model::volume::Volume;
+use gridsched_sim::time::SimDuration;
+
+fn pool_with(domains: &[u32]) -> ResourcePool {
+    let mut pool = ResourcePool::new();
+    for &d in domains {
+        pool.add_node(DomainId::new(d), Perf::FULL);
+    }
+    pool
+}
+
+fn policies(pool: &ResourcePool) -> Vec<DataPolicy> {
+    let storage = pool.nodes().next().expect("non-empty").id();
+    vec![
+        DataPolicy::active_replication(),
+        DataPolicy::remote_access(),
+        DataPolicy::static_storage(storage),
+    ]
+}
+
+proptest! {
+    /// Delays are always non-negative in span, zero on the same node, and
+    /// monotone in volume.
+    #[test]
+    fn delays_are_sane(
+        domains in prop::collection::vec(0u32..4, 2..10),
+        from_idx in any::<prop::sample::Index>(),
+        to_idx in any::<prop::sample::Index>(),
+        v1 in 1.0f64..50.0,
+        extra in 0.0f64..50.0,
+    ) {
+        let pool = pool_with(&domains);
+        let from = NodeId::new(from_idx.index(domains.len()) as u32);
+        let to = NodeId::new(to_idx.index(domains.len()) as u32);
+        for policy in policies(&pool) {
+            let small = policy.consumer_delay(Volume::new(v1), from, to, &pool);
+            let large = policy.consumer_delay(Volume::new(v1 + extra), from, to, &pool);
+            prop_assert!(large >= small, "{policy}: delay not monotone in volume");
+            let same = policy.consumer_delay(Volume::new(v1), from, from, &pool);
+            prop_assert_eq!(same, SimDuration::ZERO, "{}: same node not free", policy);
+            let zero = policy.consumer_delay(Volume::ZERO, from, to, &pool);
+            prop_assert_eq!(zero, SimDuration::ZERO, "{}: empty data not free", policy);
+        }
+    }
+
+    /// Replication's consumer delay never exceeds remote access's for the
+    /// same arc: a local replica is at least as close as the producer.
+    #[test]
+    fn replication_dominates_remote_access(
+        domains in prop::collection::vec(0u32..4, 2..10),
+        from_idx in any::<prop::sample::Index>(),
+        to_idx in any::<prop::sample::Index>(),
+        volume in 1.0f64..50.0,
+    ) {
+        let pool = pool_with(&domains);
+        let from = NodeId::new(from_idx.index(domains.len()) as u32);
+        let to = NodeId::new(to_idx.index(domains.len()) as u32);
+        let v = Volume::new(volume);
+        let repl = DataPolicy::active_replication().consumer_delay(v, from, to, &pool);
+        let remote = DataPolicy::remote_access().consumer_delay(v, from, to, &pool);
+        prop_assert!(repl <= remote, "replication {repl} > remote {remote}");
+    }
+
+    /// Point-to-point transfer time never beats the triangle through a
+    /// relay by more than the relay overhead allows: direct <= via-relay.
+    #[test]
+    fn transfers_satisfy_triangle_inequality(
+        domains in prop::collection::vec(0u32..4, 3..10),
+        a_idx in any::<prop::sample::Index>(),
+        b_idx in any::<prop::sample::Index>(),
+        c_idx in any::<prop::sample::Index>(),
+        volume in 1.0f64..50.0,
+    ) {
+        let pool = pool_with(&domains);
+        let model = TransferModel::default();
+        let v = Volume::new(volume);
+        let a = pool.node(NodeId::new(a_idx.index(domains.len()) as u32));
+        let b = pool.node(NodeId::new(b_idx.index(domains.len()) as u32));
+        let c = pool.node(NodeId::new(c_idx.index(domains.len()) as u32));
+        let direct = model.point_to_point(v, a, c);
+        let relayed = model.point_to_point(v, a, b) + model.point_to_point(v, b, c);
+        if a.id() != b.id() && b.id() != c.id() {
+            prop_assert!(direct <= relayed, "direct {direct} > relayed {relayed}");
+        }
+    }
+
+    /// Network traffic accounting is non-negative and zero for empty data.
+    #[test]
+    fn traffic_accounting_is_sane(
+        domains in prop::collection::vec(0u32..4, 2..10),
+        from_idx in any::<prop::sample::Index>(),
+        to_idx in any::<prop::sample::Index>(),
+        volume in 1.0f64..50.0,
+    ) {
+        let pool = pool_with(&domains);
+        let from = NodeId::new(from_idx.index(domains.len()) as u32);
+        let to = NodeId::new(to_idx.index(domains.len()) as u32);
+        for policy in policies(&pool) {
+            let t = policy.network_traffic(Volume::new(volume), from, to, &pool);
+            prop_assert!(t.units() >= 0.0);
+            let z = policy.network_traffic(Volume::ZERO, from, to, &pool);
+            prop_assert!(z.is_zero());
+        }
+    }
+}

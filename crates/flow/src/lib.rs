@@ -1,0 +1,45 @@
+//! # gridsched-flow
+//!
+//! The job-flow level of Toporkov's PaCT 2009 framework: the hierarchical
+//! metascheduler that groups user jobs into strategy flows (§2, Fig. 1),
+//! and the end-to-end virtual-organization simulation that drives the
+//! paper's experiments.
+//!
+//! - [`metascheduler`]: flow assignment rules (single flow, round-robin,
+//!   by job size);
+//! - [`simulation`]: the campaign driver — strategy generation per job,
+//!   activation of the supporting schedule matching observed conditions,
+//!   background perturbations, task overruns, and the dynamic reallocation
+//!   mechanism (schedule breaks → replan around started tasks);
+//! - [`report`]: per-job records and the aggregates Figs. 3–4 plot.
+//!
+//! # Examples
+//!
+//! ```
+//! use gridsched_core::strategy::StrategyKind;
+//! use gridsched_flow::metascheduler::FlowAssignment;
+//! use gridsched_flow::simulation::{run_campaign, CampaignConfig};
+//!
+//! let report = run_campaign(&CampaignConfig {
+//!     assignment: FlowAssignment::Single(StrategyKind::S2),
+//!     jobs: 5,
+//!     perturbations: 5,
+//!     ..CampaignConfig::default()
+//! });
+//! assert_eq!(report.records.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod metascheduler;
+pub mod report;
+pub mod simulation;
+pub mod trace;
+
+pub use bridge::{domain_reservations, domain_reserved_ticks};
+pub use metascheduler::{FlowAssignment, Metascheduler};
+pub use report::{JobRecord, VoReport};
+pub use simulation::{run_campaign, CampaignConfig};
+pub use trace::{BreakKind, CampaignEvent, CampaignTrace};

@@ -1,0 +1,142 @@
+//! The metascheduler: grouping user jobs into strategy flows.
+//!
+//! §2, Fig. 1: "Users submit jobs to the metascheduler which distributes
+//! job-flows between processor node domains according to the selected
+//! scheduling and resource co-allocation strategy Si, Sj or Sk."
+
+use std::collections::HashMap;
+
+use gridsched_core::strategy::StrategyKind;
+use gridsched_model::job::Job;
+
+/// How the metascheduler assigns incoming jobs to strategy flows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowAssignment {
+    /// Every job joins the same flow (single-strategy experiments).
+    Single(StrategyKind),
+    /// Jobs are dealt round-robin over the listed flows.
+    RoundRobin(Vec<StrategyKind>),
+    /// Jobs whose task count is at or above the threshold go to the first
+    /// kind (typically a coarse/cheap strategy), the rest to the second.
+    BySize {
+        /// Task-count threshold.
+        threshold: usize,
+        /// Flow for jobs with `task_count >= threshold`.
+        large: StrategyKind,
+        /// Flow for smaller jobs.
+        small: StrategyKind,
+    },
+}
+
+/// Assigns jobs to flows and keeps per-flow counters.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_core::strategy::StrategyKind;
+/// use gridsched_flow::metascheduler::{FlowAssignment, Metascheduler};
+/// use gridsched_model::fixtures::fig2_job;
+///
+/// let mut meta = Metascheduler::new(FlowAssignment::RoundRobin(vec![
+///     StrategyKind::S1,
+///     StrategyKind::S2,
+/// ]));
+/// let job = fig2_job();
+/// assert_eq!(meta.assign(&job), StrategyKind::S1);
+/// assert_eq!(meta.assign(&job), StrategyKind::S2);
+/// assert_eq!(meta.assign(&job), StrategyKind::S1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Metascheduler {
+    assignment: FlowAssignment,
+    next_flow: usize,
+    counts: HashMap<StrategyKind, usize>,
+}
+
+impl Metascheduler {
+    /// Creates a metascheduler with the given assignment rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round-robin assignment lists no flows.
+    #[must_use]
+    pub fn new(assignment: FlowAssignment) -> Self {
+        if let FlowAssignment::RoundRobin(kinds) = &assignment {
+            assert!(!kinds.is_empty(), "round-robin needs at least one flow");
+        }
+        Metascheduler {
+            assignment,
+            next_flow: 0,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Assigns `job` to a flow and returns the flow's strategy kind.
+    pub fn assign(&mut self, job: &Job) -> StrategyKind {
+        let kind = match &self.assignment {
+            FlowAssignment::Single(kind) => *kind,
+            FlowAssignment::RoundRobin(kinds) => {
+                let kind = kinds[self.next_flow % kinds.len()];
+                self.next_flow += 1;
+                kind
+            }
+            FlowAssignment::BySize {
+                threshold,
+                large,
+                small,
+            } => {
+                if job.task_count() >= *threshold {
+                    *large
+                } else {
+                    *small
+                }
+            }
+        };
+        *self.counts.entry(kind).or_insert(0) += 1;
+        kind
+    }
+
+    /// How many jobs each flow has received so far.
+    #[must_use]
+    pub fn flow_count(&self, kind: StrategyKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_model::fixtures::{fig2_job, pipeline_job};
+    use gridsched_model::ids::JobId;
+    use gridsched_sim::time::SimDuration;
+
+    #[test]
+    fn single_assignment_is_constant() {
+        let mut meta = Metascheduler::new(FlowAssignment::Single(StrategyKind::S3));
+        let job = fig2_job();
+        for _ in 0..5 {
+            assert_eq!(meta.assign(&job), StrategyKind::S3);
+        }
+        assert_eq!(meta.flow_count(StrategyKind::S3), 5);
+        assert_eq!(meta.flow_count(StrategyKind::S1), 0);
+    }
+
+    #[test]
+    fn by_size_splits_on_threshold() {
+        let mut meta = Metascheduler::new(FlowAssignment::BySize {
+            threshold: 4,
+            large: StrategyKind::S3,
+            small: StrategyKind::S2,
+        });
+        let big = fig2_job(); // 6 tasks
+        let small = pipeline_job(JobId::new(1), &[10.0, 10.0], SimDuration::from_ticks(50));
+        assert_eq!(meta.assign(&big), StrategyKind::S3);
+        assert_eq!(meta.assign(&small), StrategyKind::S2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_round_robin_rejected() {
+        let _ = Metascheduler::new(FlowAssignment::RoundRobin(Vec::new()));
+    }
+}

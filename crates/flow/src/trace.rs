@@ -1,0 +1,212 @@
+//! Campaign event traces.
+//!
+//! An optional chronological log of everything the job-flow level does —
+//! activations, perturbations, breaks, schedule switches, replans, drops —
+//! for debugging simulations and for tests that assert *mechanisms*, not
+//! just aggregate numbers.
+
+use std::fmt;
+
+use gridsched_model::ids::{JobId, NodeId};
+use gridsched_sim::time::SimTime;
+
+/// Why an active schedule broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakKind {
+    /// An independent local job seized a reserved window.
+    Perturbation,
+    /// A task ran past its reserved budget.
+    Overrun,
+}
+
+impl fmt::Display for BreakKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakKind::Perturbation => f.write_str("perturbation"),
+            BreakKind::Overrun => f.write_str("overrun"),
+        }
+    }
+}
+
+/// One job-flow-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignEvent {
+    /// A job arrived and its strategy was generated.
+    Released {
+        /// The job.
+        job: JobId,
+        /// Whether any supporting schedule existed.
+        admissible: bool,
+    },
+    /// A supporting schedule was activated and its windows reserved.
+    Activated {
+        /// The job.
+        job: JobId,
+        /// Cost of the activated schedule.
+        cost: u64,
+    },
+    /// An independent local job reserved node time.
+    Perturbation {
+        /// The seized node.
+        node: NodeId,
+    },
+    /// An active schedule broke.
+    Broken {
+        /// The job.
+        job: JobId,
+        /// What broke it.
+        kind: BreakKind,
+    },
+    /// The break was resolved by switching to another supporting schedule.
+    Switched {
+        /// The job.
+        job: JobId,
+    },
+    /// The break was resolved by replanning the remaining tasks.
+    Replanned {
+        /// The job.
+        job: JobId,
+    },
+    /// No feasible replan existed; the job was dropped.
+    Dropped {
+        /// The job.
+        job: JobId,
+    },
+}
+
+impl fmt::Display for CampaignEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignEvent::Released { job, admissible } => {
+                write!(f, "{job} released (admissible: {admissible})")
+            }
+            CampaignEvent::Activated { job, cost } => {
+                write!(f, "{job} activated (CF {cost})")
+            }
+            CampaignEvent::Perturbation { node } => {
+                write!(f, "independent job on {node}")
+            }
+            CampaignEvent::Broken { job, kind } => write!(f, "{job} broken by {kind}"),
+            CampaignEvent::Switched { job } => write!(f, "{job} switched supporting schedule"),
+            CampaignEvent::Replanned { job } => write!(f, "{job} replanned"),
+            CampaignEvent::Dropped { job } => write!(f, "{job} dropped"),
+        }
+    }
+}
+
+/// A chronological campaign log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignTrace {
+    events: Vec<(SimTime, CampaignEvent)>,
+}
+
+impl CampaignTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        CampaignTrace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, at: SimTime, event: CampaignEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|(t, _)| *t <= at),
+            "trace must be chronological"
+        );
+        self.events.push((at, event));
+    }
+
+    /// All events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, CampaignEvent)] {
+        &self.events
+    }
+
+    /// Events concerning one job.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &(SimTime, CampaignEvent)> {
+        self.events.iter().filter(move |(_, e)| match e {
+            CampaignEvent::Released { job: j, .. }
+            | CampaignEvent::Activated { job: j, .. }
+            | CampaignEvent::Broken { job: j, .. }
+            | CampaignEvent::Switched { job: j }
+            | CampaignEvent::Replanned { job: j }
+            | CampaignEvent::Dropped { job: j } => *j == job,
+            CampaignEvent::Perturbation { .. } => false,
+        })
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&CampaignEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl fmt::Display for CampaignTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.events {
+            writeln!(f, "{t:>8} {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_in_order_and_filters_by_job() {
+        let mut tr = CampaignTrace::new();
+        let j0 = JobId::new(0);
+        let j1 = JobId::new(1);
+        tr.push(SimTime::from_ticks(1), CampaignEvent::Released { job: j0, admissible: true });
+        tr.push(SimTime::from_ticks(1), CampaignEvent::Activated { job: j0, cost: 12 });
+        tr.push(SimTime::from_ticks(3), CampaignEvent::Released { job: j1, admissible: false });
+        tr.push(
+            SimTime::from_ticks(5),
+            CampaignEvent::Broken { job: j0, kind: BreakKind::Overrun },
+        );
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.for_job(j0).count(), 3);
+        assert_eq!(tr.for_job(j1).count(), 1);
+        assert_eq!(
+            tr.count(|e| matches!(e, CampaignEvent::Broken { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn display_is_line_per_event() {
+        let mut tr = CampaignTrace::new();
+        tr.push(
+            SimTime::from_ticks(2),
+            CampaignEvent::Perturbation { node: NodeId::new(3) },
+        );
+        tr.push(SimTime::from_ticks(4), CampaignEvent::Dropped { job: JobId::new(9) });
+        let text = tr.to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("N3"));
+        assert!(text.contains("J9 dropped"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "chronological")]
+    fn non_chronological_push_is_caught() {
+        let mut tr = CampaignTrace::new();
+        tr.push(SimTime::from_ticks(5), CampaignEvent::Perturbation { node: NodeId::new(0) });
+        tr.push(SimTime::from_ticks(4), CampaignEvent::Perturbation { node: NodeId::new(0) });
+    }
+}

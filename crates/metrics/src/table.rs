@@ -1,0 +1,148 @@
+//! Plain-text result tables.
+//!
+//! The experiment binaries print the paper's figures as aligned text tables;
+//! this module is the tiny formatter behind them.
+
+use std::fmt;
+
+/// A column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_metrics::table::Table;
+///
+/// let mut t = Table::new(vec!["strategy", "admissible %"]);
+/// t.row(vec!["S1".into(), "38".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("S1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.382` →
+/// `"38.2"`.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// Formats a ratio with two decimals.
+#[must_use]
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "longer"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      longer"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxxxx  1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.382), "38.2");
+        assert_eq!(ratio(1.5), "1.50");
+    }
+
+    #[test]
+    fn empty_table_prints_header_only() {
+        let t = Table::new(vec!["h1", "h2"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

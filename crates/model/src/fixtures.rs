@@ -1,0 +1,98 @@
+//! Reference jobs used across tests, examples and benches.
+
+use gridsched_sim::time::SimDuration;
+
+use crate::ids::JobId;
+use crate::job::{Job, JobBuilder};
+use crate::volume::Volume;
+
+/// Transfer volume used for every arc of the Fig. 2 job.
+///
+/// The paper's Fig. 2b Gantt charts show each transfer `D1..D8` taking one
+/// tick on the fastest links; with the default transfer speed of 5
+/// volume-units per tick this volume reproduces that.
+pub const FIG2_EDGE_VOLUME: f64 = 5.0;
+
+/// Builds the compound job of the paper's Fig. 2a.
+///
+/// Six tasks `P1..P6` (ids `P0..P5` here, zero-based) with volumes
+/// 20, 30, 10, 20, 10, 20 and eight data arcs `D1..D8`:
+///
+/// ```text
+///        ┌-> P2 -┬-> P4 -┐
+///   P1 --┤       x       ├--> P6
+///        └-> P3 -┴-> P5 -┘
+/// ```
+///
+/// The deadline of 20 ticks matches the time axis of Fig. 2b.
+///
+/// # Examples
+///
+/// ```
+/// let job = gridsched_model::fixtures::fig2_job();
+/// assert_eq!(job.task_count(), 6);
+/// assert_eq!(job.edges().len(), 8);
+/// ```
+#[must_use]
+pub fn fig2_job() -> Job {
+    fig2_job_with_deadline(SimDuration::from_ticks(20))
+}
+
+/// The Fig. 2 job with a caller-chosen deadline.
+#[must_use]
+pub fn fig2_job_with_deadline(deadline: SimDuration) -> Job {
+    let v = Volume::new;
+    let mut b = JobBuilder::new();
+    let p1 = b.add_task(v(20.0));
+    let p2 = b.add_task(v(30.0));
+    let p3 = b.add_task(v(10.0));
+    let p4 = b.add_task(v(20.0));
+    let p5 = b.add_task(v(10.0));
+    let p6 = b.add_task(v(20.0));
+    let t = Volume::new(FIG2_EDGE_VOLUME);
+    b.add_edge(p1, p2, t); // D1
+    b.add_edge(p1, p3, t); // D2
+    b.add_edge(p2, p4, t); // D3
+    b.add_edge(p2, p5, t); // D4
+    b.add_edge(p3, p4, t); // D5
+    b.add_edge(p3, p5, t); // D6
+    b.add_edge(p4, p6, t); // D7
+    b.add_edge(p5, p6, t); // D8
+    b.deadline(deadline);
+    b.build(JobId::new(0)).expect("fig2 job is a valid DAG")
+}
+
+/// A simple two-task pipeline `A -> B`, useful in unit tests.
+#[must_use]
+pub fn pipeline_job(id: JobId, volumes: &[f64], deadline: SimDuration) -> Job {
+    assert!(!volumes.is_empty(), "pipeline_job needs at least one task");
+    let mut b = JobBuilder::new();
+    let ids: Vec<_> = volumes.iter().map(|&v| b.add_task(Volume::new(v))).collect();
+    for pair in ids.windows(2) {
+        b.add_edge(pair[0], pair[1], Volume::new(FIG2_EDGE_VOLUME));
+    }
+    b.deadline(deadline);
+    b.build(id).expect("pipeline is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_job_is_reproducible() {
+        let a = fig2_job();
+        let b = fig2_job();
+        assert_eq!(a.task_count(), b.task_count());
+        assert_eq!(a.total_volume(), b.total_volume());
+        assert_eq!(a.deadline().ticks(), 20);
+    }
+
+    #[test]
+    fn pipeline_shape() {
+        let job = pipeline_job(JobId::new(1), &[10.0, 20.0, 30.0], SimDuration::from_ticks(50));
+        assert_eq!(job.task_count(), 3);
+        assert_eq!(job.edges().len(), 2);
+        assert_eq!(job.parallelism_degree(), 1);
+    }
+}

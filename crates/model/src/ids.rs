@@ -1,0 +1,124 @@
+//! Typed identifiers.
+//!
+//! Every entity class in the model gets its own id newtype so that, e.g., a
+//! [`NodeId`] can never be confused with a [`TaskId`] at a call site.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            #[must_use]
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index.
+            #[must_use]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize`, for container
+            /// indexing.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a compound job within a simulation campaign.
+    JobId,
+    u64,
+    "J"
+);
+id_type!(
+    /// Identifier of a task *within one job* (`P1`, `P2`, … in the paper's
+    /// Fig. 2 are `TaskId(0)`, `TaskId(1)`, …).
+    TaskId,
+    u32,
+    "P"
+);
+id_type!(
+    /// Identifier of a processor node.
+    NodeId,
+    u32,
+    "N"
+);
+id_type!(
+    /// Identifier of a node domain (the unit a job manager controls).
+    DomainId,
+    u32,
+    "D"
+);
+id_type!(
+    /// Identifier of a dataset in the data-grid substrate.
+    DataId,
+    u64,
+    "dat"
+);
+
+/// A `(job, task)` pair — the globally unique name of a task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalTaskId {
+    /// The owning job.
+    pub job: JobId,
+    /// The task within that job.
+    pub task: TaskId,
+}
+
+impl fmt::Display for GlobalTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.job, self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_display() {
+        let n = NodeId::new(3);
+        let t = TaskId::new(3);
+        assert_eq!(n.to_string(), "N3");
+        assert_eq!(t.to_string(), "P3");
+        assert_eq!(n.raw(), 3);
+        assert_eq!(t.index(), 3);
+    }
+
+    #[test]
+    fn global_task_id_display() {
+        let g = GlobalTaskId {
+            job: JobId::new(7),
+            task: TaskId::new(2),
+        };
+        assert_eq!(g.to_string(), "J7/P2");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(JobId::new(10) > JobId::new(9));
+    }
+}

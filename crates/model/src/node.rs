@@ -1,0 +1,240 @@
+//! Processor nodes and the resource pool of a virtual organization.
+
+use std::fmt;
+
+use crate::ids::{DomainId, NodeId};
+use crate::perf::{Perf, PerfGroup};
+use crate::timetable::Timetable;
+
+/// A processor node: the unit a single task runs on.
+///
+/// "Each task is executed on a single node and … the local management system
+/// interprets it as a job accompanied by a resource request" (§1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    id: NodeId,
+    domain: DomainId,
+    perf: Perf,
+}
+
+impl Node {
+    /// The node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The domain (node group under one job manager) this node belongs to.
+    #[must_use]
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// The node's relative performance.
+    #[must_use]
+    pub fn perf(&self) -> Perf {
+        self.perf
+    }
+
+    /// The node's performance group.
+    #[must_use]
+    pub fn group(&self) -> PerfGroup {
+        self.perf.group()
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {} @{})", self.id, self.group(), self.perf, self.domain)
+    }
+}
+
+/// All processor nodes of a virtual organization, with their reservation
+/// timetables.
+///
+/// Node ids are dense indices assigned at insertion, so lookups are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_model::ids::DomainId;
+/// use gridsched_model::node::ResourcePool;
+/// use gridsched_model::perf::Perf;
+///
+/// let mut pool = ResourcePool::new();
+/// let n = pool.add_node(DomainId::new(0), Perf::new(0.8)?);
+/// assert_eq!(pool.node(n).perf().value(), 0.8);
+/// # Ok::<(), gridsched_model::perf::PerfError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResourcePool {
+    nodes: Vec<Node>,
+    timetables: Vec<Timetable>,
+}
+
+impl ResourcePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        ResourcePool::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, domain: DomainId, perf: Perf) -> NodeId {
+        let id = NodeId::new(
+            u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes"),
+        );
+        self.nodes.push(Node { id, domain, perf });
+        self.timetables.push(Timetable::new());
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The timetable of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    #[must_use]
+    pub fn timetable(&self, id: NodeId) -> &Timetable {
+        &self.timetables[id.index()]
+    }
+
+    /// Mutable access to the timetable of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    pub fn timetable_mut(&mut self, id: NodeId) -> &mut Timetable {
+        &mut self.timetables[id.index()]
+    }
+
+    /// Iterates over all nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over the nodes of one domain.
+    pub fn in_domain(&self, domain: DomainId) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.domain == domain)
+    }
+
+    /// Iterates over the nodes of one performance group.
+    pub fn in_group(&self, group: PerfGroup) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(move |n| n.group() == group)
+    }
+
+    /// The distinct domain ids present, ascending.
+    #[must_use]
+    pub fn domains(&self) -> Vec<DomainId> {
+        let mut ds: Vec<DomainId> = self.nodes.iter().map(|n| n.domain).collect();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// The highest performance in the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn fastest_perf(&self) -> Perf {
+        self.nodes
+            .iter()
+            .map(Node::perf)
+            .max()
+            .expect("fastest_perf on empty pool")
+    }
+
+    /// Clears every timetable, keeping the nodes. Used between experiment
+    /// repetitions.
+    pub fn reset_timetables(&mut self) {
+        for tt in &mut self.timetables {
+            *tt = Timetable::new();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(perfs: &[f64]) -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        for (i, &p) in perfs.iter().enumerate() {
+            pool.add_node(DomainId::new((i % 2) as u32), Perf::new(p).unwrap());
+        }
+        pool
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let pool = pool_with(&[1.0, 0.5, 0.33]);
+        assert_eq!(pool.len(), 3);
+        for (i, node) in pool.nodes().enumerate() {
+            assert_eq!(node.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn group_and_domain_filters() {
+        let pool = pool_with(&[1.0, 0.5, 0.33, 0.9]);
+        let fast: Vec<NodeId> = pool.in_group(PerfGroup::Fast).map(Node::id).collect();
+        assert_eq!(fast, vec![NodeId::new(0), NodeId::new(3)]);
+        let d0: Vec<NodeId> = pool.in_domain(DomainId::new(0)).map(Node::id).collect();
+        assert_eq!(d0, vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(pool.domains(), vec![DomainId::new(0), DomainId::new(1)]);
+    }
+
+    #[test]
+    fn fastest_perf_is_max() {
+        let pool = pool_with(&[0.4, 0.9, 0.7]);
+        assert_eq!(pool.fastest_perf().value(), 0.9);
+    }
+
+    #[test]
+    fn timetables_are_per_node_and_resettable() {
+        use crate::timetable::ReservationOwner;
+        use crate::window::TimeWindow;
+        use gridsched_sim::time::SimTime;
+
+        let mut pool = pool_with(&[1.0, 0.5]);
+        let w = TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(5)).unwrap();
+        pool.timetable_mut(NodeId::new(0))
+            .reserve(w, ReservationOwner::Background(0))
+            .unwrap();
+        assert!(!pool.timetable(NodeId::new(0)).is_free(w));
+        assert!(pool.timetable(NodeId::new(1)).is_free(w));
+        pool.reset_timetables();
+        assert!(pool.timetable(NodeId::new(0)).is_free(w));
+    }
+
+    #[test]
+    fn display_mentions_group() {
+        let pool = pool_with(&[0.5]);
+        let s = pool.node(NodeId::new(0)).to_string();
+        assert!(s.contains("medium"), "display was {s}");
+    }
+}

@@ -1,0 +1,466 @@
+//! Per-node reservation calendars.
+//!
+//! Each processor node keeps a **timetable**: a set of non-overlapping
+//! reserved wall-time windows. Application-level schedules are expressed as
+//! advance reservations against these timetables (§3: the `[Start, End]`
+//! interval "is treated as so called wall time, defined at the resource
+//! reservation time in the local batch-job management system").
+
+use std::fmt;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use crate::ids::GlobalTaskId;
+use crate::window::TimeWindow;
+
+/// Identifier of one reservation inside one [`Timetable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReservationId(u64);
+
+impl fmt::Display for ReservationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Who holds a reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReservationOwner {
+    /// A task of a compound job scheduled at the application level.
+    Task(GlobalTaskId),
+    /// Load from an independent job flow (the "background" the paper's
+    /// admissibility experiment runs against).
+    Background(u64),
+    /// A data transfer occupying the node's I/O window.
+    Transfer(u64),
+}
+
+impl fmt::Display for ReservationOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationOwner::Task(t) => write!(f, "task {t}"),
+            ReservationOwner::Background(i) => write!(f, "background #{i}"),
+            ReservationOwner::Transfer(i) => write!(f, "transfer #{i}"),
+        }
+    }
+}
+
+/// One reserved window in a timetable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    id: ReservationId,
+    window: TimeWindow,
+    owner: ReservationOwner,
+}
+
+impl Reservation {
+    /// The reservation's id.
+    #[must_use]
+    pub fn id(&self) -> ReservationId {
+        self.id
+    }
+
+    /// The reserved window.
+    #[must_use]
+    pub fn window(&self) -> TimeWindow {
+        self.window
+    }
+
+    /// The reservation's owner.
+    #[must_use]
+    pub fn owner(&self) -> ReservationOwner {
+        self.owner
+    }
+}
+
+/// Error returned when a requested window collides with an existing
+/// reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveConflict {
+    requested: TimeWindow,
+    existing: TimeWindow,
+    holder: ReservationOwner,
+}
+
+impl ReserveConflict {
+    /// The window that could not be granted.
+    #[must_use]
+    pub fn requested(&self) -> TimeWindow {
+        self.requested
+    }
+
+    /// The existing window it collides with.
+    #[must_use]
+    pub fn existing(&self) -> TimeWindow {
+        self.existing
+    }
+
+    /// Who holds the colliding reservation.
+    #[must_use]
+    pub fn holder(&self) -> ReservationOwner {
+        self.holder
+    }
+}
+
+impl fmt::Display for ReserveConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "window {} conflicts with {} held by {}",
+            self.requested, self.existing, self.holder
+        )
+    }
+}
+
+impl std::error::Error for ReserveConflict {}
+
+/// A non-overlapping set of reservations on one node, ordered by start time.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_model::timetable::{ReservationOwner, Timetable};
+/// use gridsched_model::window::TimeWindow;
+/// use gridsched_sim::time::{SimDuration, SimTime};
+///
+/// let mut tt = Timetable::new();
+/// let w = TimeWindow::new(SimTime::from_ticks(0), SimTime::from_ticks(5)).unwrap();
+/// tt.reserve(w, ReservationOwner::Background(0))?;
+/// // The earliest 3-tick slot after t0 now starts at t5.
+/// let start = tt.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(3), SimTime::MAX);
+/// assert_eq!(start, Some(SimTime::from_ticks(5)));
+/// # Ok::<(), gridsched_model::timetable::ReserveConflict>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timetable {
+    /// Sorted by window start; pairwise non-overlapping.
+    reservations: Vec<Reservation>,
+    next_id: u64,
+}
+
+impl Timetable {
+    /// Creates an empty timetable.
+    #[must_use]
+    pub fn new() -> Self {
+        Timetable::default()
+    }
+
+    /// Number of active reservations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Whether there are no reservations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+
+    /// Iterates over reservations in start-time order.
+    pub fn iter(&self) -> impl Iterator<Item = &Reservation> {
+        self.reservations.iter()
+    }
+
+    /// Index of the first reservation whose window ends after `t`.
+    fn first_ending_after(&self, t: SimTime) -> usize {
+        self.reservations.partition_point(|r| r.window.end() <= t)
+    }
+
+    /// Whether `window` is completely free.
+    #[must_use]
+    pub fn is_free(&self, window: TimeWindow) -> bool {
+        self.first_conflict(window).is_none()
+    }
+
+    /// The first reservation overlapping `window`, if any.
+    #[must_use]
+    pub fn first_conflict(&self, window: TimeWindow) -> Option<&Reservation> {
+        let i = self.first_ending_after(window.start());
+        self.reservations
+            .get(i)
+            .filter(|r| r.window.overlaps(window))
+    }
+
+    /// All reservations overlapping `window`, in start order.
+    pub fn conflicts_with(&self, window: TimeWindow) -> impl Iterator<Item = &Reservation> {
+        let i = self.first_ending_after(window.start());
+        self.reservations[i..]
+            .iter()
+            .take_while(move |r| r.window.start() < window.end())
+            .filter(move |r| r.window.overlaps(window))
+    }
+
+    /// Reserves `window` for `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReserveConflict`] describing the earliest colliding
+    /// reservation if the window is not free.
+    pub fn reserve(
+        &mut self,
+        window: TimeWindow,
+        owner: ReservationOwner,
+    ) -> Result<ReservationId, ReserveConflict> {
+        if let Some(existing) = self.first_conflict(window) {
+            return Err(ReserveConflict {
+                requested: window,
+                existing: existing.window,
+                holder: existing.owner,
+            });
+        }
+        let id = ReservationId(self.next_id);
+        self.next_id += 1;
+        let idx = self
+            .reservations
+            .partition_point(|r| r.window.start() < window.start());
+        self.reservations.insert(idx, Reservation { id, window, owner });
+        debug_assert!(self.invariants_hold());
+        Ok(id)
+    }
+
+    /// Releases a reservation, returning it if it existed.
+    pub fn release(&mut self, id: ReservationId) -> Option<Reservation> {
+        let idx = self.reservations.iter().position(|r| r.id == id)?;
+        Some(self.reservations.remove(idx))
+    }
+
+    /// Releases every reservation held by `owner`; returns how many were
+    /// removed.
+    pub fn release_owned_by(&mut self, owner: ReservationOwner) -> usize {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.owner != owner);
+        before - self.reservations.len()
+    }
+
+    /// Finds the earliest start `s >= not_before` such that
+    /// `[s, s + duration)` is free and ends no later than `deadline`.
+    #[must_use]
+    pub fn earliest_fit(
+        &self,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        if duration.is_zero() {
+            return Some(not_before);
+        }
+        let mut candidate = not_before;
+        let mut i = self.first_ending_after(not_before);
+        loop {
+            let end = candidate.saturating_add(duration);
+            if end > deadline {
+                return None;
+            }
+            match self.reservations.get(i) {
+                Some(r) if r.window.start() < end => {
+                    // Gap too small; jump past this reservation.
+                    candidate = candidate.max_of(r.window.end());
+                    i += 1;
+                }
+                _ => return Some(candidate),
+            }
+        }
+    }
+
+    /// Free windows inside `range`, in time order.
+    #[must_use]
+    pub fn free_windows(&self, range: TimeWindow) -> Vec<TimeWindow> {
+        let mut out = Vec::new();
+        let mut cursor = range.start();
+        let i = self.first_ending_after(range.start());
+        for r in &self.reservations[i..] {
+            if r.window.start() >= range.end() {
+                break;
+            }
+            if r.window.start() > cursor {
+                if let Ok(w) = TimeWindow::new(cursor, r.window.start()) {
+                    out.push(w);
+                }
+            }
+            cursor = cursor.max_of(r.window.end());
+        }
+        if cursor < range.end() {
+            if let Ok(w) = TimeWindow::new(cursor, range.end()) {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// Total reserved time inside `range`.
+    #[must_use]
+    pub fn busy_within(&self, range: TimeWindow) -> SimDuration {
+        self.conflicts_with(range)
+            .filter_map(|r| r.window.intersect(range))
+            .map(TimeWindow::duration)
+            .sum()
+    }
+
+    /// Fraction of `range` that is reserved, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, range: TimeWindow) -> f64 {
+        self.busy_within(range).ratio(range.duration())
+    }
+
+    /// End of the last reservation, or `t0` if empty.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.reservations
+            .last()
+            .map_or(SimTime::ZERO, |r| r.window.end())
+    }
+
+    fn invariants_hold(&self) -> bool {
+        self.reservations
+            .windows(2)
+            .all(|pair| pair[0].window.end() <= pair[1].window.start())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, TaskId};
+
+    fn w(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_ticks(a), SimTime::from_ticks(b)).unwrap()
+    }
+
+    fn bg(i: u64) -> ReservationOwner {
+        ReservationOwner::Background(i)
+    }
+
+    #[test]
+    fn reserve_and_conflict() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(5, 10), bg(0)).unwrap();
+        let err = tt.reserve(w(8, 12), bg(1)).unwrap_err();
+        assert_eq!(err.existing(), w(5, 10));
+        assert_eq!(err.requested(), w(8, 12));
+        assert!(err.to_string().contains("conflicts"));
+        // Touching windows are fine.
+        tt.reserve(w(10, 12), bg(2)).unwrap();
+        tt.reserve(w(0, 5), bg(3)).unwrap();
+        assert_eq!(tt.len(), 3);
+    }
+
+    #[test]
+    fn release_frees_window() {
+        let mut tt = Timetable::new();
+        let id = tt.reserve(w(0, 10), bg(0)).unwrap();
+        assert!(!tt.is_free(w(2, 3)));
+        let released = tt.release(id).unwrap();
+        assert_eq!(released.window(), w(0, 10));
+        assert!(tt.is_free(w(2, 3)));
+        assert!(tt.release(id).is_none(), "double release returns None");
+    }
+
+    #[test]
+    fn release_owned_by_task() {
+        let mut tt = Timetable::new();
+        let owner = ReservationOwner::Task(GlobalTaskId {
+            job: JobId::new(1),
+            task: TaskId::new(0),
+        });
+        tt.reserve(w(0, 2), owner).unwrap();
+        tt.reserve(w(4, 6), owner).unwrap();
+        tt.reserve(w(8, 9), bg(0)).unwrap();
+        assert_eq!(tt.release_owned_by(owner), 2);
+        assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn earliest_fit_in_gaps() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(5, 10), bg(0)).unwrap();
+        tt.reserve(w(12, 20), bg(1)).unwrap();
+        let d = SimDuration::from_ticks(3);
+        // Fits before the first reservation.
+        assert_eq!(
+            tt.earliest_fit(SimTime::ZERO, d, SimTime::MAX),
+            Some(SimTime::from_ticks(0))
+        );
+        // From t4: gap [4,5) too small, gap [10,12) too small, so t20.
+        assert_eq!(
+            tt.earliest_fit(SimTime::from_ticks(4), d, SimTime::MAX),
+            Some(SimTime::from_ticks(20))
+        );
+        // Two-tick job fits in [10, 12).
+        assert_eq!(
+            tt.earliest_fit(SimTime::from_ticks(4), SimDuration::from_ticks(2), SimTime::MAX),
+            Some(SimTime::from_ticks(10))
+        );
+        // Deadline rules out the post-reservation start.
+        assert_eq!(
+            tt.earliest_fit(SimTime::from_ticks(4), d, SimTime::from_ticks(21)),
+            None
+        );
+    }
+
+    #[test]
+    fn earliest_fit_respects_exact_deadline() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(0, 4), bg(0)).unwrap();
+        assert_eq!(
+            tt.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(6), SimTime::from_ticks(10)),
+            Some(SimTime::from_ticks(4))
+        );
+        assert_eq!(
+            tt.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(7), SimTime::from_ticks(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn free_windows_partition_the_range() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(5, 10), bg(0)).unwrap();
+        tt.reserve(w(15, 18), bg(1)).unwrap();
+        let free = tt.free_windows(w(0, 20));
+        assert_eq!(free, vec![w(0, 5), w(10, 15), w(18, 20)]);
+        // Busy + free covers the whole range.
+        let busy = tt.busy_within(w(0, 20));
+        let free_total: SimDuration = free.iter().map(|f| f.duration()).sum();
+        assert_eq!(busy + free_total, SimDuration::from_ticks(20));
+    }
+
+    #[test]
+    fn free_windows_with_leading_reservation() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(0, 7), bg(0)).unwrap();
+        assert_eq!(tt.free_windows(w(0, 10)), vec![w(7, 10)]);
+        assert_eq!(tt.free_windows(w(1, 6)), Vec::<TimeWindow>::new());
+    }
+
+    #[test]
+    fn utilization_and_horizon() {
+        let mut tt = Timetable::new();
+        assert_eq!(tt.horizon(), SimTime::ZERO);
+        tt.reserve(w(0, 5), bg(0)).unwrap();
+        tt.reserve(w(10, 15), bg(1)).unwrap();
+        assert!((tt.utilization(w(0, 20)) - 0.5).abs() < 1e-12);
+        assert_eq!(tt.horizon(), SimTime::from_ticks(15));
+        // Partial overlap accounting.
+        assert_eq!(tt.busy_within(w(3, 12)).ticks(), 2 + 2);
+    }
+
+    #[test]
+    fn conflicts_with_lists_all_overlaps() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(0, 3), bg(0)).unwrap();
+        tt.reserve(w(4, 6), bg(1)).unwrap();
+        tt.reserve(w(9, 12), bg(2)).unwrap();
+        let hits: Vec<TimeWindow> = tt.conflicts_with(w(2, 10)).map(|r| r.window()).collect();
+        assert_eq!(hits, vec![w(0, 3), w(4, 6), w(9, 12)]);
+    }
+
+    #[test]
+    fn zero_duration_fit_is_immediate() {
+        let tt = Timetable::new();
+        assert_eq!(
+            tt.earliest_fit(SimTime::from_ticks(3), SimDuration::ZERO, SimTime::MAX),
+            Some(SimTime::from_ticks(3))
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Computation and data volumes.
+
+use std::fmt;
+use std::ops::Add;
+
+/// An amount of computation (for tasks) or data (for transfers), in the
+/// paper's abstract "relative volume" units (`V_ij` in §3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Volume(f64);
+
+impl Volume {
+    /// Zero volume.
+    pub const ZERO: Volume = Volume(0.0);
+
+    /// Creates a volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is negative, NaN or infinite — volumes come from
+    /// workload generators and static tables, so a bad value is a programming
+    /// error, not an input error.
+    #[must_use]
+    pub fn new(units: f64) -> Self {
+        assert!(
+            units.is_finite() && units >= 0.0,
+            "volume must be finite and non-negative, got {units}"
+        );
+        Volume(units)
+    }
+
+    /// Returns the raw unit count.
+    #[must_use]
+    pub const fn units(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is the zero volume.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Scales the volume by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn scale(self, factor: f64) -> Volume {
+        Volume::new(self.0 * factor)
+    }
+}
+
+impl Add for Volume {
+    type Output = Volume;
+
+    fn add(self, rhs: Volume) -> Volume {
+        Volume::new(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Volume {
+    fn sum<I: Iterator<Item = Volume>>(iter: I) -> Volume {
+        iter.fold(Volume::ZERO, Add::add)
+    }
+}
+
+impl Eq for Volume {}
+
+impl PartialOrd for Volume {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Volume {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Volume values are finite by construction")
+    }
+}
+
+impl fmt::Display for Volume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Volume::new(20.0);
+        assert_eq!(v.units(), 20.0);
+        assert!(!v.is_zero());
+        assert!(Volume::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_volume_panics() {
+        let _ = Volume::new(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let total: Volume = [10.0, 20.0, 30.0].into_iter().map(Volume::new).sum();
+        assert_eq!(total, Volume::new(60.0));
+        assert_eq!(Volume::new(10.0).scale(2.5), Volume::new(25.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Volume::new(10.0) < Volume::new(20.0));
+        assert_eq!(Volume::new(5.0).to_string(), "5u");
+    }
+}

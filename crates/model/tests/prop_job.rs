@@ -1,0 +1,115 @@
+//! Property tests: compound-job DAG invariants.
+
+use proptest::prelude::*;
+
+use gridsched_model::ids::{JobId, TaskId};
+use gridsched_model::job::{BuildJobError, JobBuilder};
+use gridsched_model::perf::Perf;
+use gridsched_model::volume::Volume;
+use gridsched_sim::time::SimDuration;
+
+/// Random forward-only edge lists (from < to), which are always acyclic.
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0u32..(n as u32 - 1)).prop_flat_map(move |from| {
+                ((from + 1)..n as u32).prop_map(move |to| (from, to))
+            }),
+            0..(n * 2),
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> Result<gridsched_model::job::Job, BuildJobError> {
+    let mut b = JobBuilder::new();
+    for i in 0..n {
+        b.add_task(Volume::new(10.0 + i as f64));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &(from, to) in edges {
+        if seen.insert((from, to)) {
+            b.add_edge(TaskId::new(from), TaskId::new(to), Volume::new(5.0));
+        }
+    }
+    b.deadline(SimDuration::from_ticks(1_000));
+    b.build(JobId::new(0))
+}
+
+proptest! {
+    /// Forward-only edges always build, and the topological order respects
+    /// every edge.
+    #[test]
+    fn forward_dags_build_with_valid_topo((n, edges) in dag_strategy()) {
+        let job = build(n, &edges).expect("forward edges are acyclic");
+        let mut pos = vec![0usize; n];
+        for (i, &t) in job.topo_order().iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for e in job.edges() {
+            prop_assert!(pos[e.from().index()] < pos[e.to().index()]);
+        }
+    }
+
+    /// The critical path is at least the longest single task and at most
+    /// the serial sum.
+    #[test]
+    fn critical_path_bounds((n, edges) in dag_strategy()) {
+        let job = build(n, &edges).expect("acyclic");
+        let perf = Perf::FULL;
+        let longest_task = job
+            .tasks()
+            .iter()
+            .map(|t| t.duration_on(perf))
+            .max()
+            .expect("non-empty");
+        let serial: SimDuration = job.tasks().iter().map(|t| t.duration_on(perf)).sum();
+        let cp = job.critical_path(perf);
+        prop_assert!(cp >= longest_task);
+        prop_assert!(cp <= serial);
+    }
+
+    /// Parallelism degree is between 1 and the task count, and equals the
+    /// task count exactly when there are no edges.
+    #[test]
+    fn parallelism_degree_bounds((n, edges) in dag_strategy()) {
+        let job = build(n, &edges).expect("acyclic");
+        let p = job.parallelism_degree();
+        prop_assert!(p >= 1 && p <= n);
+        if job.edges().is_empty() {
+            prop_assert_eq!(p, n);
+        }
+    }
+
+    /// Every task is reachable in predecessor/successor bookkeeping:
+    /// the number of incoming plus outgoing arcs summed over tasks equals
+    /// twice the edge count.
+    #[test]
+    fn adjacency_is_consistent((n, edges) in dag_strategy()) {
+        let job = build(n, &edges).expect("acyclic");
+        let total: usize = job
+            .tasks()
+            .iter()
+            .map(|t| job.predecessors(t.id()).count() + job.successors(t.id()).count())
+            .sum();
+        prop_assert_eq!(total, 2 * job.edges().len());
+    }
+
+    /// A backward edge makes the graph cyclic exactly when it closes a
+    /// forward path; the builder never panics either way.
+    #[test]
+    fn builder_rejects_introduced_cycles((n, edges) in dag_strategy(), back in any::<prop::sample::Index>()) {
+        if edges.is_empty() {
+            return Ok(());
+        }
+        let (from, to) = edges[back.index(edges.len())];
+        // Add the reverse edge, closing a 2-cycle (unless deduped away).
+        let mut all = edges.clone();
+        all.push((to, from));
+        match build(n, &all) {
+            Err(BuildJobError::Cycle) => {}
+            Ok(_) => prop_assert!(false, "cycle {to}->{from} not detected"),
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+}

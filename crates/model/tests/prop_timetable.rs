@@ -1,0 +1,132 @@
+//! Property tests: timetable invariants under random operation sequences.
+
+use proptest::prelude::*;
+
+use gridsched_model::timetable::{ReservationOwner, Timetable};
+use gridsched_model::window::TimeWindow;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+fn window_strategy() -> impl Strategy<Value = TimeWindow> {
+    (0u64..200, 1u64..20).prop_map(|(start, len)| {
+        TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+            .expect("len >= 1")
+    })
+}
+
+proptest! {
+    /// However reservations are attempted, accepted ones never overlap.
+    #[test]
+    fn reservations_never_overlap(windows in prop::collection::vec(window_strategy(), 1..40)) {
+        let mut tt = Timetable::new();
+        let mut accepted: Vec<TimeWindow> = Vec::new();
+        for (i, w) in windows.into_iter().enumerate() {
+            if tt.reserve(w, ReservationOwner::Background(i as u64)).is_ok() {
+                accepted.push(w);
+            }
+        }
+        for (i, a) in accepted.iter().enumerate() {
+            for b in &accepted[i + 1..] {
+                prop_assert!(!a.overlaps(*b), "{a} overlaps {b}");
+            }
+        }
+        prop_assert_eq!(tt.len(), accepted.len());
+    }
+
+    /// A reservation is rejected exactly when it overlaps an accepted one.
+    #[test]
+    fn rejection_iff_overlap(windows in prop::collection::vec(window_strategy(), 1..40)) {
+        let mut tt = Timetable::new();
+        let mut accepted: Vec<TimeWindow> = Vec::new();
+        for (i, w) in windows.into_iter().enumerate() {
+            let overlaps = accepted.iter().any(|a| a.overlaps(w));
+            let result = tt.reserve(w, ReservationOwner::Background(i as u64));
+            prop_assert_eq!(result.is_err(), overlaps, "window {}", w);
+            if result.is_ok() {
+                accepted.push(w);
+            }
+        }
+    }
+
+    /// `earliest_fit` returns a free slot, and no earlier start would fit.
+    #[test]
+    fn earliest_fit_is_free_and_minimal(
+        windows in prop::collection::vec(window_strategy(), 0..20),
+        from in 0u64..100,
+        len in 1u64..15,
+    ) {
+        let mut tt = Timetable::new();
+        for (i, w) in windows.into_iter().enumerate() {
+            let _ = tt.reserve(w, ReservationOwner::Background(i as u64));
+        }
+        let duration = SimDuration::from_ticks(len);
+        let deadline = SimTime::from_ticks(1_000);
+        if let Some(start) = tt.earliest_fit(SimTime::from_ticks(from), duration, deadline) {
+            let fit = TimeWindow::starting_at(start, duration).expect("non-empty");
+            prop_assert!(tt.is_free(fit), "returned slot {fit} is not free");
+            prop_assert!(start >= SimTime::from_ticks(from));
+            prop_assert!(fit.end() <= deadline);
+            // Minimality: every earlier candidate start collides.
+            for earlier in from..start.ticks() {
+                let w = TimeWindow::starting_at(SimTime::from_ticks(earlier), duration)
+                    .expect("non-empty");
+                prop_assert!(!tt.is_free(w), "earlier slot {w} was free");
+            }
+        }
+    }
+
+    /// Releasing everything restores an empty timetable, and busy time
+    /// within any range equals the sum of clipped reservations.
+    #[test]
+    fn release_restores_and_busy_accounts(
+        windows in prop::collection::vec(window_strategy(), 1..30),
+    ) {
+        let mut tt = Timetable::new();
+        let mut ids = Vec::new();
+        for (i, w) in windows.into_iter().enumerate() {
+            if let Ok(id) = tt.reserve(w, ReservationOwner::Background(i as u64)) {
+                ids.push((id, w));
+            }
+        }
+        let range = TimeWindow::new(SimTime::from_ticks(0), SimTime::from_ticks(250))
+            .expect("valid range");
+        let expected: u64 = ids
+            .iter()
+            .filter_map(|(_, w)| w.intersect(range))
+            .map(|w| w.duration().ticks())
+            .sum();
+        prop_assert_eq!(tt.busy_within(range).ticks(), expected);
+        for (id, _) in &ids {
+            prop_assert!(tt.release(*id).is_some());
+        }
+        prop_assert!(tt.is_empty());
+        prop_assert_eq!(tt.busy_within(range), SimDuration::ZERO);
+    }
+
+    /// Free windows and busy time partition any range exactly.
+    #[test]
+    fn free_windows_partition_range(
+        windows in prop::collection::vec(window_strategy(), 0..25),
+        range_start in 0u64..100,
+        range_len in 1u64..150,
+    ) {
+        let mut tt = Timetable::new();
+        for (i, w) in windows.into_iter().enumerate() {
+            let _ = tt.reserve(w, ReservationOwner::Background(i as u64));
+        }
+        let range = TimeWindow::new(
+            SimTime::from_ticks(range_start),
+            SimTime::from_ticks(range_start + range_len),
+        ).expect("non-empty");
+        let free: u64 = tt
+            .free_windows(range)
+            .iter()
+            .map(|w| w.duration().ticks())
+            .sum();
+        let busy = tt.busy_within(range).ticks();
+        prop_assert_eq!(free + busy, range_len);
+        // Every reported free window really is free.
+        for w in tt.free_windows(range) {
+            prop_assert!(tt.is_free(w), "{w} reported free but is not");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+/// A deterministic future-event list.
+///
+/// Events fire in `(time, insertion order)` order, which makes simulation
+/// runs reproducible: two events scheduled for the same tick are delivered
+/// in the order they were scheduled.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_sim::event::EventQueue;
+/// use gridsched_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ticks(10), "late");
+/// q.schedule(SimTime::from_ticks(5), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.ticks(), e), (5, "early"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    scheduled_count: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E>(Scheduled<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.id == other.0.id
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.id).cmp(&(other.0.at, other.0.id))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            scheduled_count: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns an id usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.scheduled_count += 1;
+        self.heap.push(Reverse(HeapEntry(Scheduled { at, id, payload })));
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will be silently skipped when its time comes).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest non-cancelled event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(HeapEntry(ev))) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(HeapEntry(ev))) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let id = ev.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+
+    /// Whether no non-cancelled events remain.
+    #[must_use]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of events scheduled over the queue's lifetime (including
+    /// cancelled ones).
+    #[must_use]
+    pub fn scheduled_count(&self) -> u64 {
+        self.scheduled_count
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "a");
+        q.schedule(t(5), "b");
+        q.schedule(t(5), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(12345)));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1);
+        q.schedule(t(7), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduled_count_is_lifetime_total() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.cancel(a);
+        assert_eq!(q.scheduled_count(), 2);
+    }
+}

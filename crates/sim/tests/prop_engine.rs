@@ -1,0 +1,89 @@
+//! Property tests: event-queue ordering and engine determinism.
+
+use proptest::prelude::*;
+
+use gridsched_sim::engine::{Engine, Scheduler, World};
+use gridsched_sim::event::EventQueue;
+use gridsched_sim::time::SimTime;
+
+proptest! {
+    /// Events pop in non-decreasing time order, with insertion order
+    /// breaking ties, regardless of scheduling order.
+    #[test]
+    fn queue_pops_in_stable_time_order(times in prop::collection::vec(0u64..100, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_victims(
+        times in prop::collection::vec(0u64..100, 1..40),
+        kill in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_ticks(t), i)))
+            .collect();
+        let mut expected: std::collections::HashSet<usize> =
+            (0..times.len()).collect();
+        for (i, id) in &ids {
+            if kill.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*id));
+                expected.remove(i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            seen.insert(i);
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// The engine delivers every scheduled event exactly once, in time
+    /// order, and two identical runs behave identically.
+    #[test]
+    fn engine_is_exhaustive_and_deterministic(times in prop::collection::vec(0u64..200, 1..60)) {
+        struct Recorder {
+            log: Vec<(u64, usize)>,
+        }
+        impl World for Recorder {
+            type Event = usize;
+            fn handle(&mut self, now: SimTime, ev: usize, _s: &mut Scheduler<'_, usize>) {
+                self.log.push((now.ticks(), ev));
+            }
+        }
+        let run = || {
+            let mut engine = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                engine.prime(SimTime::from_ticks(t), i);
+            }
+            let mut world = Recorder { log: Vec::new() };
+            let report = engine.run(&mut world);
+            (world.log, report.events_processed)
+        };
+        let (log_a, n_a) = run();
+        let (log_b, n_b) = run();
+        prop_assert_eq!(&log_a, &log_b);
+        prop_assert_eq!(n_a, times.len() as u64);
+        prop_assert_eq!(n_b, times.len() as u64);
+        for pair in log_a.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Background load from independent job flows.
+//!
+//! The paper's admissibility experiment (Fig. 3a) builds application-level
+//! schedules "for available resources non-assigned to other independent
+//! jobs": the other flows appear as pre-existing reservations on the node
+//! timetables. This module paints such load onto a pool.
+
+use gridsched_model::node::ResourcePool;
+use gridsched_model::timetable::ReservationOwner;
+use gridsched_model::window::TimeWindow;
+use gridsched_sim::rng::SimRng;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+/// Configuration of random background load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundConfig {
+    /// Target utilization of each node over the horizon, in `[0, 1)`.
+    pub load: f64,
+    /// Horizon over which load is painted.
+    pub horizon: SimDuration,
+    /// Minimum busy-chunk length in ticks.
+    pub chunk_min: u64,
+    /// Maximum busy-chunk length in ticks.
+    pub chunk_max: u64,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        BackgroundConfig {
+            load: 0.5,
+            horizon: SimDuration::from_ticks(200),
+            chunk_min: 3,
+            chunk_max: 12,
+        }
+    }
+}
+
+impl BackgroundConfig {
+    fn validate(&self) {
+        assert!(
+            (0.0..1.0).contains(&self.load),
+            "background load must be in [0, 1), got {}",
+            self.load
+        );
+        assert!(
+            self.chunk_min >= 1 && self.chunk_min <= self.chunk_max,
+            "invalid chunk range [{}, {}]",
+            self.chunk_min,
+            self.chunk_max
+        );
+        assert!(!self.horizon.is_zero(), "horizon must be positive");
+    }
+}
+
+/// Paints random busy windows onto every node of `pool` until each node's
+/// utilization over the horizon reaches approximately `config.load`.
+///
+/// Returns the number of reservations placed.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+pub fn apply_background_load(
+    pool: &mut ResourcePool,
+    config: &BackgroundConfig,
+    rng: &mut SimRng,
+) -> usize {
+    config.validate();
+    let horizon_end = SimTime::ZERO + config.horizon;
+    let range = TimeWindow::new(SimTime::ZERO, horizon_end).expect("positive horizon");
+    let mut placed = 0;
+    let node_ids: Vec<_> = pool.nodes().map(|n| n.id()).collect();
+    let mut tag = 0u64;
+    for id in node_ids {
+        let target = config.horizon.ticks() as f64 * config.load;
+        let mut busy = 0.0;
+        // Random placement with bounded retries: collisions with already
+        // painted chunks are simply skipped.
+        let mut attempts = 0;
+        while busy < target && attempts < 10_000 {
+            attempts += 1;
+            let len = rng.uniform_u64(config.chunk_min, config.chunk_max);
+            let latest_start = config.horizon.ticks().saturating_sub(len);
+            if latest_start == 0 && len > config.horizon.ticks() {
+                break;
+            }
+            let start = rng.uniform_u64(0, latest_start);
+            let window = TimeWindow::new(
+                SimTime::from_ticks(start),
+                SimTime::from_ticks(start + len),
+            )
+            .expect("len >= 1");
+            if pool
+                .timetable_mut(id)
+                .reserve(window, ReservationOwner::Background(tag))
+                .is_ok()
+            {
+                busy += len as f64;
+                placed += 1;
+                tag += 1;
+            }
+        }
+        debug_assert!(pool.timetable(id).utilization(range) <= 1.0);
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_model::ids::DomainId;
+    use gridsched_model::perf::Perf;
+
+    fn pool(n: usize) -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        for _ in 0..n {
+            pool.add_node(DomainId::new(0), Perf::FULL);
+        }
+        pool
+    }
+
+    #[test]
+    fn reaches_target_load_approximately() {
+        let mut pool = pool(5);
+        let cfg = BackgroundConfig::default();
+        let mut rng = SimRng::seed_from(1);
+        apply_background_load(&mut pool, &cfg, &mut rng);
+        let range = TimeWindow::new(SimTime::ZERO, SimTime::ZERO + cfg.horizon).unwrap();
+        for node in pool.nodes() {
+            let u = pool.timetable(node.id()).utilization(range);
+            assert!(
+                (cfg.load - 0.05..=cfg.load + 0.1).contains(&u),
+                "node {} utilization {u} far from target {}",
+                node.id(),
+                cfg.load
+            );
+        }
+    }
+
+    #[test]
+    fn zero_load_paints_nothing() {
+        let mut pool = pool(3);
+        let cfg = BackgroundConfig {
+            load: 0.0,
+            ..BackgroundConfig::default()
+        };
+        let placed = apply_background_load(&mut pool, &cfg, &mut SimRng::seed_from(2));
+        assert_eq!(placed, 0);
+    }
+
+    #[test]
+    fn reservations_never_overlap() {
+        let mut pool = pool(2);
+        let cfg = BackgroundConfig {
+            load: 0.8,
+            ..BackgroundConfig::default()
+        };
+        apply_background_load(&mut pool, &cfg, &mut SimRng::seed_from(3));
+        for node in pool.nodes() {
+            let tt = pool.timetable(node.id());
+            let windows: Vec<_> = tt.iter().map(|r| r.window()).collect();
+            for (i, a) in windows.iter().enumerate() {
+                for b in &windows[i + 1..] {
+                    assert!(!a.overlaps(*b), "{a} overlaps {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BackgroundConfig::default();
+        let mut a = pool(4);
+        let mut b = pool(4);
+        apply_background_load(&mut a, &cfg, &mut SimRng::seed_from(9));
+        apply_background_load(&mut b, &cfg, &mut SimRng::seed_from(9));
+        for (x, y) in a.nodes().zip(b.nodes()) {
+            let tx: Vec<_> = a.timetable(x.id()).iter().map(|r| r.window()).collect();
+            let ty: Vec<_> = b.timetable(y.id()).iter().map(|r| r.window()).collect();
+            assert_eq!(tx, ty);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Random local-queue workloads for the §5 experiments.
+
+use gridsched_batch::job::{BatchJob, BatchJobId};
+use gridsched_sim::rng::SimRng;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+/// Configuration of a random stream of rigid parallel jobs for one local
+/// batch system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchWorkloadConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Maximum job width in nodes (widths are uniform in `1..=width_max`).
+    pub width_max: u32,
+    /// Base wall-time estimate in ticks; per-job estimates get the paper's
+    /// 2–3× uniform spread.
+    pub base_estimate: u64,
+    /// Mean inter-arrival gap in ticks (gaps are uniform in
+    /// `0..=2*mean_gap`).
+    pub mean_gap: u64,
+    /// Fraction of the estimate the actual runtime is at least
+    /// (`actual ~ U[accuracy_floor × estimate, estimate]`). 1.0 means
+    /// perfectly accurate users; real users over-estimate, which is what
+    /// opens backfill holes and breaks start-time forecasts (§5).
+    pub accuracy_floor: f64,
+}
+
+impl Default for BatchWorkloadConfig {
+    fn default() -> Self {
+        BatchWorkloadConfig {
+            jobs: 200,
+            width_max: 4,
+            base_estimate: 10,
+            mean_gap: 3,
+            accuracy_floor: 0.4,
+        }
+    }
+}
+
+impl BatchWorkloadConfig {
+    fn validate(&self) {
+        assert!(self.jobs >= 1, "need at least one job");
+        assert!(self.width_max >= 1, "width_max must be at least 1");
+        assert!(self.base_estimate >= 1, "base_estimate must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.accuracy_floor) && self.accuracy_floor > 0.0,
+            "accuracy_floor must be in (0, 1], got {}",
+            self.accuracy_floor
+        );
+    }
+}
+
+/// Generates a random job stream per `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid.
+#[must_use]
+pub fn generate_batch_jobs(config: &BatchWorkloadConfig, rng: &mut SimRng) -> Vec<BatchJob> {
+    config.validate();
+    let mut out = Vec::with_capacity(config.jobs);
+    let mut clock = SimTime::ZERO;
+    for i in 0..config.jobs {
+        clock += SimDuration::from_ticks(rng.uniform_u64(0, config.mean_gap * 2));
+        let width = rng.uniform_u64(1, u64::from(config.width_max)) as u32;
+        let estimate = rng.spread_2_to_3(config.base_estimate);
+        let min_actual = ((estimate as f64) * config.accuracy_floor).ceil().max(1.0) as u64;
+        let actual = rng.uniform_u64(min_actual, estimate);
+        out.push(BatchJob::new(
+            BatchJobId(i as u64),
+            clock,
+            width,
+            SimDuration::from_ticks(estimate),
+            SimDuration::from_ticks(actual),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_respect_configuration() {
+        let cfg = BatchWorkloadConfig::default();
+        let mut rng = SimRng::seed_from(1);
+        let jobs = generate_batch_jobs(&cfg, &mut rng);
+        assert_eq!(jobs.len(), cfg.jobs);
+        for j in &jobs {
+            assert!((1..=cfg.width_max).contains(&j.width()));
+            assert!(j.actual() <= j.estimate());
+            let est = j.estimate().ticks();
+            assert!((cfg.base_estimate..=cfg.base_estimate * 3).contains(&est));
+            let floor = ((est as f64) * cfg.accuracy_floor).ceil() as u64;
+            assert!(j.actual().ticks() >= floor);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut rng = SimRng::seed_from(2);
+        let jobs = generate_batch_jobs(&BatchWorkloadConfig::default(), &mut rng);
+        for pair in jobs.windows(2) {
+            assert!(pair[0].arrival() <= pair[1].arrival());
+        }
+    }
+
+    #[test]
+    fn accurate_users_have_exact_runtimes() {
+        let cfg = BatchWorkloadConfig {
+            accuracy_floor: 1.0,
+            ..BatchWorkloadConfig::default()
+        };
+        let mut rng = SimRng::seed_from(3);
+        for j in generate_batch_jobs(&cfg, &mut rng) {
+            assert_eq!(j.actual(), j.estimate());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BatchWorkloadConfig::default();
+        let a = generate_batch_jobs(&cfg, &mut SimRng::seed_from(5));
+        let b = generate_batch_jobs(&cfg, &mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy_floor")]
+    fn zero_accuracy_rejected() {
+        let cfg = BatchWorkloadConfig {
+            accuracy_floor: 0.0,
+            ..BatchWorkloadConfig::default()
+        };
+        let _ = generate_batch_jobs(&cfg, &mut SimRng::seed_from(0));
+    }
+}

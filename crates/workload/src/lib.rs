@@ -1,0 +1,41 @@
+//! # gridsched-workload
+//!
+//! Randomized workload generators reproducing §4 of Toporkov's PaCT 2009
+//! paper:
+//!
+//! - [`pool`]: node pools of 20–30 nodes in the paper's three performance
+//!   groups (0.66–1.0 / 0.33–0.66 / 0.33);
+//! - [`jobs`]: layered fork-join compound jobs with uniformly distributed
+//!   volumes and transfer sizes spread by a factor of 2–3, and fixed
+//!   completion deadlines;
+//! - [`batch`]: rigid parallel job streams for the §5 local-queue
+//!   experiments;
+//! - [`background`]: pre-existing load from independent job flows, painted
+//!   onto node timetables.
+//!
+//! All generators draw from a seeded [`gridsched_sim::rng::SimRng`], so
+//! entire campaigns replay bit-identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use gridsched_sim::rng::SimRng;
+//! use gridsched_workload::pool::{generate_pool, PoolConfig};
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let pool = generate_pool(&PoolConfig::default(), &mut rng);
+//! assert!((20..=30).contains(&pool.len()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod batch;
+pub mod jobs;
+pub mod pool;
+
+pub use background::{apply_background_load, BackgroundConfig};
+pub use batch::{generate_batch_jobs, BatchWorkloadConfig};
+pub use jobs::{generate_job, generate_stream, JobConfig};
+pub use pool::{generate_pool, PoolConfig};

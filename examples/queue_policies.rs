@@ -1,0 +1,85 @@
+//! Local batch-system queue policies side by side (§5).
+//!
+//! Runs the same random job stream through one cluster under FCFS, LWF,
+//! EASY backfilling and conservative backfilling — with and without an
+//! advance reservation — and prints mean waits and start-forecast errors.
+//!
+//! Run with: `cargo run --example queue_policies`
+
+use gridsched::batch::cluster::{AdvanceReservation, ClusterConfig};
+use gridsched::batch::policy::QueuePolicy;
+use gridsched::metrics::table::{ratio, Table};
+use gridsched::model::window::TimeWindow;
+use gridsched::sim::rng::SimRng;
+use gridsched::sim::time::SimTime;
+use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
+
+fn main() {
+    let capacity = 8;
+    let workload = BatchWorkloadConfig {
+        jobs: 300,
+        width_max: 6,
+        ..BatchWorkloadConfig::default()
+    };
+    let mut rng = SimRng::seed_from(42);
+    let jobs = generate_batch_jobs(&workload, &mut rng);
+    println!(
+        "cluster of {capacity} nodes, {} jobs (widths 1..={}, user estimates 2-3x spread)",
+        jobs.len(),
+        workload.width_max
+    );
+
+    let mut table = Table::new(vec![
+        "policy",
+        "mean wait",
+        "wait + reservation",
+        "forecast error",
+        "makespan",
+    ]);
+    for policy in QueuePolicy::ALL {
+        let plain = ClusterConfig::new(capacity, policy).run(&jobs);
+        // Same cluster with a recurring advance reservation taking half the
+        // nodes for 20 ticks every 100 ticks.
+        let mut reserved_cfg = ClusterConfig::new(capacity, policy);
+        for k in 0..20u64 {
+            reserved_cfg.reserve(AdvanceReservation {
+                window: TimeWindow::new(
+                    SimTime::from_ticks(50 + 100 * k),
+                    SimTime::from_ticks(70 + 100 * k),
+                )
+                .expect("valid window"),
+                width: capacity / 2,
+            });
+        }
+        let reserved = reserved_cfg.run(&jobs);
+        table.row(vec![
+            policy.name().to_owned(),
+            ratio(plain.mean_wait()),
+            ratio(reserved.mean_wait()),
+            ratio(plain.mean_forecast_error()),
+            plain.makespan().to_string(),
+        ]);
+    }
+    println!("\n{table}");
+
+    // Gang scheduling (also named in §5) time-shares instead of
+    // space-sharing, so it runs through its own simulator.
+    let gang = gridsched::batch::gang::run_gang(
+        gridsched::batch::gang::GangConfig::new(
+            capacity,
+            gridsched::sim::time::SimDuration::from_ticks(5),
+        ),
+        &jobs,
+    );
+    let gang_wait: f64 = gang
+        .iter()
+        .map(|o| o.wait().ticks() as f64)
+        .sum::<f64>()
+        / gang.len() as f64;
+    println!("GANG (quantum 5): mean wait until first quantum = {gang_wait:.2}");
+    println!(
+        "\nobservations: backfilling cuts waiting versus FCFS; advance\n\
+         reservations lengthen queues under every policy; gang scheduling\n\
+         bounds the time to first service by time-slicing (§5)."
+    );
+}

@@ -1,0 +1,98 @@
+//! A mixed-flow virtual-organization campaign.
+//!
+//! The metascheduler of §2 (Fig. 1) distributes user jobs between strategy
+//! flows: here, large jobs join a coarse-grain S3 flow and small jobs a
+//! fine-grain S2 flow, while the environment perturbs schedules with
+//! independent local load. Prints per-flow QoS factors.
+//!
+//! Run with: `cargo run --release --example vo_campaign`
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::flow::metascheduler::FlowAssignment;
+use gridsched::flow::simulation::{run_campaign, CampaignConfig};
+use gridsched::metrics::table::{pct, ratio, Table};
+use gridsched::model::perf::PerfGroup;
+
+fn main() {
+    let config = CampaignConfig {
+        assignment: FlowAssignment::BySize {
+            threshold: 7,
+            large: StrategyKind::S3,
+            small: StrategyKind::S2,
+        },
+        jobs: 120,
+        perturbations: 150,
+        seed: 2009,
+        collect_trace: true,
+        ..CampaignConfig::default()
+    };
+    println!(
+        "campaign: {} jobs, horizon {}, seed {}",
+        config.jobs,
+        config.horizon,
+        config.seed
+    );
+    let report = run_campaign(&config);
+
+    let mut per_flow = Table::new(vec![
+        "flow",
+        "jobs",
+        "admissible %",
+        "mean CF",
+        "mean task window",
+        "mean TTL",
+        "breaks",
+        "dropped",
+    ]);
+    for kind in [StrategyKind::S3, StrategyKind::S2] {
+        let records: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.strategy == kind)
+            .collect();
+        if records.is_empty() {
+            continue;
+        }
+        let admissible =
+            records.iter().filter(|r| r.admissible).count() as f64 / records.len() as f64;
+        let mean = |f: &dyn Fn(&&&gridsched::flow::report::JobRecord) -> Option<f64>| -> f64 {
+            let vals: Vec<f64> = records.iter().filter_map(|r| f(&r)).collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        per_flow.row(vec![
+            kind.name().to_owned(),
+            records.len().to_string(),
+            pct(admissible),
+            ratio(mean(&|r| r.cost.map(|c| c as f64))),
+            ratio(mean(&|r| r.mean_task_window)),
+            ratio(mean(&|r| r.time_to_live.map(|t| t.ticks() as f64))),
+            records.iter().map(|r| r.breaks).sum::<usize>().to_string(),
+            records.iter().filter(|r| r.dropped).count().to_string(),
+        ]);
+    }
+    println!("\nper-flow QoS factors:\n{per_flow}");
+
+    println!("task load by node group (share of the horizon):");
+    for group in PerfGroup::ALL {
+        println!("  {group:<6} {}", pct(report.load_level(group)));
+    }
+    if let Some(fast) = report.fast_collision_share() {
+        println!(
+            "\ncollisions: {} total, {}% on fast nodes",
+            report.total_collisions(),
+            pct(fast)
+        );
+    }
+
+    if let Some(trace) = &report.trace {
+        println!("\nfirst campaign events:");
+        for (t, e) in trace.events().iter().take(8) {
+            println!("  {t:>6} {e}");
+        }
+        println!("  … {} events total", trace.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration test: §5 claims about local queue policies, on realistic
+//! random workloads.
+
+use gridsched::batch::cluster::{AdvanceReservation, ClusterConfig};
+use gridsched::batch::policy::QueuePolicy;
+use gridsched::model::window::TimeWindow;
+use gridsched::sim::rng::SimRng;
+use gridsched::sim::time::SimTime;
+use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
+
+fn workload(seed: u64) -> Vec<gridsched::batch::job::BatchJob> {
+    generate_batch_jobs(
+        &BatchWorkloadConfig {
+            jobs: 120,
+            width_max: 6,
+            mean_gap: 6,
+            ..BatchWorkloadConfig::default()
+        },
+        &mut SimRng::seed_from(seed),
+    )
+}
+
+#[test]
+fn backfilling_reduces_waiting_vs_fcfs() {
+    // §5: "Backfilling decreases this time."
+    let mut wins = 0;
+    for seed in 0..3u64 {
+        let jobs = workload(seed);
+        let fcfs = ClusterConfig::new(8, QueuePolicy::Fcfs).run(&jobs);
+        let easy = ClusterConfig::new(8, QueuePolicy::EasyBackfill).run(&jobs);
+        if easy.mean_wait() <= fcfs.mean_wait() {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "EASY beat FCFS only {wins}/3 times");
+}
+
+#[test]
+fn advance_reservations_increase_waiting() {
+    // §5: "preliminary reservation nearly always increases queue waiting
+    // time" — under every policy.
+    let jobs = workload(11);
+    for policy in QueuePolicy::ALL {
+        let plain = ClusterConfig::new(8, policy).run(&jobs);
+        let mut cfg = ClusterConfig::new(8, policy);
+        for k in 0..30u64 {
+            cfg.reserve(AdvanceReservation {
+                window: TimeWindow::new(
+                    SimTime::from_ticks(40 + 60 * k),
+                    SimTime::from_ticks(55 + 60 * k),
+                )
+                .unwrap(),
+                width: 4,
+            });
+        }
+        let reserved = cfg.run(&jobs);
+        assert!(
+            reserved.mean_wait() >= plain.mean_wait(),
+            "{policy}: reserved {} < plain {}",
+            reserved.mean_wait(),
+            plain.mean_wait()
+        );
+    }
+}
+
+#[test]
+fn conservative_backfill_waits_at_most_like_fcfs() {
+    // Conservative backfilling can only move jobs earlier than their FCFS
+    // reservation, never later.
+    for seed in 20..24u64 {
+        let jobs = workload(seed);
+        let fcfs = ClusterConfig::new(8, QueuePolicy::Fcfs).run(&jobs);
+        let cons = ClusterConfig::new(8, QueuePolicy::ConservativeBackfill).run(&jobs);
+        assert!(
+            cons.mean_wait() <= fcfs.mean_wait() + 1e-9,
+            "seed {seed}: CONS {} vs FCFS {}",
+            cons.mean_wait(),
+            fcfs.mean_wait()
+        );
+    }
+}
+
+#[test]
+fn forecasts_are_exact_with_accurate_estimates_and_no_arrival_surprises() {
+    // With exact runtimes, FCFS start-time forecasts only err because of
+    // jobs that arrive later; an empty-queue cluster is fully predictable.
+    let jobs = generate_batch_jobs(
+        &BatchWorkloadConfig {
+            jobs: 50,
+            width_max: 2,
+            mean_gap: 40, // sparse arrivals: queue usually empty
+            accuracy_floor: 1.0,
+            ..BatchWorkloadConfig::default()
+        },
+        &mut SimRng::seed_from(5),
+    );
+    let out = ClusterConfig::new(8, QueuePolicy::Fcfs).run(&jobs);
+    assert_eq!(out.mean_forecast_error(), 0.0);
+}
+
+#[test]
+fn inaccurate_estimates_create_forecast_error() {
+    let jobs = workload(31);
+    let out = ClusterConfig::new(8, QueuePolicy::Fcfs).run(&jobs);
+    assert!(
+        out.mean_forecast_error() > 0.0,
+        "over-estimating users must break start forecasts"
+    );
+}
+
+#[test]
+fn all_policies_complete_every_job() {
+    let jobs = workload(44);
+    for policy in QueuePolicy::ALL {
+        let out = ClusterConfig::new(8, policy).run(&jobs);
+        assert_eq!(out.jobs().len(), jobs.len(), "{policy}");
+        for o in out.jobs() {
+            assert!(o.start >= o.arrival, "{policy}: {o:?}");
+            assert!(o.end > o.start, "{policy}: {o:?}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration test: full virtual-organization campaigns across crates.
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::flow::metascheduler::FlowAssignment;
+use gridsched::flow::simulation::{run_campaign, CampaignConfig};
+use gridsched::model::perf::PerfGroup;
+use gridsched::sim::time::SimDuration;
+
+fn small_campaign(kind: StrategyKind, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        assignment: FlowAssignment::Single(kind),
+        jobs: 40,
+        perturbations: 60,
+        horizon: SimDuration::from_ticks(800),
+        seed,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn campaign_produces_complete_records() {
+    let report = run_campaign(&small_campaign(StrategyKind::S1, 1));
+    assert_eq!(report.records.len(), 40);
+    for r in &report.records {
+        if r.admissible {
+            // Activated jobs carry the full metric set.
+            assert!(r.cost.is_some(), "{:?}", r.job_id);
+            assert!(r.mean_task_window.is_some());
+            assert!(r.planned_makespan.is_some());
+            assert!(r.time_to_live.is_some());
+            assert!(r.start_deviation_ratio.is_some());
+        } else {
+            assert!(r.cost.is_none());
+        }
+    }
+}
+
+#[test]
+fn admissible_share_is_sane_under_load() {
+    let report = run_campaign(&small_campaign(StrategyKind::S2, 2));
+    let share = report.admissible_share();
+    assert!(
+        (0.05..=1.0).contains(&share),
+        "admissible share {share} out of plausible range"
+    );
+}
+
+#[test]
+fn ttl_never_exceeds_planned_runtime_before_break() {
+    let report = run_campaign(&small_campaign(StrategyKind::S1, 3));
+    for r in &report.records {
+        if let (Some(ttl), Some(makespan)) = (r.time_to_live, r.planned_makespan) {
+            let planned_runtime = makespan.saturating_since(r.release);
+            if r.breaks == 0 {
+                assert_eq!(ttl, planned_runtime, "unbroken TTL equals planned runtime");
+            } else {
+                assert!(ttl <= planned_runtime.saturating_mul(2));
+            }
+        }
+    }
+}
+
+#[test]
+fn load_levels_are_fractions() {
+    let report = run_campaign(&small_campaign(StrategyKind::S3, 4));
+    for group in PerfGroup::ALL {
+        let l = report.load_level(group);
+        assert!((0.0..=1.0).contains(&l), "{group}: {l}");
+    }
+}
+
+#[test]
+fn different_seeds_differ_same_seed_repeats() {
+    let a = run_campaign(&small_campaign(StrategyKind::S1, 10));
+    let b = run_campaign(&small_campaign(StrategyKind::S1, 10));
+    let c = run_campaign(&small_campaign(StrategyKind::S1, 11));
+    assert_eq!(a.records, b.records);
+    assert_ne!(
+        a.records, c.records,
+        "different seeds should produce different campaigns"
+    );
+}
+
+#[test]
+fn mixed_flows_split_jobs() {
+    let config = CampaignConfig {
+        assignment: FlowAssignment::RoundRobin(vec![StrategyKind::S1, StrategyKind::S2]),
+        jobs: 20,
+        perturbations: 10,
+        seed: 7,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&config);
+    let s1 = report
+        .records
+        .iter()
+        .filter(|r| r.strategy == StrategyKind::S1)
+        .count();
+    let s2 = report
+        .records
+        .iter()
+        .filter(|r| r.strategy == StrategyKind::S2)
+        .count();
+    assert_eq!(s1, 10);
+    assert_eq!(s2, 10);
+}
+
+#[test]
+fn breaks_only_happen_with_dynamics() {
+    let quiet = CampaignConfig {
+        perturbations: 0,
+        jobs: 25,
+        seed: 5,
+        ..small_campaign(StrategyKind::S2, 5)
+    };
+    let report = run_campaign(&quiet);
+    // Overruns can still break schedules (actual > estimate scenario), but
+    // dropped jobs should be rare without external perturbations.
+    assert!(report.drop_share() <= 0.5);
+}

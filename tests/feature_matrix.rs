@@ -1,0 +1,134 @@
+//! Integration test: the scheduling variants compose — objectives ×
+//! domains × recovery × strategies on shared workloads.
+
+use gridsched::core::method::{
+    build_distribution, build_distribution_direct, build_distribution_in_domain,
+    build_distribution_recovering, build_distribution_with_objective, ScheduleRequest,
+};
+use gridsched::core::objective::Objective;
+use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched::data::policy::DataPolicy;
+use gridsched::model::estimate::EstimateScenario;
+use gridsched::model::ids::JobId;
+use gridsched::sim::rng::SimRng;
+use gridsched::sim::time::SimTime;
+use gridsched::workload::jobs::{generate_job, JobConfig};
+use gridsched::workload::pool::{generate_pool, PoolConfig};
+
+fn request<'a>(
+    job: &'a gridsched::model::job::Job,
+    pool: &'a gridsched::model::node::ResourcePool,
+    policy: &'a DataPolicy,
+) -> ScheduleRequest<'a> {
+    ScheduleRequest {
+        job,
+        pool,
+        policy,
+        scenario: EstimateScenario::BEST,
+        release: SimTime::ZERO,
+    }
+}
+
+#[test]
+fn every_scheduling_variant_yields_valid_schedules() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&PoolConfig::default(), &mut rng);
+        let job = generate_job(
+            &JobConfig {
+                deadline_factor: 6.0,
+                ..JobConfig::default()
+            },
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let policy = DataPolicy::remote_access();
+        let req = request(&job, &pool, &policy);
+
+        let variants: Vec<(&str, Result<_, _>)> = vec![
+            ("default", build_distribution(&req)),
+            ("direct", build_distribution_direct(&req)),
+            ("recovering", build_distribution_recovering(&req)),
+            (
+                "min-time",
+                build_distribution_with_objective(&req, Objective::FASTEST),
+            ),
+            (
+                "budgeted",
+                build_distribution_with_objective(&req, Objective::MinTime { budget: Some(50) }),
+            ),
+        ];
+        for (name, result) in variants {
+            if let Ok(d) = result {
+                assert_eq!(d.validate(&job, &pool), Ok(()), "seed {seed}, {name}");
+                assert!(
+                    d.meets_deadline(job.absolute_deadline()),
+                    "seed {seed}, {name}"
+                );
+            }
+        }
+        // Domain-restricted variants per existing domain.
+        for domain in pool.domains() {
+            if let Ok(d) = build_distribution_in_domain(&req, domain) {
+                assert_eq!(d.validate(&job, &pool), Ok(()), "seed {seed}, {domain}");
+                for p in d.placements() {
+                    assert_eq!(pool.node(p.node).domain(), domain);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_never_loses_a_chains_solvable_job() {
+    // If the plain method schedules a job, the recovering variant must too
+    // (it runs the same pass first).
+    for seed in 100..130u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&PoolConfig::default(), &mut rng);
+        let job = generate_job(
+            &JobConfig {
+                deadline_factor: 3.0,
+                ..JobConfig::default()
+            },
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let policy = DataPolicy::active_replication();
+        let req = request(&job, &pool, &policy);
+        let plain = build_distribution(&req);
+        let recovering = build_distribution_recovering(&req);
+        if let Ok(p) = &plain {
+            let r = recovering.as_ref().expect("recovery is a superset");
+            assert_eq!(p.cost(), r.cost(), "seed {seed}: first pass identical");
+        }
+    }
+}
+
+#[test]
+fn strategies_and_objectives_do_not_interfere() {
+    // Generating a strategy must leave the pool untouched, so mixing
+    // strategy generation with ad-hoc objective scheduling is safe.
+    let mut rng = SimRng::seed_from(7);
+    let pool = generate_pool(&PoolConfig::default(), &mut rng);
+    let job = generate_job(
+        &JobConfig {
+            deadline_factor: 5.0,
+            ..JobConfig::default()
+        },
+        JobId::new(0),
+        SimTime::ZERO,
+        &mut rng,
+    );
+    let policy = DataPolicy::remote_access();
+    let before = build_distribution(&request(&job, &pool, &policy)).map(|d| d.cost());
+    for kind in StrategyKind::ALL {
+        let config = StrategyConfig::for_kind(kind, &pool);
+        let _ = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
+    }
+    let _ = build_distribution_with_objective(&request(&job, &pool, &policy), Objective::FASTEST);
+    let after = build_distribution(&request(&job, &pool, &policy)).map(|d| d.cost());
+    assert_eq!(before.ok(), after.ok(), "pool state leaked between calls");
+}

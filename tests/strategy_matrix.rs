@@ -1,0 +1,160 @@
+//! Integration test: strategy kinds × random workloads.
+//!
+//! Generates random jobs and pools (§4's workload model) and checks the
+//! structural guarantees of every strategy kind on each.
+
+use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched::model::estimate::EstimateScenario;
+use gridsched::model::ids::JobId;
+use gridsched::sim::rng::SimRng;
+use gridsched::sim::time::SimTime;
+use gridsched::workload::jobs::{generate_job, JobConfig};
+use gridsched::workload::pool::{generate_pool, PoolConfig};
+
+#[test]
+fn every_distribution_of_every_strategy_validates() {
+    let job_cfg = JobConfig::default();
+    let pool_cfg = PoolConfig::default();
+    for seed in 0..10u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&pool_cfg, &mut rng);
+        let job = generate_job(&job_cfg, JobId::new(seed), SimTime::ZERO, &mut rng);
+        for kind in StrategyKind::ALL {
+            let config = StrategyConfig::for_kind(kind, &pool);
+            let strategy = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
+            for d in strategy.distributions() {
+                assert_eq!(
+                    d.validate(strategy.job(), &pool),
+                    Ok(()),
+                    "seed {seed}, {kind}"
+                );
+                // Schedules respect the fixed completion time.
+                assert!(
+                    d.meets_deadline(strategy.job().absolute_deadline()),
+                    "seed {seed}, {kind}: {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ms1_schedules_are_a_subset_shape_of_s1() {
+    // MS1 is S1 restricted to the best/worst scenarios: its scenario set
+    // must be the extremes of S1's sweep.
+    let mut rng = SimRng::seed_from(42);
+    let pool = generate_pool(&PoolConfig::default(), &mut rng);
+    let job = generate_job(&JobConfig::default(), JobId::new(0), SimTime::ZERO, &mut rng);
+
+    let s1 = Strategy::generate(
+        &job,
+        &pool,
+        &StrategyConfig::for_kind(StrategyKind::S1, &pool),
+        SimTime::ZERO,
+    );
+    let ms1 = Strategy::generate(
+        &job,
+        &pool,
+        &StrategyConfig::for_kind(StrategyKind::Ms1, &pool),
+        SimTime::ZERO,
+    );
+    assert!(ms1.distributions().len() <= 2);
+    for d in ms1.distributions() {
+        assert!(
+            d.scenario() == EstimateScenario::BEST || d.scenario() == EstimateScenario::WORST
+        );
+    }
+    // Same policy + same scenario => identical schedule cost.
+    for md in ms1.distributions() {
+        if let Some(sd) = s1
+            .distributions()
+            .iter()
+            .find(|d| d.scenario() == md.scenario())
+        {
+            assert_eq!(sd.cost(), md.cost());
+            assert_eq!(sd.makespan(), md.makespan());
+        }
+    }
+}
+
+#[test]
+fn coarse_s3_never_has_more_tasks_than_the_original() {
+    let mut rng = SimRng::seed_from(9);
+    let pool = generate_pool(&PoolConfig::default(), &mut rng);
+    for i in 0..10u64 {
+        let job = generate_job(&JobConfig::default(), JobId::new(i), SimTime::ZERO, &mut rng);
+        let s3 = Strategy::generate(
+            &job,
+            &pool,
+            &StrategyConfig::for_kind(StrategyKind::S3, &pool),
+            SimTime::ZERO,
+        );
+        assert!(s3.job().task_count() <= job.task_count());
+        assert_eq!(s3.job().total_volume(), job.total_volume());
+    }
+}
+
+#[test]
+fn worst_case_schedules_are_never_faster_than_best_case() {
+    let mut rng = SimRng::seed_from(13);
+    let pool = generate_pool(&PoolConfig::default(), &mut rng);
+    for i in 0..8u64 {
+        let job = generate_job(
+            &JobConfig {
+                deadline_factor: 8.0,
+                ..JobConfig::default()
+            },
+            JobId::new(i),
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let s2 = Strategy::generate(
+            &job,
+            &pool,
+            &StrategyConfig::for_kind(StrategyKind::S2, &pool),
+            SimTime::ZERO,
+        );
+        let dists = s2.distributions();
+        if dists.len() >= 2 {
+            let best = dists.first().unwrap();
+            let worst = dists.last().unwrap();
+            assert!(worst.makespan() >= best.makespan(), "job {i}");
+        }
+    }
+}
+
+#[test]
+fn tighter_deadlines_reduce_admissibility() {
+    let mut inadmissible_tight = 0;
+    let mut inadmissible_loose = 0;
+    for seed in 0..20u64 {
+        let mut rng = SimRng::seed_from(seed);
+        let pool = generate_pool(&PoolConfig::default(), &mut rng);
+        for (factor, counter) in [(1.1, &mut inadmissible_tight), (6.0, &mut inadmissible_loose)]
+        {
+            let mut jrng = SimRng::seed_from(seed + 1000);
+            let job = generate_job(
+                &JobConfig {
+                    deadline_factor: factor,
+                    ..JobConfig::default()
+                },
+                JobId::new(seed),
+                SimTime::ZERO,
+                &mut jrng,
+            );
+            let s = Strategy::generate(
+                &job,
+                &pool,
+                &StrategyConfig::for_kind(StrategyKind::S2, &pool),
+                SimTime::ZERO,
+            );
+            if !s.is_admissible() {
+                *counter += 1;
+            }
+        }
+    }
+    assert!(
+        inadmissible_tight >= inadmissible_loose,
+        "tight {inadmissible_tight} vs loose {inadmissible_loose}"
+    );
+}
