@@ -1,44 +1,41 @@
 //! Property tests: local batch-system invariants on random workloads.
 
-use proptest::prelude::*;
-
 use gridsched_batch::cluster::{AdvanceReservation, ClusterConfig};
 use gridsched_batch::job::{BatchJob, BatchJobId};
 use gridsched_batch::policy::QueuePolicy;
 use gridsched_model::window::TimeWindow;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::time::{SimDuration, SimTime};
 
 const CAPACITY: u32 = 4;
 
-fn jobs_strategy() -> impl Strategy<Value = Vec<BatchJob>> {
-    prop::collection::vec(
-        (0u64..80, 1u32..=CAPACITY, 1u64..12, 1u64..12),
-        1..25,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (arrival, width, estimate, actual_raw))| {
-                let actual = actual_raw.min(estimate);
-                BatchJob::new(
-                    BatchJobId(i as u64),
-                    SimTime::from_ticks(arrival),
-                    width,
-                    SimDuration::from_ticks(estimate),
-                    SimDuration::from_ticks(actual),
-                )
-            })
-            .collect()
+fn gen_jobs(g: &mut Gen) -> Vec<BatchJob> {
+    g.vec_of(1, 24, |g| {
+        (
+            g.u64_in(0, 79),
+            g.u64_in(1, u64::from(CAPACITY)) as u32,
+            g.u64_in(1, 11),
+            g.u64_in(1, 11),
+        )
     })
+    .into_iter()
+    .enumerate()
+    .map(|(i, (arrival, width, estimate, actual_raw))| {
+        let actual = actual_raw.min(estimate);
+        BatchJob::new(
+            BatchJobId(i as u64),
+            SimTime::from_ticks(arrival),
+            width,
+            SimDuration::from_ticks(estimate),
+            SimDuration::from_ticks(actual),
+        )
+    })
+    .collect()
 }
 
 /// Recomputes node usage from the outcome and asserts capacity is never
 /// exceeded at any start/end breakpoint.
-fn assert_capacity(
-    out: &gridsched_batch::cluster::BatchOutcome,
-    jobs: &[BatchJob],
-) -> Result<(), TestCaseError> {
+fn assert_capacity(out: &gridsched_batch::cluster::BatchOutcome, jobs: &[BatchJob]) {
     let widths: std::collections::HashMap<BatchJobId, u32> =
         jobs.iter().map(|j| (j.id(), j.width())).collect();
     let mut points: Vec<SimTime> = out.jobs().iter().flat_map(|o| [o.start, o.end]).collect();
@@ -51,91 +48,103 @@ fn assert_capacity(
             .filter(|o| o.start <= p && p < o.end)
             .map(|o| widths[&o.id])
             .sum();
-        prop_assert!(used <= CAPACITY, "usage {used} > {CAPACITY} at {p}");
+        assert!(used <= CAPACITY, "usage {used} > {CAPACITY} at {p}");
     }
-    Ok(())
 }
 
-proptest! {
-    /// Every policy completes every job without oversubscription, and no
-    /// job starts before it arrives or runs a wrong duration.
-    #[test]
-    fn policies_are_safe_and_complete(jobs in jobs_strategy()) {
+/// Every policy completes every job without oversubscription, and no
+/// job starts before it arrives or runs a wrong duration.
+#[test]
+fn policies_are_safe_and_complete() {
+    check(192, |g| {
+        let jobs = gen_jobs(g);
         let by_id: std::collections::HashMap<BatchJobId, BatchJob> =
             jobs.iter().map(|j| (j.id(), *j)).collect();
         for policy in QueuePolicy::ALL {
             let out = ClusterConfig::new(CAPACITY, policy).run(&jobs);
-            prop_assert_eq!(out.jobs().len(), jobs.len());
+            assert_eq!(out.jobs().len(), jobs.len());
             for o in out.jobs() {
                 let j = &by_id[&o.id];
-                prop_assert!(o.start >= j.arrival(), "{policy}: starts early");
-                prop_assert_eq!(o.end.since(o.start), j.actual(), "{}", policy);
+                assert!(o.start >= j.arrival(), "{policy}: starts early");
+                assert_eq!(o.end.since(o.start), j.actual(), "{policy}");
             }
-            assert_capacity(&out, &jobs)?;
+            assert_capacity(&out, &jobs);
         }
-    }
+    });
+}
 
-    /// FCFS starts jobs in arrival order.
-    #[test]
-    fn fcfs_preserves_arrival_order(jobs in jobs_strategy()) {
+/// FCFS starts jobs in arrival order.
+#[test]
+fn fcfs_preserves_arrival_order() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
         let out = ClusterConfig::new(CAPACITY, QueuePolicy::Fcfs).run(&jobs);
         let mut by_arrival: Vec<_> = out.jobs().to_vec();
         by_arrival.sort_by_key(|o| (o.arrival, o.id));
         for pair in by_arrival.windows(2) {
-            prop_assert!(
+            assert!(
                 pair[0].start <= pair[1].start,
                 "{:?} started after {:?}",
                 pair[0],
                 pair[1]
             );
         }
-    }
+    });
+}
 
-    /// With exact estimates and no competing arrivals in the queue,
-    /// forecasts are exact under FCFS.
-    #[test]
-    fn fcfs_forecasts_exact_with_exact_estimates(jobs in jobs_strategy()) {
+/// With exact estimates and no competing arrivals in the queue,
+/// forecasts are exact under FCFS.
+#[test]
+fn fcfs_forecasts_exact_with_exact_estimates() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
         let exact: Vec<BatchJob> = jobs
             .iter()
             .map(|j| BatchJob::new(j.id(), j.arrival(), j.width(), j.estimate(), j.estimate()))
             .collect();
         let out = ClusterConfig::new(CAPACITY, QueuePolicy::Fcfs).run(&exact);
         for o in out.jobs() {
-            prop_assert_eq!(
+            assert_eq!(
                 o.forecast_error(),
                 SimDuration::ZERO,
                 "forecast error for {}",
                 o.id
             );
         }
-    }
+    });
+}
 
-    /// With exact estimates, conservative backfilling is fully
-    /// predictable: reservations never move, so every start-time forecast
-    /// is exact. (Mean-wait domination over FCFS does NOT hold in general:
-    /// a backfilled narrow job can pin a hole a wide job was waiting for.)
-    #[test]
-    fn conservative_forecasts_exact_with_exact_estimates(jobs in jobs_strategy()) {
+/// With exact estimates, conservative backfilling is fully
+/// predictable: reservations never move, so every start-time forecast
+/// is exact. (Mean-wait domination over FCFS does NOT hold in general:
+/// a backfilled narrow job can pin a hole a wide job was waiting for.)
+#[test]
+fn conservative_forecasts_exact_with_exact_estimates() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
         let exact: Vec<BatchJob> = jobs
             .iter()
             .map(|j| BatchJob::new(j.id(), j.arrival(), j.width(), j.estimate(), j.estimate()))
             .collect();
         let out = ClusterConfig::new(CAPACITY, QueuePolicy::ConservativeBackfill).run(&exact);
         for o in out.jobs() {
-            prop_assert_eq!(
+            assert_eq!(
                 o.forecast_error(),
                 SimDuration::ZERO,
                 "forecast error for {}",
                 o.id
             );
         }
-    }
+    });
+}
 
-    /// Advance reservations are honoured: no job overlaps a reservation
-    /// window beyond remaining capacity.
-    #[test]
-    fn reservations_are_respected(jobs in jobs_strategy(), policy_idx in 0usize..4) {
-        let policy = QueuePolicy::ALL[policy_idx];
+/// Advance reservations are honoured: no job overlaps a reservation
+/// window beyond remaining capacity.
+#[test]
+fn reservations_are_respected() {
+    check(192, |g| {
+        let jobs = gen_jobs(g);
+        let policy = *g.pick(&QueuePolicy::ALL);
         let window = TimeWindow::new(SimTime::from_ticks(30), SimTime::from_ticks(50))
             .expect("valid window");
         let width = CAPACITY / 2;
@@ -154,10 +163,10 @@ proptest! {
                 .filter(|o| o.start <= p && p < o.end)
                 .map(|o| widths[&o.id])
                 .sum();
-            prop_assert!(
+            assert!(
                 used + width <= CAPACITY,
                 "{policy}: job usage {used} violates reservation at {p}"
             );
         }
-    }
+    });
 }

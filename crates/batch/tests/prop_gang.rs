@@ -1,72 +1,91 @@
 //! Property tests: gang-scheduling invariants.
 
-use proptest::prelude::*;
-
 use gridsched_batch::gang::{run_gang, GangConfig};
 use gridsched_batch::job::{BatchJob, BatchJobId};
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::time::{SimDuration, SimTime};
 
 const CAPACITY: u32 = 4;
 
-fn jobs_strategy() -> impl Strategy<Value = Vec<BatchJob>> {
-    prop::collection::vec((0u64..60, 1u32..=CAPACITY, 1u64..20), 1..25).prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (arrival, width, runtime))| {
-                BatchJob::new(
-                    BatchJobId(i as u64),
-                    SimTime::from_ticks(arrival),
-                    width,
-                    SimDuration::from_ticks(runtime),
-                    SimDuration::from_ticks(runtime),
-                )
-            })
-            .collect()
+fn gen_jobs(g: &mut Gen) -> Vec<BatchJob> {
+    g.vec_of(1, 24, |g| {
+        (
+            g.u64_in(0, 59),
+            g.u64_in(1, u64::from(CAPACITY)) as u32,
+            g.u64_in(1, 19),
+        )
     })
+    .into_iter()
+    .enumerate()
+    .map(|(i, (arrival, width, runtime))| {
+        BatchJob::new(
+            BatchJobId(i as u64),
+            SimTime::from_ticks(arrival),
+            width,
+            SimDuration::from_ticks(runtime),
+            SimDuration::from_ticks(runtime),
+        )
+    })
+    .collect()
 }
 
-proptest! {
-    /// Every job completes, starts no earlier than it arrives, and spends
-    /// at least its service time between start and end (time-slicing can
-    /// only stretch, never shrink, a job's span).
-    #[test]
-    fn gang_completes_everything((jobs, quantum) in (jobs_strategy(), 1u64..10)) {
-        let out = run_gang(GangConfig::new(CAPACITY, SimDuration::from_ticks(quantum)), &jobs);
-        prop_assert_eq!(out.len(), jobs.len());
+/// Every job completes, starts no earlier than it arrives, and spends
+/// at least its service time between start and end (time-slicing can
+/// only stretch, never shrink, a job's span).
+#[test]
+fn gang_completes_everything() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
+        let quantum = g.u64_in(1, 9);
+        let out = run_gang(
+            GangConfig::new(CAPACITY, SimDuration::from_ticks(quantum)),
+            &jobs,
+        );
+        assert_eq!(out.len(), jobs.len());
         let by_id: std::collections::HashMap<BatchJobId, &BatchJob> =
             jobs.iter().map(|j| (j.id(), j)).collect();
         for o in &out {
             let j = by_id[&o.id];
-            prop_assert!(o.start >= j.arrival(), "{:?}", o);
+            assert!(o.start >= j.arrival(), "{o:?}");
             let span = o.end.since(o.start);
-            prop_assert!(span >= j.actual(), "span {span} < service {}", j.actual());
+            assert!(span >= j.actual(), "span {span} < service {}", j.actual());
         }
-    }
+    });
+}
 
-    /// Time-slicing bounds the time to first service: a job starts within
-    /// `rows × quantum` of its arrival, where `rows` is at most the number
-    /// of jobs in the system.
-    #[test]
-    fn gang_bounds_time_to_first_service((jobs, quantum) in (jobs_strategy(), 1u64..10)) {
-        let out = run_gang(GangConfig::new(CAPACITY, SimDuration::from_ticks(quantum)), &jobs);
+/// Time-slicing bounds the time to first service: a job starts within
+/// `rows × quantum` of its arrival, where `rows` is at most the number
+/// of jobs in the system.
+#[test]
+fn gang_bounds_time_to_first_service() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
+        let quantum = g.u64_in(1, 9);
+        let out = run_gang(
+            GangConfig::new(CAPACITY, SimDuration::from_ticks(quantum)),
+            &jobs,
+        );
         let n = jobs.len() as u64;
         for o in &out {
             let wait = o.wait().ticks();
             // Worst case: every other job occupies its own row ahead of us,
             // plus grid-alignment slack of one quantum.
-            prop_assert!(
+            assert!(
                 wait <= (n + 1) * quantum,
                 "wait {wait} exceeds bound {} (quantum {quantum}, {n} jobs)",
                 (n + 1) * quantum
             );
         }
-    }
+    });
+}
 
-    /// Gang is deterministic.
-    #[test]
-    fn gang_is_deterministic((jobs, quantum) in (jobs_strategy(), 1u64..10)) {
+/// Gang is deterministic.
+#[test]
+fn gang_is_deterministic() {
+    check(256, |g| {
+        let jobs = gen_jobs(g);
+        let quantum = g.u64_in(1, 9);
         let cfg = GangConfig::new(CAPACITY, SimDuration::from_ticks(quantum));
-        prop_assert_eq!(run_gang(cfg, &jobs), run_gang(cfg, &jobs));
-    }
+        assert_eq!(run_gang(cfg, &jobs), run_gang(cfg, &jobs));
+    });
 }

@@ -1,13 +1,12 @@
-//! Criterion bench: local batch-system simulation under each §5 policy.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Bench: local batch-system simulation under each §5 policy.
 
 use gridsched::batch::cluster::ClusterConfig;
 use gridsched::batch::policy::QueuePolicy;
 use gridsched::sim::rng::SimRng;
 use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
+use gridsched_bench::timing::Group;
 
-fn bench_batch_policies(c: &mut Criterion) {
+fn main() {
     let jobs = generate_batch_jobs(
         &BatchWorkloadConfig {
             jobs: 200,
@@ -18,13 +17,9 @@ fn bench_batch_policies(c: &mut Criterion) {
         &mut SimRng::seed_from(3),
     );
 
-    let mut group = c.benchmark_group("batch_policies_200_jobs");
+    let group = Group::new("batch_policies_200_jobs");
     for policy in QueuePolicy::ALL {
         let cluster = ClusterConfig::new(8, policy);
-        group.bench_function(policy.name(), |b| b.iter(|| cluster.run(&jobs)));
+        group.bench(policy.name(), || cluster.run(&jobs));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_batch_policies);
-criterion_main!(benches);

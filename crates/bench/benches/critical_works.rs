@@ -1,9 +1,7 @@
-//! Criterion bench: the critical works method itself.
+//! Bench: the critical works method itself.
 //!
 //! Measures `build_distribution` on the paper's Fig. 2 job and on random
 //! jobs of growing size, on a 25-node pool.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gridsched::core::method::{build_distribution, build_distribution_recovering, ScheduleRequest};
 use gridsched::data::policy::DataPolicy;
@@ -17,6 +15,7 @@ use gridsched::sim::rng::SimRng;
 use gridsched::sim::time::SimTime;
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
+use gridsched_bench::timing::Group;
 
 fn fig2_pool() -> ResourcePool {
     let mut pool = ResourcePool::new();
@@ -39,47 +38,36 @@ fn sized_job(layers: usize, seed: u64) -> Job {
     generate_job(&cfg, JobId::new(seed), SimTime::ZERO, &mut SimRng::seed_from(seed))
 }
 
-fn bench_critical_works(c: &mut Criterion) {
-    let mut group = c.benchmark_group("critical_works");
+fn main() {
+    let group = Group::new("critical_works");
     let policy = DataPolicy::remote_access();
 
     let fig2 = fig2_job();
     let pool4 = fig2_pool();
-    group.bench_function("fig2_job_4_nodes", |b| {
-        b.iter(|| {
-            build_distribution(&ScheduleRequest {
-                job: &fig2,
-                pool: &pool4,
-                policy: &policy,
-                scenario: EstimateScenario::BEST,
-                release: SimTime::ZERO,
-            })
-            .expect("feasible")
+    group.bench("fig2_job_4_nodes", || {
+        build_distribution(&ScheduleRequest {
+            job: &fig2,
+            pool: &pool4,
+            policy: &policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
         })
+        .expect("feasible")
     });
 
     let pool = generate_pool(&PoolConfig::default(), &mut SimRng::seed_from(1));
     for layers in [3usize, 6, 10] {
         let job = sized_job(layers, layers as u64);
-        group.bench_with_input(
-            BenchmarkId::new("random_job_tasks", job.task_count()),
-            &job,
-            |b, job| {
-                b.iter(|| {
-                    build_distribution_recovering(&ScheduleRequest {
-                        job,
-                        pool: &pool,
-                        policy: &policy,
-                        scenario: EstimateScenario::BEST,
-                        release: SimTime::ZERO,
-                    })
-                    .expect("feasible with recovery")
-                })
-            },
-        );
+        let label = format!("random_job_tasks/{}", job.task_count());
+        group.bench(&label, || {
+            build_distribution_recovering(&ScheduleRequest {
+                job: &job,
+                pool: &pool,
+                policy: &policy,
+                scenario: EstimateScenario::BEST,
+                release: SimTime::ZERO,
+            })
+            .expect("feasible with recovery")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_critical_works);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
-//! Criterion bench: raw discrete-event engine throughput and timetable
+//! Bench: raw discrete-event engine throughput and timetable
 //! operations (the substrate everything else stands on).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use gridsched::model::timetable::{ReservationOwner, Timetable};
 use gridsched::model::window::TimeWindow;
 use gridsched::sim::engine::{Engine, Scheduler, World};
 use gridsched::sim::time::{SimDuration, SimTime};
+use gridsched_bench::timing::Group;
 
 struct Chain {
     remaining: u64,
@@ -22,23 +21,19 @@ impl World for Chain {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_engine");
+fn main() {
+    let group = Group::new("sim_engine");
     for events in [1_000u64, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::new("event_chain", events), &events, |b, &n| {
-            b.iter(|| {
-                let mut engine = Engine::new();
-                engine.prime(SimTime::ZERO, ());
-                let mut world = Chain { remaining: n };
-                engine.run(&mut world)
-            })
+        let label = format!("event_chain/{events}");
+        group.bench(&label, || {
+            let mut engine = Engine::new();
+            engine.prime(SimTime::ZERO, ());
+            let mut world = Chain { remaining: events };
+            engine.run(&mut world)
         });
     }
-    group.finish();
-}
 
-fn bench_timetable(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timetable");
+    let group = Group::new("timetable");
     // A timetable with 1000 busy windows; measure earliest-fit probing.
     let mut tt = Timetable::new();
     for k in 0..1000u64 {
@@ -49,25 +44,21 @@ fn bench_timetable(c: &mut Criterion) {
         .expect("valid");
         tt.reserve(w, ReservationOwner::Background(k)).expect("free");
     }
-    group.bench_function("earliest_fit_1000_reservations", |b| {
-        b.iter(|| {
-            tt.earliest_fit(
-                SimTime::ZERO,
-                SimDuration::from_ticks(4),
-                SimTime::from_ticks(20_000),
-            )
-        })
+    group.bench("earliest_fit_1000_reservations", || {
+        tt.earliest_fit(
+            SimTime::ZERO,
+            SimDuration::from_ticks(4),
+            SimTime::from_ticks(20_000),
+        )
     });
-    group.bench_function("reserve_release_cycle", |b| {
-        let w = TimeWindow::new(SimTime::from_ticks(10_007), SimTime::from_ticks(10_009))
-            .expect("valid");
-        b.iter(|| {
-            let id = tt.reserve(w, ReservationOwner::Background(u64::MAX)).expect("free");
-            tt.release(id).expect("present");
-        })
+    let w = TimeWindow::new(SimTime::from_ticks(10_007), SimTime::from_ticks(10_009))
+        .expect("valid");
+    let cell = std::cell::RefCell::new(tt);
+    group.bench("reserve_release_cycle", || {
+        let mut tt = cell.borrow_mut();
+        let id = tt
+            .reserve(w, ReservationOwner::Background(u64::MAX))
+            .expect("free");
+        tt.release(id).expect("present");
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine, bench_timetable);
-criterion_main!(benches);

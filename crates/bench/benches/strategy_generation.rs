@@ -1,11 +1,9 @@
-//! Criterion bench: strategy generation cost — the §4 ablation.
+//! Bench: strategy generation cost — the §4 ablation.
 //!
 //! The paper motivates MS1 by generation economy: "The type S1 has more
 //! computational expenses than MS1." This bench quantifies the claim: a
 //! full four-scenario sweep (S1/S2/S3) versus the two-scenario best/worst
 //! sweep (MS1) on identical inputs.
-
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
 use gridsched::model::ids::JobId;
@@ -13,8 +11,9 @@ use gridsched::sim::rng::SimRng;
 use gridsched::sim::time::SimTime;
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
+use gridsched_bench::timing::Group;
 
-fn bench_strategy_generation(c: &mut Criterion) {
+fn main() {
     let mut rng = SimRng::seed_from(7);
     let pool = generate_pool(&PoolConfig::default(), &mut rng);
     let job = generate_job(
@@ -27,15 +26,11 @@ fn bench_strategy_generation(c: &mut Criterion) {
         &mut rng,
     );
 
-    let mut group = c.benchmark_group("strategy_generation");
+    let group = Group::new("strategy_generation");
     for kind in StrategyKind::ALL {
         let config = StrategyConfig::for_kind(kind, &pool);
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| Strategy::generate(&job, &pool, &config, SimTime::ZERO))
+        group.bench(kind.name(), || {
+            Strategy::generate(&job, &pool, &config, SimTime::ZERO)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_strategy_generation);
-criterion_main!(benches);

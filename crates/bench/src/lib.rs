@@ -9,6 +9,8 @@ use gridsched::flow::metascheduler::FlowAssignment;
 use gridsched::flow::simulation::{run_campaign, CampaignConfig};
 use gridsched::flow::VoReport;
 
+pub mod timing;
+
 /// Parses `--key value` style overrides from `std::env::args`.
 ///
 /// Unknown keys are ignored so every binary accepts the common knobs.

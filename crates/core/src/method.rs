@@ -721,20 +721,29 @@ mod tests {
             &mut gridsched_sim::rng::SimRng::seed_from(1),
         );
         let policy = DataPolicy::remote_access();
-        // An 18-task deep fork-join: the packed critical-works pass
-        // strands a cross task; recovery list-schedules it.
-        let job = generate_job(
-            &JobConfig {
-                layers_min: 10,
-                layers_max: 10,
-                width_max: 3,
-                deadline_factor: 20.0,
-                ..JobConfig::default()
-            },
-            gridsched_model::ids::JobId::new(10),
-            SimTime::ZERO,
-            &mut gridsched_sim::rng::SimRng::seed_from(10),
-        );
+        // A deep fork-join where the packed critical-works pass strands a
+        // cross task; recovery list-schedules it. The exact shape depends
+        // on the PRNG stream, so scan a deterministic seed range for the
+        // first stranding instance instead of pinning one seed.
+        let make = |seed: u64| {
+            generate_job(
+                &JobConfig {
+                    layers_min: 10,
+                    layers_max: 10,
+                    width_max: 3,
+                    deadline_factor: 20.0,
+                    ..JobConfig::default()
+                },
+                gridsched_model::ids::JobId::new(seed),
+                SimTime::ZERO,
+                &mut gridsched_sim::rng::SimRng::seed_from(seed),
+            )
+        };
+        let stranded = (0..500u64).map(make).find(|job| {
+            let req = request(job, &pool, &policy);
+            build_distribution(&req).is_err()
+        });
+        let job = stranded.expect("some deep fork-join strands the chains-only pass");
         let req = request(&job, &pool, &policy);
         assert!(build_distribution(&req).is_err(), "chains alone strand this job");
         let recovered = build_distribution_recovering(&req).unwrap();

@@ -1,49 +1,50 @@
 //! Property tests: coarsening and Gantt rendering on random jobs.
 
-use proptest::prelude::*;
-
 use gridsched_core::gantt::render_gantt;
 use gridsched_core::granularity::coarsen;
 use gridsched_core::method::{build_distribution, ScheduleRequest};
 use gridsched_data::policy::DataPolicy;
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::JobId;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::rng::SimRng;
 use gridsched_sim::time::SimTime;
 use gridsched_workload::jobs::{generate_job, JobConfig};
 use gridsched_workload::pool::{generate_pool, PoolConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Coarsening preserves total volume, never adds tasks or edges, keeps
-    /// the deadline, and is idempotent.
-    #[test]
-    fn coarsening_invariants(seed in 0u64..10_000) {
+/// Coarsening preserves total volume, never adds tasks or edges, keeps
+/// the deadline, and is idempotent.
+#[test]
+fn coarsening_invariants() {
+    check(64, |g: &mut Gen| {
+        let seed = g.u64_in(0, 9_999);
         let mut rng = SimRng::seed_from(seed);
         let job = generate_job(&JobConfig::default(), JobId::new(seed), SimTime::ZERO, &mut rng);
         let once = coarsen(&job);
-        prop_assert_eq!(once.job.total_volume(), job.total_volume());
-        prop_assert!(once.job.task_count() <= job.task_count());
-        prop_assert!(once.job.edges().len() <= job.edges().len());
-        prop_assert_eq!(once.job.deadline(), job.deadline());
-        prop_assert_eq!(once.job.id(), job.id());
+        assert_eq!(once.job.total_volume(), job.total_volume());
+        assert!(once.job.task_count() <= job.task_count());
+        assert!(once.job.edges().len() <= job.edges().len());
+        assert_eq!(once.job.deadline(), job.deadline());
+        assert_eq!(once.job.id(), job.id());
         // The mapping covers every original task with a valid target.
-        prop_assert_eq!(once.mapping.len(), job.task_count());
+        assert_eq!(once.mapping.len(), job.task_count());
         for t in &once.mapping {
-            prop_assert!(t.index() < once.job.task_count());
+            assert!(t.index() < once.job.task_count());
         }
         // Idempotence: a coarsened job has no mergeable runs left.
         let twice = coarsen(&once.job);
-        prop_assert_eq!(twice.job.task_count(), once.job.task_count());
-        prop_assert_eq!(twice.job.edges().len(), once.job.edges().len());
-    }
+        assert_eq!(twice.job.task_count(), once.job.task_count());
+        assert_eq!(twice.job.edges().len(), once.job.edges().len());
+    });
+}
 
-    /// Coarsening preserves the precedence structure: if original task `a`
-    /// precedes `b` (directly) and they land in different groups, the
-    /// groups are connected in the coarse DAG.
-    #[test]
-    fn coarsening_preserves_cross_group_edges(seed in 0u64..5_000) {
+/// Coarsening preserves the precedence structure: if original task `a`
+/// precedes `b` (directly) and they land in different groups, the
+/// groups are connected in the coarse DAG.
+#[test]
+fn coarsening_preserves_cross_group_edges() {
+    check(64, |g: &mut Gen| {
+        let seed = g.u64_in(0, 4_999);
         let mut rng = SimRng::seed_from(seed);
         let job = generate_job(&JobConfig::default(), JobId::new(seed), SimTime::ZERO, &mut rng);
         let coarse = coarsen(&job);
@@ -51,23 +52,32 @@ proptest! {
             let gf = coarse.mapping[e.from().index()];
             let gt = coarse.mapping[e.to().index()];
             if gf != gt {
-                prop_assert!(
+                assert!(
                     coarse.job.successors(gf).any(|s| s == gt),
                     "edge {}->{} lost: groups {} and {} unconnected",
-                    e.from(), e.to(), gf, gt
+                    e.from(),
+                    e.to(),
+                    gf,
+                    gt
                 );
             }
         }
-    }
+    });
+}
 
-    /// Gantt rendering never panics on a valid schedule and paints exactly
-    /// the reserved wall time.
-    #[test]
-    fn gantt_paints_exactly_the_wall_time(seed in 0u64..5_000) {
+/// Gantt rendering never panics on a valid schedule and paints exactly
+/// the reserved wall time.
+#[test]
+fn gantt_paints_exactly_the_wall_time() {
+    check(64, |g: &mut Gen| {
+        let seed = g.u64_in(0, 4_999);
         let mut rng = SimRng::seed_from(seed);
         let pool = generate_pool(&PoolConfig::default(), &mut rng);
         let job = generate_job(
-            &JobConfig { deadline_factor: 6.0, ..JobConfig::default() },
+            &JobConfig {
+                deadline_factor: 6.0,
+                ..JobConfig::default()
+            },
             JobId::new(seed),
             SimTime::ZERO,
             &mut rng,
@@ -80,7 +90,7 @@ proptest! {
             scenario: EstimateScenario::BEST,
             release: SimTime::ZERO,
         }) else {
-            return Ok(());
+            return;
         };
         let chart = render_gantt(&dist, &pool);
         let busy: usize = chart
@@ -97,6 +107,6 @@ proptest! {
             .iter()
             .map(|p| p.window.duration().ticks())
             .sum();
-        prop_assert_eq!(busy as u64, expected);
-    }
+        assert_eq!(busy as u64, expected);
+    });
 }

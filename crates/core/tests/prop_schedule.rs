@@ -2,42 +2,50 @@
 //! feasible — precedence-correct, non-overlapping, deadline-respecting and
 //! consistent with pre-existing background reservations.
 
-use proptest::prelude::*;
-
 use gridsched_core::method::{build_distribution, ScheduleRequest};
 use gridsched_core::strategy::{Strategy as SchedulingStrategy, StrategyConfig, StrategyKind};
 use gridsched_data::policy::DataPolicy;
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::JobId;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::rng::SimRng;
 use gridsched_sim::time::SimTime;
 use gridsched_workload::background::{apply_background_load, BackgroundConfig};
 use gridsched_workload::jobs::{generate_job, JobConfig};
 use gridsched_workload::pool::{generate_pool, PoolConfig};
 
-fn inputs() -> impl Strategy<Value = (u64, f64, f64)> {
-    // (seed, deadline factor, background load)
-    (0u64..10_000, 1.5f64..8.0, 0.0f64..0.7)
+/// (seed, deadline factor, background load)
+fn gen_inputs(g: &mut Gen) -> (u64, f64, f64) {
+    (
+        g.u64_in(0, 9_999),
+        g.f64_in(1.5, 8.0),
+        g.f64_in(0.0, 0.7),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any schedule built on a randomly loaded pool validates, meets the
-    /// deadline, and never overlaps background reservations.
-    #[test]
-    fn schedules_are_feasible((seed, df, load) in inputs()) {
+/// Any schedule built on a randomly loaded pool validates, meets the
+/// deadline, and never overlaps background reservations.
+#[test]
+fn schedules_are_feasible() {
+    check(64, |g| {
+        let (seed, df, load) = gen_inputs(g);
         let mut rng = SimRng::seed_from(seed);
         let mut pool = generate_pool(&PoolConfig::default(), &mut rng);
         if load > 0.01 {
             apply_background_load(
                 &mut pool,
-                &BackgroundConfig { load, ..BackgroundConfig::default() },
+                &BackgroundConfig {
+                    load,
+                    ..BackgroundConfig::default()
+                },
                 &mut rng,
             );
         }
         let job = generate_job(
-            &JobConfig { deadline_factor: df, ..JobConfig::default() },
+            &JobConfig {
+                deadline_factor: df,
+                ..JobConfig::default()
+            },
             JobId::new(seed),
             SimTime::ZERO,
             &mut rng,
@@ -51,25 +59,27 @@ proptest! {
             release: SimTime::ZERO,
         });
         if let Ok(dist) = result {
-            prop_assert_eq!(dist.validate(&job, &pool), Ok(()));
-            prop_assert!(dist.meets_deadline(job.absolute_deadline()));
+            assert_eq!(dist.validate(&job, &pool), Ok(()));
+            assert!(dist.meets_deadline(job.absolute_deadline()));
             for p in dist.placements() {
-                prop_assert!(
+                assert!(
                     pool.timetable(p.node).is_free(p.window),
-                    "placement {} overlaps background load",
-                    p
+                    "placement {p} overlaps background load"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Cost monotonicity: a longer deadline never makes the cheapest
-    /// schedule more expensive (the paper's pay-for-speed economics).
-    /// Restricted to single-chain (pipeline) jobs, where the Pareto DP is
-    /// exact; on fork-joins the multiphase heuristic is only approximately
-    /// monotone.
-    #[test]
-    fn cost_is_monotone_in_deadline(seed in 0u64..2_000) {
+/// Cost monotonicity: a longer deadline never makes the cheapest
+/// schedule more expensive (the paper's pay-for-speed economics).
+/// Restricted to single-chain (pipeline) jobs, where the Pareto DP is
+/// exact; on fork-joins the multiphase heuristic is only approximately
+/// monotone.
+#[test]
+fn cost_is_monotone_in_deadline() {
+    check(64, |g| {
+        let seed = g.u64_in(0, 1_999);
         let mut rng = SimRng::seed_from(seed);
         let pool = generate_pool(&PoolConfig::default(), &mut rng);
         let policy = DataPolicy::remote_access();
@@ -95,7 +105,7 @@ proptest! {
             });
             if let Ok(dist) = result {
                 if let Some(prev) = previous {
-                    prop_assert!(
+                    assert!(
                         dist.cost() <= prev,
                         "cost rose from {prev} to {} when deadline loosened to {df}",
                         dist.cost()
@@ -104,16 +114,22 @@ proptest! {
                 previous = Some(dist.cost());
             }
         }
-    }
+    });
+}
 
-    /// Every strategy kind produces only valid, deadline-meeting schedules
-    /// on random inputs; MS1 never has more schedules than S1.
-    #[test]
-    fn strategies_produce_valid_schedules(seed in 0u64..2_000) {
+/// Every strategy kind produces only valid, deadline-meeting schedules
+/// on random inputs; MS1 never has more schedules than S1.
+#[test]
+fn strategies_produce_valid_schedules() {
+    check(48, |g| {
+        let seed = g.u64_in(0, 1_999);
         let mut rng = SimRng::seed_from(seed);
         let pool = generate_pool(&PoolConfig::default(), &mut rng);
         let job = generate_job(
-            &JobConfig { deadline_factor: 5.0, ..JobConfig::default() },
+            &JobConfig {
+                deadline_factor: 5.0,
+                ..JobConfig::default()
+            },
             JobId::new(seed),
             SimTime::ZERO,
             &mut rng,
@@ -123,37 +139,46 @@ proptest! {
             let config = StrategyConfig::for_kind(kind, &pool);
             let strategy = SchedulingStrategy::generate(&job, &pool, &config, SimTime::ZERO);
             for d in strategy.distributions() {
-                prop_assert_eq!(d.validate(strategy.job(), &pool), Ok(()), "{}", kind);
-                prop_assert!(d.meets_deadline(strategy.job().absolute_deadline()));
+                assert_eq!(d.validate(strategy.job(), &pool), Ok(()), "{kind}");
+                assert!(d.meets_deadline(strategy.job().absolute_deadline()));
             }
             match kind {
                 StrategyKind::S1 => s1_count = Some(strategy.distributions().len()),
                 StrategyKind::Ms1 => {
                     if let Some(s1) = s1_count {
-                        prop_assert!(strategy.distributions().len() <= s1.max(2));
+                        assert!(strategy.distributions().len() <= s1.max(2));
                     }
                 }
                 _ => {}
             }
         }
-    }
+    });
+}
 
-    /// Scheduling is a pure function of its inputs: the pool's timetables
-    /// are never mutated.
-    #[test]
-    fn scheduling_never_mutates_the_pool((seed, df, load) in inputs()) {
+/// Scheduling is a pure function of its inputs: the pool's timetables
+/// are never mutated.
+#[test]
+fn scheduling_never_mutates_the_pool() {
+    check(64, |g| {
+        let (seed, df, load) = gen_inputs(g);
         let mut rng = SimRng::seed_from(seed);
         let mut pool = generate_pool(&PoolConfig::default(), &mut rng);
         if load > 0.01 {
             apply_background_load(
                 &mut pool,
-                &BackgroundConfig { load, ..BackgroundConfig::default() },
+                &BackgroundConfig {
+                    load,
+                    ..BackgroundConfig::default()
+                },
                 &mut rng,
             );
         }
         let before: Vec<usize> = pool.nodes().map(|n| pool.timetable(n.id()).len()).collect();
         let job = generate_job(
-            &JobConfig { deadline_factor: df, ..JobConfig::default() },
+            &JobConfig {
+                deadline_factor: df,
+                ..JobConfig::default()
+            },
             JobId::new(seed),
             SimTime::ZERO,
             &mut rng,
@@ -167,6 +192,6 @@ proptest! {
             release: SimTime::ZERO,
         });
         let after: Vec<usize> = pool.nodes().map(|n| pool.timetable(n.id()).len()).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
 }

@@ -1,13 +1,12 @@
 //! Property tests: data-policy delay structure.
 
-use proptest::prelude::*;
-
 use gridsched_data::network::TransferModel;
 use gridsched_data::policy::DataPolicy;
 use gridsched_model::ids::{DomainId, NodeId};
 use gridsched_model::node::ResourcePool;
 use gridsched_model::perf::Perf;
 use gridsched_model::volume::Volume;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::time::SimDuration;
 
 fn pool_with(domains: &[u32]) -> ResourcePool {
@@ -16,6 +15,10 @@ fn pool_with(domains: &[u32]) -> ResourcePool {
         pool.add_node(DomainId::new(d), Perf::FULL);
     }
     pool
+}
+
+fn gen_domains(g: &mut Gen, min: usize, max: usize) -> Vec<u32> {
+    g.vec_of(min, max, |g| g.u64_in(0, 3) as u32)
 }
 
 fn policies(pool: &ResourcePool) -> Vec<DataPolicy> {
@@ -27,88 +30,84 @@ fn policies(pool: &ResourcePool) -> Vec<DataPolicy> {
     ]
 }
 
-proptest! {
-    /// Delays are always non-negative in span, zero on the same node, and
-    /// monotone in volume.
-    #[test]
-    fn delays_are_sane(
-        domains in prop::collection::vec(0u32..4, 2..10),
-        from_idx in any::<prop::sample::Index>(),
-        to_idx in any::<prop::sample::Index>(),
-        v1 in 1.0f64..50.0,
-        extra in 0.0f64..50.0,
-    ) {
+/// Delays are always non-negative in span, zero on the same node, and
+/// monotone in volume.
+#[test]
+fn delays_are_sane() {
+    check(256, |g| {
+        let domains = gen_domains(g, 2, 9);
+        let from = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let to = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let v1 = g.f64_in(1.0, 50.0);
+        let extra = g.f64_in(0.0, 50.0);
         let pool = pool_with(&domains);
-        let from = NodeId::new(from_idx.index(domains.len()) as u32);
-        let to = NodeId::new(to_idx.index(domains.len()) as u32);
         for policy in policies(&pool) {
             let small = policy.consumer_delay(Volume::new(v1), from, to, &pool);
             let large = policy.consumer_delay(Volume::new(v1 + extra), from, to, &pool);
-            prop_assert!(large >= small, "{policy}: delay not monotone in volume");
+            assert!(large >= small, "{policy}: delay not monotone in volume");
             let same = policy.consumer_delay(Volume::new(v1), from, from, &pool);
-            prop_assert_eq!(same, SimDuration::ZERO, "{}: same node not free", policy);
+            assert_eq!(same, SimDuration::ZERO, "{policy}: same node not free");
             let zero = policy.consumer_delay(Volume::ZERO, from, to, &pool);
-            prop_assert_eq!(zero, SimDuration::ZERO, "{}: empty data not free", policy);
+            assert_eq!(zero, SimDuration::ZERO, "{policy}: empty data not free");
         }
-    }
+    });
+}
 
-    /// Replication's consumer delay never exceeds remote access's for the
-    /// same arc: a local replica is at least as close as the producer.
-    #[test]
-    fn replication_dominates_remote_access(
-        domains in prop::collection::vec(0u32..4, 2..10),
-        from_idx in any::<prop::sample::Index>(),
-        to_idx in any::<prop::sample::Index>(),
-        volume in 1.0f64..50.0,
-    ) {
+/// Replication's consumer delay never exceeds remote access's for the
+/// same arc: a local replica is at least as close as the producer.
+#[test]
+fn replication_dominates_remote_access() {
+    check(256, |g| {
+        let domains = gen_domains(g, 2, 9);
+        let from = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let to = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let volume = g.f64_in(1.0, 50.0);
         let pool = pool_with(&domains);
-        let from = NodeId::new(from_idx.index(domains.len()) as u32);
-        let to = NodeId::new(to_idx.index(domains.len()) as u32);
         let v = Volume::new(volume);
         let repl = DataPolicy::active_replication().consumer_delay(v, from, to, &pool);
         let remote = DataPolicy::remote_access().consumer_delay(v, from, to, &pool);
-        prop_assert!(repl <= remote, "replication {repl} > remote {remote}");
-    }
+        assert!(repl <= remote, "replication {repl} > remote {remote}");
+    });
+}
 
-    /// Point-to-point transfer time never beats the triangle through a
-    /// relay by more than the relay overhead allows: direct <= via-relay.
-    #[test]
-    fn transfers_satisfy_triangle_inequality(
-        domains in prop::collection::vec(0u32..4, 3..10),
-        a_idx in any::<prop::sample::Index>(),
-        b_idx in any::<prop::sample::Index>(),
-        c_idx in any::<prop::sample::Index>(),
-        volume in 1.0f64..50.0,
-    ) {
+/// Point-to-point transfer time never beats the triangle through a
+/// relay by more than the relay overhead allows: direct <= via-relay.
+#[test]
+fn transfers_satisfy_triangle_inequality() {
+    check(256, |g| {
+        let domains = gen_domains(g, 3, 9);
+        let a_id = g.usize_in(0, domains.len() - 1) as u32;
+        let b_id = g.usize_in(0, domains.len() - 1) as u32;
+        let c_id = g.usize_in(0, domains.len() - 1) as u32;
+        let volume = g.f64_in(1.0, 50.0);
         let pool = pool_with(&domains);
         let model = TransferModel::default();
         let v = Volume::new(volume);
-        let a = pool.node(NodeId::new(a_idx.index(domains.len()) as u32));
-        let b = pool.node(NodeId::new(b_idx.index(domains.len()) as u32));
-        let c = pool.node(NodeId::new(c_idx.index(domains.len()) as u32));
+        let a = pool.node(NodeId::new(a_id));
+        let b = pool.node(NodeId::new(b_id));
+        let c = pool.node(NodeId::new(c_id));
         let direct = model.point_to_point(v, a, c);
         let relayed = model.point_to_point(v, a, b) + model.point_to_point(v, b, c);
         if a.id() != b.id() && b.id() != c.id() {
-            prop_assert!(direct <= relayed, "direct {direct} > relayed {relayed}");
+            assert!(direct <= relayed, "direct {direct} > relayed {relayed}");
         }
-    }
+    });
+}
 
-    /// Network traffic accounting is non-negative and zero for empty data.
-    #[test]
-    fn traffic_accounting_is_sane(
-        domains in prop::collection::vec(0u32..4, 2..10),
-        from_idx in any::<prop::sample::Index>(),
-        to_idx in any::<prop::sample::Index>(),
-        volume in 1.0f64..50.0,
-    ) {
+/// Network traffic accounting is non-negative and zero for empty data.
+#[test]
+fn traffic_accounting_is_sane() {
+    check(256, |g| {
+        let domains = gen_domains(g, 2, 9);
+        let from = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let to = NodeId::new(g.usize_in(0, domains.len() - 1) as u32);
+        let volume = g.f64_in(1.0, 50.0);
         let pool = pool_with(&domains);
-        let from = NodeId::new(from_idx.index(domains.len()) as u32);
-        let to = NodeId::new(to_idx.index(domains.len()) as u32);
         for policy in policies(&pool) {
             let t = policy.network_traffic(Volume::new(volume), from, to, &pool);
-            prop_assert!(t.units() >= 0.0);
+            assert!(t.units() >= 0.0);
             let z = policy.network_traffic(Volume::ZERO, from, to, &pool);
-            prop_assert!(z.is_zero());
+            assert!(z.is_zero());
         }
-    }
+    });
 }

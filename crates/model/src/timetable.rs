@@ -233,6 +233,43 @@ impl Timetable {
         before - self.reservations.len()
     }
 
+    /// Voids every **task-owned** reservation overlapping `window`,
+    /// returning the removed reservations in start order.
+    ///
+    /// This is the node-outage primitive of the fault-injection subsystem:
+    /// when a node goes dark for a window, every application-level
+    /// reservation touching that window is seized, while background and
+    /// transfer reservations (owned by independent flows) stay in place to
+    /// keep the timetable's view of external load intact.
+    pub fn void_tasks_within(&mut self, window: TimeWindow) -> Vec<Reservation> {
+        let mut voided = Vec::new();
+        self.reservations.retain(|r| {
+            let hit =
+                matches!(r.owner, ReservationOwner::Task(_)) && r.window.overlaps(window);
+            if hit {
+                voided.push(*r);
+            }
+            !hit
+        });
+        debug_assert!(self.invariants_hold());
+        voided
+    }
+
+    /// Releases every reservation held by any task of `job`; returns the
+    /// removed reservations in start order. Used when a job is dropped so
+    /// its entire footprint is guaranteed to leave the calendar.
+    pub fn release_job(&mut self, job: crate::ids::JobId) -> Vec<Reservation> {
+        let mut removed = Vec::new();
+        self.reservations.retain(|r| {
+            let hit = matches!(r.owner, ReservationOwner::Task(gid) if gid.job == job);
+            if hit {
+                removed.push(*r);
+            }
+            !hit
+        });
+        removed
+    }
+
     /// Finds the earliest start `s >= not_before` such that
     /// `[s, s + duration)` is free and ends no later than `deadline`.
     #[must_use]
@@ -368,6 +405,46 @@ mod tests {
         tt.reserve(w(8, 9), bg(0)).unwrap();
         assert_eq!(tt.release_owned_by(owner), 2);
         assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn void_tasks_within_spares_background() {
+        let mut tt = Timetable::new();
+        let owner = |j: u64| {
+            ReservationOwner::Task(GlobalTaskId {
+                job: JobId::new(j),
+                task: TaskId::new(0),
+            })
+        };
+        tt.reserve(w(0, 4), owner(1)).unwrap();
+        tt.reserve(w(5, 8), bg(0)).unwrap();
+        tt.reserve(w(9, 12), owner(2)).unwrap();
+        tt.reserve(w(14, 16), owner(3)).unwrap();
+        let voided = tt.void_tasks_within(w(3, 10));
+        let windows: Vec<TimeWindow> = voided.iter().map(Reservation::window).collect();
+        assert_eq!(windows, vec![w(0, 4), w(9, 12)]);
+        assert_eq!(tt.len(), 2, "background + untouched task remain");
+        assert!(tt.is_free(w(0, 4)));
+        assert!(!tt.is_free(w(5, 8)), "background survives the void");
+    }
+
+    #[test]
+    fn release_job_clears_every_task_of_that_job() {
+        let mut tt = Timetable::new();
+        let gid = |j: u64, t: u32| {
+            ReservationOwner::Task(GlobalTaskId {
+                job: JobId::new(j),
+                task: TaskId::new(t),
+            })
+        };
+        tt.reserve(w(0, 2), gid(7, 0)).unwrap();
+        tt.reserve(w(3, 5), gid(7, 1)).unwrap();
+        tt.reserve(w(6, 8), gid(8, 0)).unwrap();
+        tt.reserve(w(9, 10), bg(0)).unwrap();
+        let removed = tt.release_job(JobId::new(7));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(tt.len(), 2);
+        assert!(tt.release_job(JobId::new(7)).is_empty(), "idempotent");
     }
 
     #[test]

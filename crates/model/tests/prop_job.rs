@@ -1,24 +1,24 @@
 //! Property tests: compound-job DAG invariants.
 
-use proptest::prelude::*;
-
 use gridsched_model::ids::{JobId, TaskId};
 use gridsched_model::job::{BuildJobError, JobBuilder};
 use gridsched_model::perf::Perf;
 use gridsched_model::volume::Volume;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::time::SimDuration;
 
 /// Random forward-only edge lists (from < to), which are always acyclic.
-fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..12).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0u32..(n as u32 - 1)).prop_flat_map(move |from| {
-                ((from + 1)..n as u32).prop_map(move |to| (from, to))
-            }),
-            0..(n * 2),
-        );
-        (Just(n), edges)
-    })
+fn gen_dag(g: &mut Gen) -> (usize, Vec<(u32, u32)>) {
+    let n = g.usize_in(2, 11);
+    let edge_count = g.usize_in(0, n * 2 - 1);
+    let edges = (0..edge_count)
+        .map(|_| {
+            let from = g.u64_in(0, n as u64 - 2) as u32;
+            let to = g.u64_in(u64::from(from) + 1, n as u64 - 1) as u32;
+            (from, to)
+        })
+        .collect();
+    (n, edges)
 }
 
 fn build(n: usize, edges: &[(u32, u32)]) -> Result<gridsched_model::job::Job, BuildJobError> {
@@ -36,25 +36,29 @@ fn build(n: usize, edges: &[(u32, u32)]) -> Result<gridsched_model::job::Job, Bu
     b.build(JobId::new(0))
 }
 
-proptest! {
-    /// Forward-only edges always build, and the topological order respects
-    /// every edge.
-    #[test]
-    fn forward_dags_build_with_valid_topo((n, edges) in dag_strategy()) {
+/// Forward-only edges always build, and the topological order respects
+/// every edge.
+#[test]
+fn forward_dags_build_with_valid_topo() {
+    check(256, |g| {
+        let (n, edges) = gen_dag(g);
         let job = build(n, &edges).expect("forward edges are acyclic");
         let mut pos = vec![0usize; n];
         for (i, &t) in job.topo_order().iter().enumerate() {
             pos[t.index()] = i;
         }
         for e in job.edges() {
-            prop_assert!(pos[e.from().index()] < pos[e.to().index()]);
+            assert!(pos[e.from().index()] < pos[e.to().index()]);
         }
-    }
+    });
+}
 
-    /// The critical path is at least the longest single task and at most
-    /// the serial sum.
-    #[test]
-    fn critical_path_bounds((n, edges) in dag_strategy()) {
+/// The critical path is at least the longest single task and at most
+/// the serial sum.
+#[test]
+fn critical_path_bounds() {
+    check(256, |g| {
+        let (n, edges) = gen_dag(g);
         let job = build(n, &edges).expect("acyclic");
         let perf = Perf::FULL;
         let longest_task = job
@@ -65,51 +69,60 @@ proptest! {
             .expect("non-empty");
         let serial: SimDuration = job.tasks().iter().map(|t| t.duration_on(perf)).sum();
         let cp = job.critical_path(perf);
-        prop_assert!(cp >= longest_task);
-        prop_assert!(cp <= serial);
-    }
+        assert!(cp >= longest_task);
+        assert!(cp <= serial);
+    });
+}
 
-    /// Parallelism degree is between 1 and the task count, and equals the
-    /// task count exactly when there are no edges.
-    #[test]
-    fn parallelism_degree_bounds((n, edges) in dag_strategy()) {
+/// Parallelism degree is between 1 and the task count, and equals the
+/// task count exactly when there are no edges.
+#[test]
+fn parallelism_degree_bounds() {
+    check(256, |g| {
+        let (n, edges) = gen_dag(g);
         let job = build(n, &edges).expect("acyclic");
         let p = job.parallelism_degree();
-        prop_assert!(p >= 1 && p <= n);
+        assert!(p >= 1 && p <= n);
         if job.edges().is_empty() {
-            prop_assert_eq!(p, n);
+            assert_eq!(p, n);
         }
-    }
+    });
+}
 
-    /// Every task is reachable in predecessor/successor bookkeeping:
-    /// the number of incoming plus outgoing arcs summed over tasks equals
-    /// twice the edge count.
-    #[test]
-    fn adjacency_is_consistent((n, edges) in dag_strategy()) {
+/// Every task is reachable in predecessor/successor bookkeeping:
+/// the number of incoming plus outgoing arcs summed over tasks equals
+/// twice the edge count.
+#[test]
+fn adjacency_is_consistent() {
+    check(256, |g| {
+        let (n, edges) = gen_dag(g);
         let job = build(n, &edges).expect("acyclic");
         let total: usize = job
             .tasks()
             .iter()
             .map(|t| job.predecessors(t.id()).count() + job.successors(t.id()).count())
             .sum();
-        prop_assert_eq!(total, 2 * job.edges().len());
-    }
+        assert_eq!(total, 2 * job.edges().len());
+    });
+}
 
-    /// A backward edge makes the graph cyclic exactly when it closes a
-    /// forward path; the builder never panics either way.
-    #[test]
-    fn builder_rejects_introduced_cycles((n, edges) in dag_strategy(), back in any::<prop::sample::Index>()) {
+/// A backward edge makes the graph cyclic exactly when it closes a
+/// forward path; the builder never panics either way.
+#[test]
+fn builder_rejects_introduced_cycles() {
+    check(256, |g| {
+        let (n, edges) = gen_dag(g);
         if edges.is_empty() {
-            return Ok(());
+            return;
         }
-        let (from, to) = edges[back.index(edges.len())];
+        let (from, to) = edges[g.usize_in(0, edges.len() - 1)];
         // Add the reverse edge, closing a 2-cycle (unless deduped away).
         let mut all = edges.clone();
         all.push((to, from));
         match build(n, &all) {
             Err(BuildJobError::Cycle) => {}
-            Ok(_) => prop_assert!(false, "cycle {to}->{from} not detected"),
-            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Ok(_) => panic!("cycle {to}->{from} not detected"),
+            Err(other) => panic!("unexpected error {other}"),
         }
-    }
+    });
 }

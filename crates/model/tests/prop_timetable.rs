@@ -1,22 +1,26 @@
 //! Property tests: timetable invariants under random operation sequences.
 
-use proptest::prelude::*;
-
 use gridsched_model::timetable::{ReservationOwner, Timetable};
 use gridsched_model::window::TimeWindow;
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::time::{SimDuration, SimTime};
 
-fn window_strategy() -> impl Strategy<Value = TimeWindow> {
-    (0u64..200, 1u64..20).prop_map(|(start, len)| {
-        TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
-            .expect("len >= 1")
-    })
+fn gen_window(g: &mut Gen) -> TimeWindow {
+    let start = g.u64_in(0, 199);
+    let len = g.u64_in(1, 19);
+    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+        .expect("len >= 1")
 }
 
-proptest! {
-    /// However reservations are attempted, accepted ones never overlap.
-    #[test]
-    fn reservations_never_overlap(windows in prop::collection::vec(window_strategy(), 1..40)) {
+fn gen_windows(g: &mut Gen, min: usize, max: usize) -> Vec<TimeWindow> {
+    g.vec_of(min, max, gen_window)
+}
+
+/// However reservations are attempted, accepted ones never overlap.
+#[test]
+fn reservations_never_overlap() {
+    check(256, |g| {
+        let windows = gen_windows(g, 1, 39);
         let mut tt = Timetable::new();
         let mut accepted: Vec<TimeWindow> = Vec::new();
         for (i, w) in windows.into_iter().enumerate() {
@@ -26,34 +30,38 @@ proptest! {
         }
         for (i, a) in accepted.iter().enumerate() {
             for b in &accepted[i + 1..] {
-                prop_assert!(!a.overlaps(*b), "{a} overlaps {b}");
+                assert!(!a.overlaps(*b), "{a} overlaps {b}");
             }
         }
-        prop_assert_eq!(tt.len(), accepted.len());
-    }
+        assert_eq!(tt.len(), accepted.len());
+    });
+}
 
-    /// A reservation is rejected exactly when it overlaps an accepted one.
-    #[test]
-    fn rejection_iff_overlap(windows in prop::collection::vec(window_strategy(), 1..40)) {
+/// A reservation is rejected exactly when it overlaps an accepted one.
+#[test]
+fn rejection_iff_overlap() {
+    check(256, |g| {
+        let windows = gen_windows(g, 1, 39);
         let mut tt = Timetable::new();
         let mut accepted: Vec<TimeWindow> = Vec::new();
         for (i, w) in windows.into_iter().enumerate() {
             let overlaps = accepted.iter().any(|a| a.overlaps(w));
             let result = tt.reserve(w, ReservationOwner::Background(i as u64));
-            prop_assert_eq!(result.is_err(), overlaps, "window {}", w);
+            assert_eq!(result.is_err(), overlaps, "window {w}");
             if result.is_ok() {
                 accepted.push(w);
             }
         }
-    }
+    });
+}
 
-    /// `earliest_fit` returns a free slot, and no earlier start would fit.
-    #[test]
-    fn earliest_fit_is_free_and_minimal(
-        windows in prop::collection::vec(window_strategy(), 0..20),
-        from in 0u64..100,
-        len in 1u64..15,
-    ) {
+/// `earliest_fit` returns a free slot, and no earlier start would fit.
+#[test]
+fn earliest_fit_is_free_and_minimal() {
+    check(256, |g| {
+        let windows = gen_windows(g, 0, 19);
+        let from = g.u64_in(0, 99);
+        let len = g.u64_in(1, 14);
         let mut tt = Timetable::new();
         for (i, w) in windows.into_iter().enumerate() {
             let _ = tt.reserve(w, ReservationOwner::Background(i as u64));
@@ -62,24 +70,25 @@ proptest! {
         let deadline = SimTime::from_ticks(1_000);
         if let Some(start) = tt.earliest_fit(SimTime::from_ticks(from), duration, deadline) {
             let fit = TimeWindow::starting_at(start, duration).expect("non-empty");
-            prop_assert!(tt.is_free(fit), "returned slot {fit} is not free");
-            prop_assert!(start >= SimTime::from_ticks(from));
-            prop_assert!(fit.end() <= deadline);
+            assert!(tt.is_free(fit), "returned slot {fit} is not free");
+            assert!(start >= SimTime::from_ticks(from));
+            assert!(fit.end() <= deadline);
             // Minimality: every earlier candidate start collides.
             for earlier in from..start.ticks() {
                 let w = TimeWindow::starting_at(SimTime::from_ticks(earlier), duration)
                     .expect("non-empty");
-                prop_assert!(!tt.is_free(w), "earlier slot {w} was free");
+                assert!(!tt.is_free(w), "earlier slot {w} was free");
             }
         }
-    }
+    });
+}
 
-    /// Releasing everything restores an empty timetable, and busy time
-    /// within any range equals the sum of clipped reservations.
-    #[test]
-    fn release_restores_and_busy_accounts(
-        windows in prop::collection::vec(window_strategy(), 1..30),
-    ) {
+/// Releasing everything restores an empty timetable, and busy time
+/// within any range equals the sum of clipped reservations.
+#[test]
+fn release_restores_and_busy_accounts() {
+    check(256, |g| {
+        let windows = gen_windows(g, 1, 29);
         let mut tt = Timetable::new();
         let mut ids = Vec::new();
         for (i, w) in windows.into_iter().enumerate() {
@@ -94,21 +103,22 @@ proptest! {
             .filter_map(|(_, w)| w.intersect(range))
             .map(|w| w.duration().ticks())
             .sum();
-        prop_assert_eq!(tt.busy_within(range).ticks(), expected);
+        assert_eq!(tt.busy_within(range).ticks(), expected);
         for (id, _) in &ids {
-            prop_assert!(tt.release(*id).is_some());
+            assert!(tt.release(*id).is_some());
         }
-        prop_assert!(tt.is_empty());
-        prop_assert_eq!(tt.busy_within(range), SimDuration::ZERO);
-    }
+        assert!(tt.is_empty());
+        assert_eq!(tt.busy_within(range), SimDuration::ZERO);
+    });
+}
 
-    /// Free windows and busy time partition any range exactly.
-    #[test]
-    fn free_windows_partition_range(
-        windows in prop::collection::vec(window_strategy(), 0..25),
-        range_start in 0u64..100,
-        range_len in 1u64..150,
-    ) {
+/// Free windows and busy time partition any range exactly.
+#[test]
+fn free_windows_partition_range() {
+    check(256, |g| {
+        let windows = gen_windows(g, 0, 24);
+        let range_start = g.u64_in(0, 99);
+        let range_len = g.u64_in(1, 149);
         let mut tt = Timetable::new();
         for (i, w) in windows.into_iter().enumerate() {
             let _ = tt.reserve(w, ReservationOwner::Background(i as u64));
@@ -116,17 +126,60 @@ proptest! {
         let range = TimeWindow::new(
             SimTime::from_ticks(range_start),
             SimTime::from_ticks(range_start + range_len),
-        ).expect("non-empty");
+        )
+        .expect("non-empty");
         let free: u64 = tt
             .free_windows(range)
             .iter()
             .map(|w| w.duration().ticks())
             .sum();
         let busy = tt.busy_within(range).ticks();
-        prop_assert_eq!(free + busy, range_len);
+        assert_eq!(free + busy, range_len);
         // Every reported free window really is free.
         for w in tt.free_windows(range) {
-            prop_assert!(tt.is_free(w), "{w} reported free but is not");
+            assert!(tt.is_free(w), "{w} reported free but is not");
         }
-    }
+    });
+}
+
+/// Voiding a window releases exactly the task reservations overlapping it
+/// and leaves background reservations alone.
+#[test]
+fn void_window_releases_only_overlapping_tasks() {
+    use gridsched_model::ids::{GlobalTaskId, JobId, TaskId};
+    check(256, |g| {
+        let mut tt = Timetable::new();
+        let mut task_windows = Vec::new();
+        let mut bg_windows = Vec::new();
+        for (i, w) in gen_windows(g, 1, 30).into_iter().enumerate() {
+            if g.chance(0.5) {
+                let owner = ReservationOwner::Task(GlobalTaskId {
+                    job: JobId::new(i as u64),
+                    task: TaskId::new(0),
+                });
+                if tt.reserve(w, owner).is_ok() {
+                    task_windows.push(w);
+                }
+            } else if tt.reserve(w, ReservationOwner::Background(i as u64)).is_ok() {
+                bg_windows.push(w);
+            }
+        }
+        let cut = gen_window(g);
+        let expected: Vec<TimeWindow> = task_windows
+            .iter()
+            .copied()
+            .filter(|w| w.overlaps(cut))
+            .collect();
+        let voided = tt.void_tasks_within(cut);
+        assert_eq!(voided.len(), expected.len(), "voided count mismatch");
+        for v in &voided {
+            assert!(expected.contains(&v.window()), "unexpected void {v:?}");
+        }
+        // Background survivors: count unchanged.
+        let bg_left = tt
+            .iter()
+            .filter(|r| matches!(r.owner(), ReservationOwner::Background(_)))
+            .count();
+        assert_eq!(bg_left, bg_windows.len());
+    });
 }

@@ -1,0 +1,230 @@
+//! Minimal deterministic property-testing harness.
+//!
+//! A self-contained replacement for an external property-testing crate:
+//! each property runs against a configurable number of generated cases,
+//! every case is seeded deterministically from the case index, and a
+//! failing case reports its index and seed so it can be replayed in
+//! isolation with [`replay`].
+//!
+//! There is no shrinking — cases are intentionally kept small by the
+//! generators instead — but failures are perfectly reproducible, which is
+//! what the workspace's determinism-first test style needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use gridsched_sim::check::{check, Gen};
+//!
+//! check(64, |g: &mut Gen| {
+//!     let a = g.u64_in(0, 100);
+//!     let b = g.u64_in(0, 100);
+//!     assert!(a + b <= 200);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Default number of cases for [`check_default`].
+pub const DEFAULT_CASES: usize = 256;
+
+/// A deterministic case generator handed to each property invocation.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+    case: usize,
+    seed: u64,
+}
+
+impl Gen {
+    /// Creates a generator for one case.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SimRng::seed_from(seed),
+            case: 0,
+            seed,
+        }
+    }
+
+    /// The case index within the current [`check`] run.
+    #[must_use]
+    pub fn case(&self) -> usize {
+        self.case
+    }
+
+    /// The seed this case was generated from (replayable via [`replay`]).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Direct access to the underlying random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.uniform_u64(lo, hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.uniform_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform real in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.uniform_f64(lo, hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A vector of `len in [min_len, max_len]` elements drawn by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.index(items.len())]
+    }
+}
+
+/// Derives the per-case seed for `(base, case)`.
+#[must_use]
+fn case_seed(base: u64, case: usize) -> u64 {
+    // splitmix64-style finalizer over (base, case).
+    let mut z = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `property` against `cases` deterministically seeded cases.
+///
+/// # Panics
+///
+/// Re-raises the first failing case, annotated with its index and seed.
+pub fn check(cases: usize, property: impl Fn(&mut Gen)) {
+    check_with_base(0xC0FF_EE00_D15E_A5Eu64, cases, property);
+}
+
+/// [`check`] with the default case count.
+pub fn check_default(property: impl Fn(&mut Gen)) {
+    check(DEFAULT_CASES, property);
+}
+
+/// Runs `property` against cases derived from an explicit base seed.
+///
+/// # Panics
+///
+/// Re-raises the first failing case, annotated with its index and seed.
+pub fn check_with_base(base: u64, cases: usize, property: impl Fn(&mut Gen)) {
+    for case in 0..cases {
+        let seed = case_seed(base, case);
+        let mut gen = Gen::from_seed(seed);
+        gen.case = case;
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = result {
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property failed at case {case} (replay seed {seed:#x}): {message}");
+        }
+    }
+}
+
+/// Re-runs a property against one previously reported seed.
+pub fn replay(seed: u64, property: impl Fn(&mut Gen)) {
+    let mut gen = Gen::from_seed(seed);
+    property(&mut gen);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        // Fn (not FnMut) closure: count via Cell.
+        let counter = std::cell::Cell::new(0usize);
+        check(32, |g| {
+            let _ = g.u64_in(0, 10);
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_case_and_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(16, |g| {
+                let v = g.u64_in(0, 100);
+                assert!(v > 1_000, "impossible bound {v}");
+            });
+        }));
+        let err = result.expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("annotated panic is a String");
+        assert!(msg.contains("property failed at case 0"), "{msg}");
+        assert!(msg.contains("replay seed"), "{msg}");
+        assert!(msg.contains("impossible bound"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = |_: ()| {
+            let values = std::cell::RefCell::new(Vec::new());
+            check(8, |g| values.borrow_mut().push(g.u64_in(0, 1 << 40)));
+            values.into_inner()
+        };
+        assert_eq!(collect(()), collect(()));
+    }
+
+    #[test]
+    fn replay_reproduces_a_case() {
+        let seed = case_seed(0xC0FF_EE00_D15E_A5E, 3);
+        let from_check = std::cell::Cell::new(0u64);
+        check(8, |g| {
+            if g.case() == 3 {
+                from_check.set(g.u64_in(0, u64::MAX - 1));
+            } else {
+                let _ = g.u64_in(0, u64::MAX - 1);
+            }
+        });
+        let direct = std::cell::Cell::new(0u64);
+        replay(seed, |g| direct.set(g.u64_in(0, u64::MAX - 1)));
+        assert_eq!(from_check.get(), direct.get());
+    }
+
+    #[test]
+    fn vec_of_and_pick() {
+        check(32, |g| {
+            let v = g.vec_of(1, 9, |g| g.u64_in(0, 5));
+            assert!((1..=9).contains(&v.len()));
+            let item = *g.pick(&v);
+            assert!(v.contains(&item));
+        });
+    }
+}

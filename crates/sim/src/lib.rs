@@ -11,7 +11,9 @@
 //! - [`engine`]: the event loop ([`engine::Engine`]) driving a user-supplied
 //!   [`engine::World`];
 //! - [`rng`]: seeded random streams ([`rng::SimRng`]) so whole simulation
-//!   campaigns replay bit-identically.
+//!   campaigns replay bit-identically;
+//! - [`check`]: a tiny deterministic property-testing harness used by the
+//!   workspace's randomized test suites.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod engine;
 pub mod event;
 pub mod rng;

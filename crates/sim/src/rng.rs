@@ -1,20 +1,34 @@
 //! Seeded random number generation for reproducible experiments.
 //!
 //! Every stochastic element of the simulation study (task volumes, estimate
-//! spreads, node performances, arrival processes) draws from a [`SimRng`]
-//! created from an explicit seed, so a whole 12 000-job campaign replays
-//! bit-identically from its seed.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//! spreads, node performances, arrival processes, fault plans) draws from a
+//! [`SimRng`] created from an explicit seed, so a whole 12 000-job campaign
+//! replays bit-identically from its seed.
+//!
+//! The generator is a self-contained **xoshiro256++** implementation
+//! (Blackman & Vigna), seeded through a splitmix64 expansion. Keeping the
+//! PRNG inside the workspace — instead of depending on an external crate —
+//! pins the exact output sequence forever: byte-identical reports across
+//! toolchains and dependency upgrades are a hard requirement of the
+//! determinism test suite.
 
 use crate::time::SimDuration;
 
+/// Splitmix64 step; used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A deterministic pseudo-random source.
 ///
-/// Wraps a fast non-cryptographic generator and exposes the handful of
-/// distributions the paper's workload model needs (§4: uniform parameters
-/// with a 2–3× spread).
+/// Wraps a fast non-cryptographic generator (xoshiro256++) and exposes the
+/// handful of distributions the paper's workload model needs (§4: uniform
+/// parameters with a 2–3× spread).
 ///
 /// # Examples
 ///
@@ -27,24 +41,47 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// The raw xoshiro256++ step: uniform over all of `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each subsystem
-    /// (workload, background flow, data placement) its own stream so that
-    /// changing one experiment knob does not perturb the others.
+    /// (workload, background flow, data placement, fault plan) its own
+    /// stream so that changing one experiment knob does not perturb the
+    /// others.
     #[must_use]
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         // Mix the stream id in with a splitmix64-style finalizer so that
         // consecutive stream ids produce uncorrelated seeds.
         let mut z = base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -61,7 +98,15 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform_u64: empty range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Widening-multiply range reduction (Lemire); the residual bias is
+        // below 2^-64 for the ranges the simulation uses.
+        let range = span + 1;
+        let hi_bits = ((u128::from(self.next_u64()) * u128::from(range)) >> 64) as u64;
+        lo + hi_bits
     }
 
     /// Uniform real in `[lo, hi)`.
@@ -74,7 +119,20 @@ impl SimRng {
             lo.is_finite() && hi.is_finite() && lo < hi,
             "uniform_f64: invalid range [{lo}, {hi})"
         );
-        self.inner.gen_range(lo..hi)
+        let unit = self.unit_f64();
+        let v = lo + unit * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+
+    /// Uniform real in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform duration in `[lo, hi]` ticks (inclusive).
@@ -98,7 +156,7 @@ impl SimRng {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "chance: p out of range: {p}");
-        self.inner.gen_bool(p)
+        self.unit_f64() < p
     }
 
     /// Picks a uniformly random element index for a slice of length `len`.
@@ -108,13 +166,13 @@ impl SimRng {
     /// Panics if `len == 0`.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "index: empty collection");
-        self.inner.gen_range(0..len)
+        self.uniform_u64(0, len as u64 - 1) as usize
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.uniform_u64(0, i as u64) as usize;
             items.swap(i, j);
         }
     }
@@ -163,6 +221,14 @@ mod tests {
     }
 
     #[test]
+    fn full_u64_range_is_supported() {
+        let mut rng = SimRng::seed_from(17);
+        // Must not overflow or panic.
+        let _ = rng.uniform_u64(0, u64::MAX);
+        let _ = rng.uniform_u64(u64::MAX, u64::MAX);
+    }
+
+    #[test]
     fn spread_respects_paper_band() {
         let mut rng = SimRng::seed_from(11);
         for _ in 0..1000 {
@@ -193,5 +259,15 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         assert!(!rng.chance(0.0));
         assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn sequence_is_stable_across_clones() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = a.clone();
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert!(va.windows(2).all(|w| w[0] != w[1]));
     }
 }

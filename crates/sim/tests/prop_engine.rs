@@ -1,16 +1,20 @@
 //! Property tests: event-queue ordering and engine determinism.
 
-use proptest::prelude::*;
-
+use gridsched_sim::check::{check, Gen};
 use gridsched_sim::engine::{Engine, Scheduler, World};
 use gridsched_sim::event::EventQueue;
 use gridsched_sim::time::SimTime;
 
-proptest! {
-    /// Events pop in non-decreasing time order, with insertion order
-    /// breaking ties, regardless of scheduling order.
-    #[test]
-    fn queue_pops_in_stable_time_order(times in prop::collection::vec(0u64..100, 1..50)) {
+fn gen_times(g: &mut Gen, min: usize, max: usize, hi: u64) -> Vec<u64> {
+    g.vec_of(min, max, |g| g.u64_in(0, hi))
+}
+
+/// Events pop in non-decreasing time order, with insertion order
+/// breaking ties, regardless of scheduling order.
+#[test]
+fn queue_pops_in_stable_time_order() {
+    check(256, |g| {
+        let times = gen_times(g, 1, 49, 99);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ticks(t), i);
@@ -19,32 +23,32 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped.push((t, i));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for pair in popped.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            assert!(pair[0].0 <= pair[1].0, "time order violated");
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1, "tie-break violated");
+                assert!(pair[0].1 < pair[1].1, "tie-break violated");
             }
         }
-    }
+    });
+}
 
-    /// Cancelling an arbitrary subset removes exactly those events.
-    #[test]
-    fn cancellation_removes_exactly_the_victims(
-        times in prop::collection::vec(0u64..100, 1..40),
-        kill in prop::collection::vec(any::<bool>(), 1..40),
-    ) {
+/// Cancelling an arbitrary subset removes exactly those events.
+#[test]
+fn cancellation_removes_exactly_the_victims() {
+    check(256, |g| {
+        let times = gen_times(g, 1, 39, 99);
+        let kill: Vec<bool> = g.vec_of(1, 39, |g| g.chance(0.5));
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
             .enumerate()
             .map(|(i, &t)| (i, q.schedule(SimTime::from_ticks(t), i)))
             .collect();
-        let mut expected: std::collections::HashSet<usize> =
-            (0..times.len()).collect();
+        let mut expected: std::collections::HashSet<usize> = (0..times.len()).collect();
         for (i, id) in &ids {
             if kill.get(*i).copied().unwrap_or(false) {
-                prop_assert!(q.cancel(*id));
+                assert!(q.cancel(*id));
                 expected.remove(i);
             }
         }
@@ -52,13 +56,16 @@ proptest! {
         while let Some((_, i)) = q.pop() {
             seen.insert(i);
         }
-        prop_assert_eq!(seen, expected);
-    }
+        assert_eq!(seen, expected);
+    });
+}
 
-    /// The engine delivers every scheduled event exactly once, in time
-    /// order, and two identical runs behave identically.
-    #[test]
-    fn engine_is_exhaustive_and_deterministic(times in prop::collection::vec(0u64..200, 1..60)) {
+/// The engine delivers every scheduled event exactly once, in time
+/// order, and two identical runs behave identically.
+#[test]
+fn engine_is_exhaustive_and_deterministic() {
+    check(256, |g| {
+        let times = gen_times(g, 1, 59, 199);
         struct Recorder {
             log: Vec<(u64, usize)>,
         }
@@ -79,11 +86,11 @@ proptest! {
         };
         let (log_a, n_a) = run();
         let (log_b, n_b) = run();
-        prop_assert_eq!(&log_a, &log_b);
-        prop_assert_eq!(n_a, times.len() as u64);
-        prop_assert_eq!(n_b, times.len() as u64);
+        assert_eq!(&log_a, &log_b);
+        assert_eq!(n_a, times.len() as u64);
+        assert_eq!(n_b, times.len() as u64);
         for pair in log_a.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].0 <= pair[1].0);
         }
-    }
+    });
 }

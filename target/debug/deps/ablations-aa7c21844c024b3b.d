@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-aa7c21844c024b3b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-aa7c21844c024b3b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_integration-bdcccbee11fae389.d: crates/gridsched/../../tests/batch_integration.rs
+
+/root/repo/target/debug/deps/batch_integration-bdcccbee11fae389: crates/gridsched/../../tests/batch_integration.rs
+
+crates/gridsched/../../tests/batch_integration.rs:

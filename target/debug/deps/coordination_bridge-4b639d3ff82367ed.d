@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coordination_bridge-4b639d3ff82367ed.d: crates/bench/src/bin/coordination_bridge.rs
+
+/root/repo/target/debug/deps/coordination_bridge-4b639d3ff82367ed: crates/bench/src/bin/coordination_bridge.rs
+
+crates/bench/src/bin/coordination_bridge.rs:

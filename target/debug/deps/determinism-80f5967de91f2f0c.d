@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-80f5967de91f2f0c.d: crates/gridsched/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-80f5967de91f2f0c: crates/gridsched/../../tests/determinism.rs
+
+crates/gridsched/../../tests/determinism.rs:

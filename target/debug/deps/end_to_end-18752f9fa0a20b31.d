@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-18752f9fa0a20b31.d: crates/gridsched/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-18752f9fa0a20b31: crates/gridsched/../../tests/end_to_end.rs
+
+crates/gridsched/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/feature_matrix-9f446b4208b39e35.d: crates/gridsched/../../tests/feature_matrix.rs
+
+/root/repo/target/debug/deps/feature_matrix-9f446b4208b39e35: crates/gridsched/../../tests/feature_matrix.rs
+
+crates/gridsched/../../tests/feature_matrix.rs:

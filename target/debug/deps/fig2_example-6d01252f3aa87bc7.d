@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_example-6d01252f3aa87bc7.d: crates/bench/src/bin/fig2_example.rs
+
+/root/repo/target/debug/deps/fig2_example-6d01252f3aa87bc7: crates/bench/src/bin/fig2_example.rs
+
+crates/bench/src/bin/fig2_example.rs:

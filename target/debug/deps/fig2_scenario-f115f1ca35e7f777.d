@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_scenario-f115f1ca35e7f777.d: crates/gridsched/../../tests/fig2_scenario.rs
+
+/root/repo/target/debug/deps/fig2_scenario-f115f1ca35e7f777: crates/gridsched/../../tests/fig2_scenario.rs
+
+crates/gridsched/../../tests/fig2_scenario.rs:

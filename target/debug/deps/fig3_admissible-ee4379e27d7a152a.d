@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_admissible-ee4379e27d7a152a.d: crates/bench/src/bin/fig3_admissible.rs
+
+/root/repo/target/debug/deps/fig3_admissible-ee4379e27d7a152a: crates/bench/src/bin/fig3_admissible.rs
+
+crates/bench/src/bin/fig3_admissible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_cost_time-8bc6e5c7e5fe897e.d: crates/bench/src/bin/fig4_cost_time.rs
+
+/root/repo/target/debug/deps/fig4_cost_time-8bc6e5c7e5fe897e: crates/bench/src/bin/fig4_cost_time.rs
+
+crates/bench/src/bin/fig4_cost_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_load-937d8e4e5695fb8f.d: crates/bench/src/bin/fig4_load.rs
+
+/root/repo/target/debug/deps/fig4_load-937d8e4e5695fb8f: crates/bench/src/bin/fig4_load.rs
+
+crates/bench/src/bin/fig4_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_ttl_deviation-5ce768e0b17b437a.d: crates/bench/src/bin/fig4_ttl_deviation.rs
+
+/root/repo/target/debug/deps/fig4_ttl_deviation-5ce768e0b17b437a: crates/bench/src/bin/fig4_ttl_deviation.rs
+
+crates/bench/src/bin/fig4_ttl_deviation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gridsched-7953ea9f5007c82f.d: crates/gridsched/src/lib.rs
+
+/root/repo/target/debug/deps/gridsched-7953ea9f5007c82f: crates/gridsched/src/lib.rs
+
+crates/gridsched/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gridsched-9caf819807d68c40.d: crates/gridsched/src/lib.rs
+
+/root/repo/target/debug/deps/libgridsched-9caf819807d68c40.rlib: crates/gridsched/src/lib.rs
+
+/root/repo/target/debug/deps/libgridsched-9caf819807d68c40.rmeta: crates/gridsched/src/lib.rs
+
+crates/gridsched/src/lib.rs:

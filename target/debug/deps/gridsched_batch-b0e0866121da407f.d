@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridsched_batch-b0e0866121da407f.d: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+/root/repo/target/debug/deps/libgridsched_batch-b0e0866121da407f.rlib: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+/root/repo/target/debug/deps/libgridsched_batch-b0e0866121da407f.rmeta: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/cluster.rs:
+crates/batch/src/gang.rs:
+crates/batch/src/job.rs:
+crates/batch/src/policy.rs:
+crates/batch/src/profile.rs:

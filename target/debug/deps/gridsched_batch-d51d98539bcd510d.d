@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridsched_batch-d51d98539bcd510d.d: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+/root/repo/target/debug/deps/gridsched_batch-d51d98539bcd510d: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/cluster.rs:
+crates/batch/src/gang.rs:
+crates/batch/src/job.rs:
+crates/batch/src/policy.rs:
+crates/batch/src/profile.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/gridsched_bench-07bbae05aac23141.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/gridsched_bench-07bbae05aac23141: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gridsched_bench-10332cc21ce30454.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libgridsched_bench-10332cc21ce30454.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libgridsched_bench-10332cc21ce30454.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gridsched_core-7948d1edc71847cb.d: crates/core/src/lib.rs crates/core/src/allocate.rs crates/core/src/chains.rs crates/core/src/cost.rs crates/core/src/distribution.rs crates/core/src/gantt.rs crates/core/src/granularity.rs crates/core/src/method.rs crates/core/src/objective.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/gridsched_core-7948d1edc71847cb: crates/core/src/lib.rs crates/core/src/allocate.rs crates/core/src/chains.rs crates/core/src/cost.rs crates/core/src/distribution.rs crates/core/src/gantt.rs crates/core/src/granularity.rs crates/core/src/method.rs crates/core/src/objective.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocate.rs:
+crates/core/src/chains.rs:
+crates/core/src/cost.rs:
+crates/core/src/distribution.rs:
+crates/core/src/gantt.rs:
+crates/core/src/granularity.rs:
+crates/core/src/method.rs:
+crates/core/src/objective.rs:
+crates/core/src/strategy.rs:

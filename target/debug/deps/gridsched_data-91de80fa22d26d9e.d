@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gridsched_data-91de80fa22d26d9e.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+/root/repo/target/debug/deps/gridsched_data-91de80fa22d26d9e: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/network.rs:
+crates/data/src/policy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridsched_data-d78d6ff07b0a87ec.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+/root/repo/target/debug/deps/libgridsched_data-d78d6ff07b0a87ec.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+/root/repo/target/debug/deps/libgridsched_data-d78d6ff07b0a87ec.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/network.rs:
+crates/data/src/policy.rs:

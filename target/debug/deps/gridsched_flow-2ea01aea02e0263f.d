@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridsched_flow-2ea01aea02e0263f.d: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+/root/repo/target/debug/deps/libgridsched_flow-2ea01aea02e0263f.rlib: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+/root/repo/target/debug/deps/libgridsched_flow-2ea01aea02e0263f.rmeta: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/bridge.rs:
+crates/flow/src/metascheduler.rs:
+crates/flow/src/report.rs:
+crates/flow/src/simulation.rs:
+crates/flow/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridsched_flow-aa50e1d4aaf98d0f.d: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+/root/repo/target/debug/deps/gridsched_flow-aa50e1d4aaf98d0f: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/bridge.rs:
+crates/flow/src/metascheduler.rs:
+crates/flow/src/report.rs:
+crates/flow/src/simulation.rs:
+crates/flow/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridsched_metrics-5407f751b6677b35.d: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/gridsched_metrics-5407f751b6677b35: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/forecast.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/load.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridsched_metrics-97f1ac4448c8393f.d: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libgridsched_metrics-97f1ac4448c8393f.rlib: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libgridsched_metrics-97f1ac4448c8393f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/forecast.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/load.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gridsched_model-3781c01b787f64e4.d: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+/root/repo/target/debug/deps/gridsched_model-3781c01b787f64e4: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/estimate.rs:
+crates/model/src/fixtures.rs:
+crates/model/src/ids.rs:
+crates/model/src/job.rs:
+crates/model/src/node.rs:
+crates/model/src/perf.rs:
+crates/model/src/task.rs:
+crates/model/src/timetable.rs:
+crates/model/src/volume.rs:
+crates/model/src/window.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gridsched_model-9a24eabfcbe4f16c.d: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+/root/repo/target/debug/deps/libgridsched_model-9a24eabfcbe4f16c.rlib: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+/root/repo/target/debug/deps/libgridsched_model-9a24eabfcbe4f16c.rmeta: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/estimate.rs:
+crates/model/src/fixtures.rs:
+crates/model/src/ids.rs:
+crates/model/src/job.rs:
+crates/model/src/node.rs:
+crates/model/src/perf.rs:
+crates/model/src/task.rs:
+crates/model/src/timetable.rs:
+crates/model/src/volume.rs:
+crates/model/src/window.rs:

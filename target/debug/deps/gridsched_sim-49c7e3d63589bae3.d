@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gridsched_sim-49c7e3d63589bae3.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/gridsched_sim-49c7e3d63589bae3: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gridsched_sim-c7adb9d1812a434f.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libgridsched_sim-c7adb9d1812a434f.rlib: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libgridsched_sim-c7adb9d1812a434f.rmeta: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gridsched_workload-3ab761b1c29d1b54.d: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+/root/repo/target/debug/deps/libgridsched_workload-3ab761b1c29d1b54.rlib: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+/root/repo/target/debug/deps/libgridsched_workload-3ab761b1c29d1b54.rmeta: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/background.rs:
+crates/workload/src/batch.rs:
+crates/workload/src/jobs.rs:
+crates/workload/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gridsched_workload-5f1021c67955f630.d: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+/root/repo/target/debug/deps/gridsched_workload-5f1021c67955f630: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/background.rs:
+crates/workload/src/batch.rs:
+crates/workload/src/jobs.rs:
+crates/workload/src/pool.rs:

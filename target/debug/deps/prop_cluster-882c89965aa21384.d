@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cluster-882c89965aa21384.d: crates/batch/tests/prop_cluster.rs
+
+/root/repo/target/debug/deps/prop_cluster-882c89965aa21384: crates/batch/tests/prop_cluster.rs
+
+crates/batch/tests/prop_cluster.rs:

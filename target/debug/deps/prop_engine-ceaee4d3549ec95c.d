@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_engine-ceaee4d3549ec95c.d: crates/sim/tests/prop_engine.rs
+
+/root/repo/target/debug/deps/prop_engine-ceaee4d3549ec95c: crates/sim/tests/prop_engine.rs
+
+crates/sim/tests/prop_engine.rs:

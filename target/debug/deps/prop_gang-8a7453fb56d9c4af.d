@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_gang-8a7453fb56d9c4af.d: crates/batch/tests/prop_gang.rs
+
+/root/repo/target/debug/deps/prop_gang-8a7453fb56d9c4af: crates/batch/tests/prop_gang.rs
+
+crates/batch/tests/prop_gang.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_granularity-dd793e5f4ea551a5.d: crates/core/tests/prop_granularity.rs
+
+/root/repo/target/debug/deps/prop_granularity-dd793e5f4ea551a5: crates/core/tests/prop_granularity.rs
+
+crates/core/tests/prop_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_job-5269ccc41cfdf3a2.d: crates/model/tests/prop_job.rs
+
+/root/repo/target/debug/deps/prop_job-5269ccc41cfdf3a2: crates/model/tests/prop_job.rs
+
+crates/model/tests/prop_job.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_policy-81803479ea7f836e.d: crates/data/tests/prop_policy.rs
+
+/root/repo/target/debug/deps/prop_policy-81803479ea7f836e: crates/data/tests/prop_policy.rs
+
+crates/data/tests/prop_policy.rs:

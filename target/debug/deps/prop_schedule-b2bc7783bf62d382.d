@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-b2bc7783bf62d382.d: crates/core/tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-b2bc7783bf62d382: crates/core/tests/prop_schedule.rs
+
+crates/core/tests/prop_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_timetable-abefd826825f80a3.d: crates/model/tests/prop_timetable.rs
+
+/root/repo/target/debug/deps/prop_timetable-abefd826825f80a3: crates/model/tests/prop_timetable.rs
+
+crates/model/tests/prop_timetable.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec5_queue_policies-7b07f28ae0dc45f7.d: crates/bench/src/bin/sec5_queue_policies.rs
+
+/root/repo/target/debug/deps/sec5_queue_policies-7b07f28ae0dc45f7: crates/bench/src/bin/sec5_queue_policies.rs
+
+crates/bench/src/bin/sec5_queue_policies.rs:

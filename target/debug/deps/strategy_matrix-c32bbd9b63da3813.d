@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_matrix-c32bbd9b63da3813.d: crates/gridsched/../../tests/strategy_matrix.rs
+
+/root/repo/target/debug/deps/strategy_matrix-c32bbd9b63da3813: crates/gridsched/../../tests/strategy_matrix.rs
+
+crates/gridsched/../../tests/strategy_matrix.rs:

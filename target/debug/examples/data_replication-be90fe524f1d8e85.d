@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/data_replication-be90fe524f1d8e85.d: crates/gridsched/../../examples/data_replication.rs
+
+/root/repo/target/debug/examples/data_replication-be90fe524f1d8e85: crates/gridsched/../../examples/data_replication.rs
+
+crates/gridsched/../../examples/data_replication.rs:

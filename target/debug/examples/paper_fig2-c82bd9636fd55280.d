@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_fig2-c82bd9636fd55280.d: crates/gridsched/../../examples/paper_fig2.rs
+
+/root/repo/target/debug/examples/paper_fig2-c82bd9636fd55280: crates/gridsched/../../examples/paper_fig2.rs
+
+crates/gridsched/../../examples/paper_fig2.rs:

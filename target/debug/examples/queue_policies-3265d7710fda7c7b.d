@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/queue_policies-3265d7710fda7c7b.d: crates/gridsched/../../examples/queue_policies.rs
+
+/root/repo/target/debug/examples/queue_policies-3265d7710fda7c7b: crates/gridsched/../../examples/queue_policies.rs
+
+crates/gridsched/../../examples/queue_policies.rs:

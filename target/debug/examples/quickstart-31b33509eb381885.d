@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-31b33509eb381885.d: crates/gridsched/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-31b33509eb381885: crates/gridsched/../../examples/quickstart.rs
+
+crates/gridsched/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reallocation-ecf0ee4a2c9136a2.d: crates/gridsched/../../examples/reallocation.rs
+
+/root/repo/target/debug/examples/reallocation-ecf0ee4a2c9136a2: crates/gridsched/../../examples/reallocation.rs
+
+crates/gridsched/../../examples/reallocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vo_campaign-712b247a88628c25.d: crates/gridsched/../../examples/vo_campaign.rs
+
+/root/repo/target/debug/examples/vo_campaign-712b247a88628c25: crates/gridsched/../../examples/vo_campaign.rs
+
+crates/gridsched/../../examples/vo_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-051fa3cd6f5e598b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-051fa3cd6f5e598b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

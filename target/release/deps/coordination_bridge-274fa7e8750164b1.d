@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coordination_bridge-274fa7e8750164b1.d: crates/bench/src/bin/coordination_bridge.rs
+
+/root/repo/target/release/deps/coordination_bridge-274fa7e8750164b1: crates/bench/src/bin/coordination_bridge.rs
+
+crates/bench/src/bin/coordination_bridge.rs:

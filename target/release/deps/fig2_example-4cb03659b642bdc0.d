@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_example-4cb03659b642bdc0.d: crates/bench/src/bin/fig2_example.rs
+
+/root/repo/target/release/deps/fig2_example-4cb03659b642bdc0: crates/bench/src/bin/fig2_example.rs
+
+crates/bench/src/bin/fig2_example.rs:

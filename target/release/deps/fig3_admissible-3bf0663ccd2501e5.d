@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_admissible-3bf0663ccd2501e5.d: crates/bench/src/bin/fig3_admissible.rs
+
+/root/repo/target/release/deps/fig3_admissible-3bf0663ccd2501e5: crates/bench/src/bin/fig3_admissible.rs
+
+crates/bench/src/bin/fig3_admissible.rs:

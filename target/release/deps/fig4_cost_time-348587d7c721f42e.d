@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_cost_time-348587d7c721f42e.d: crates/bench/src/bin/fig4_cost_time.rs
+
+/root/repo/target/release/deps/fig4_cost_time-348587d7c721f42e: crates/bench/src/bin/fig4_cost_time.rs
+
+crates/bench/src/bin/fig4_cost_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_load-2a784fbfda350669.d: crates/bench/src/bin/fig4_load.rs
+
+/root/repo/target/release/deps/fig4_load-2a784fbfda350669: crates/bench/src/bin/fig4_load.rs
+
+crates/bench/src/bin/fig4_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_ttl_deviation-4ac4b6dc17cfde85.d: crates/bench/src/bin/fig4_ttl_deviation.rs
+
+/root/repo/target/release/deps/fig4_ttl_deviation-4ac4b6dc17cfde85: crates/bench/src/bin/fig4_ttl_deviation.rs
+
+crates/bench/src/bin/fig4_ttl_deviation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gridsched-882dd6fc76f9f56f.d: crates/gridsched/src/lib.rs
+
+/root/repo/target/release/deps/libgridsched-882dd6fc76f9f56f.rlib: crates/gridsched/src/lib.rs
+
+/root/repo/target/release/deps/libgridsched-882dd6fc76f9f56f.rmeta: crates/gridsched/src/lib.rs
+
+crates/gridsched/src/lib.rs:

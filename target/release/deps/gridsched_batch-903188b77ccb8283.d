@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridsched_batch-903188b77ccb8283.d: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+/root/repo/target/release/deps/libgridsched_batch-903188b77ccb8283.rlib: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+/root/repo/target/release/deps/libgridsched_batch-903188b77ccb8283.rmeta: crates/batch/src/lib.rs crates/batch/src/cluster.rs crates/batch/src/gang.rs crates/batch/src/job.rs crates/batch/src/policy.rs crates/batch/src/profile.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/cluster.rs:
+crates/batch/src/gang.rs:
+crates/batch/src/job.rs:
+crates/batch/src/policy.rs:
+crates/batch/src/profile.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gridsched_bench-8ce8e5f96d9b15d5.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libgridsched_bench-8ce8e5f96d9b15d5.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libgridsched_bench-8ce8e5f96d9b15d5.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gridsched_core-e7767679d4649a78.d: crates/core/src/lib.rs crates/core/src/allocate.rs crates/core/src/chains.rs crates/core/src/cost.rs crates/core/src/distribution.rs crates/core/src/gantt.rs crates/core/src/granularity.rs crates/core/src/method.rs crates/core/src/objective.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libgridsched_core-e7767679d4649a78.rlib: crates/core/src/lib.rs crates/core/src/allocate.rs crates/core/src/chains.rs crates/core/src/cost.rs crates/core/src/distribution.rs crates/core/src/gantt.rs crates/core/src/granularity.rs crates/core/src/method.rs crates/core/src/objective.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/libgridsched_core-e7767679d4649a78.rmeta: crates/core/src/lib.rs crates/core/src/allocate.rs crates/core/src/chains.rs crates/core/src/cost.rs crates/core/src/distribution.rs crates/core/src/gantt.rs crates/core/src/granularity.rs crates/core/src/method.rs crates/core/src/objective.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/allocate.rs:
+crates/core/src/chains.rs:
+crates/core/src/cost.rs:
+crates/core/src/distribution.rs:
+crates/core/src/gantt.rs:
+crates/core/src/granularity.rs:
+crates/core/src/method.rs:
+crates/core/src/objective.rs:
+crates/core/src/strategy.rs:

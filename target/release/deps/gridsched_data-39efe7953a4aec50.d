@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gridsched_data-39efe7953a4aec50.d: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+/root/repo/target/release/deps/libgridsched_data-39efe7953a4aec50.rlib: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+/root/repo/target/release/deps/libgridsched_data-39efe7953a4aec50.rmeta: crates/data/src/lib.rs crates/data/src/catalog.rs crates/data/src/network.rs crates/data/src/policy.rs
+
+crates/data/src/lib.rs:
+crates/data/src/catalog.rs:
+crates/data/src/network.rs:
+crates/data/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridsched_flow-fd2a26dda4fb4add.d: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+/root/repo/target/release/deps/libgridsched_flow-fd2a26dda4fb4add.rlib: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+/root/repo/target/release/deps/libgridsched_flow-fd2a26dda4fb4add.rmeta: crates/flow/src/lib.rs crates/flow/src/bridge.rs crates/flow/src/metascheduler.rs crates/flow/src/report.rs crates/flow/src/simulation.rs crates/flow/src/trace.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/bridge.rs:
+crates/flow/src/metascheduler.rs:
+crates/flow/src/report.rs:
+crates/flow/src/simulation.rs:
+crates/flow/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridsched_metrics-76c0be05303189e7.d: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libgridsched_metrics-76c0be05303189e7.rlib: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libgridsched_metrics-76c0be05303189e7.rmeta: crates/metrics/src/lib.rs crates/metrics/src/forecast.rs crates/metrics/src/histogram.rs crates/metrics/src/load.rs crates/metrics/src/summary.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/forecast.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/load.rs:
+crates/metrics/src/summary.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gridsched_model-d18591c287a54e13.d: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libgridsched_model-d18591c287a54e13.rlib: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+/root/repo/target/release/deps/libgridsched_model-d18591c287a54e13.rmeta: crates/model/src/lib.rs crates/model/src/estimate.rs crates/model/src/fixtures.rs crates/model/src/ids.rs crates/model/src/job.rs crates/model/src/node.rs crates/model/src/perf.rs crates/model/src/task.rs crates/model/src/timetable.rs crates/model/src/volume.rs crates/model/src/window.rs
+
+crates/model/src/lib.rs:
+crates/model/src/estimate.rs:
+crates/model/src/fixtures.rs:
+crates/model/src/ids.rs:
+crates/model/src/job.rs:
+crates/model/src/node.rs:
+crates/model/src/perf.rs:
+crates/model/src/task.rs:
+crates/model/src/timetable.rs:
+crates/model/src/volume.rs:
+crates/model/src/window.rs:

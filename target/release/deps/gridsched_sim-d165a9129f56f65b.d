@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gridsched_sim-d165a9129f56f65b.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libgridsched_sim-d165a9129f56f65b.rlib: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libgridsched_sim-d165a9129f56f65b.rmeta: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gridsched_workload-82a41b51501f1d6c.d: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+/root/repo/target/release/deps/libgridsched_workload-82a41b51501f1d6c.rlib: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+/root/repo/target/release/deps/libgridsched_workload-82a41b51501f1d6c.rmeta: crates/workload/src/lib.rs crates/workload/src/background.rs crates/workload/src/batch.rs crates/workload/src/jobs.rs crates/workload/src/pool.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/background.rs:
+crates/workload/src/batch.rs:
+crates/workload/src/jobs.rs:
+crates/workload/src/pool.rs:

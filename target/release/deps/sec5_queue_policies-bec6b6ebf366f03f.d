@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec5_queue_policies-bec6b6ebf366f03f.d: crates/bench/src/bin/sec5_queue_policies.rs
+
+/root/repo/target/release/deps/sec5_queue_policies-bec6b6ebf366f03f: crates/bench/src/bin/sec5_queue_policies.rs
+
+crates/bench/src/bin/sec5_queue_policies.rs:
