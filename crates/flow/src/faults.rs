@@ -1,0 +1,386 @@
+//! Fault injection for the VO campaign.
+//!
+//! The paper's resource dynamics (§2) cover *benign* dynamics: external
+//! reservations appearing over time and task overruns. Real virtual
+//! organizations also lose resources outright. This module adds a
+//! deterministic, seed-forked schedule of injected faults:
+//!
+//! - **node outages** — every task reservation overlapping the outage
+//!   window is voided; pending victims are replanned, already-started
+//!   victims must *migrate* (restart elsewhere);
+//! - **node degradation** — a node's relative performance drops, inflating
+//!   every remaining runtime computed on it and surfacing as overruns;
+//! - **data-transfer faults** — an inter-domain link incident at a node:
+//!   jobs with a pending cross-domain input pay a retry penalty and
+//!   replan, *unless* their data policy is active replication (S1/MS1),
+//!   which reads a nearby replica and absorbs the fault.
+//!
+//! The plan is generated up front from a dedicated fork of the campaign's
+//! master seed, so fault schedules are reproducible and independent of the
+//! workload streams: changing the job mix never changes where faults land.
+
+use std::fmt;
+
+use gridsched_model::ids::NodeId;
+use gridsched_sim::rng::SimRng;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+/// How many faults of each class to inject, and how severe they are.
+///
+/// The default injects nothing, so existing campaign configurations are
+/// unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Number of node outages over the horizon.
+    pub outages: usize,
+    /// Min/max outage length, in ticks (inclusive).
+    pub outage_len: (u64, u64),
+    /// Number of node degradations over the horizon.
+    pub degradations: usize,
+    /// Range the degradation multiplier is drawn from; the node's
+    /// performance is scaled by it (values in `(0, 1)` slow the node).
+    pub degradation_factor: (f64, f64),
+    /// Number of data-transfer faults over the horizon.
+    pub transfer_faults: usize,
+    /// Min/max transfer retry penalty, in ticks (inclusive): the earliest
+    /// time a victim may restart its remaining tasks is the fault time
+    /// plus this re-drawn transfer cost.
+    pub transfer_retry: (u64, u64),
+}
+
+impl FaultConfig {
+    /// A configuration injecting no faults at all.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            outages: 0,
+            outage_len: (4, 12),
+            degradations: 0,
+            degradation_factor: (0.4, 0.8),
+            transfer_faults: 0,
+            transfer_retry: (2, 6),
+        }
+    }
+
+    /// Whether this configuration injects any fault.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.outages == 0 && self.degradations == 0 && self.transfer_faults == 0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// What kind of fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node is unavailable for `len`; overlapping task reservations
+    /// are voided.
+    Outage {
+        /// Outage length.
+        len: SimDuration,
+    },
+    /// The node's performance is multiplied by `factor`.
+    Degradation {
+        /// Performance multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// An inter-domain transfer incident at the node; victims replan no
+    /// earlier than the fault time plus `retry`.
+    TransferFault {
+        /// Retry penalty.
+        retry: SimDuration,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Outage { len } => write!(f, "outage for {len}"),
+            FaultKind::Degradation { factor } => write!(f, "degradation x{factor:.2}"),
+            FaultKind::TransferFault { retry } => write!(f, "transfer fault, retry {retry}"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// When it strikes.
+    pub at: SimTime,
+    /// The afflicted node.
+    pub node: NodeId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}: {}", self.at, self.node, self.kind)
+    }
+}
+
+/// A deterministic schedule of injected faults, sorted by time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Draws a plan from `config` over `[0, horizon)` on a pool of
+    /// `node_count` nodes, consuming `rng` (fork a dedicated stream for
+    /// it).
+    ///
+    /// Deterministic: identical inputs always produce the identical plan;
+    /// different seeds virtually always differ (each fault consumes fresh
+    /// draws for time, node and severity).
+    #[must_use]
+    pub fn generate(
+        config: &FaultConfig,
+        node_count: usize,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> Self {
+        if node_count == 0 || horizon.is_zero() {
+            return FaultPlan::default();
+        }
+        let mut faults = Vec::with_capacity(
+            config.outages + config.degradations + config.transfer_faults,
+        );
+        let last_node = node_count as u64 - 1;
+        let last_tick = horizon.ticks().saturating_sub(1);
+        let draw_site = |rng: &mut SimRng| {
+            let at = SimTime::from_ticks(rng.uniform_u64(0, last_tick));
+            let node = NodeId::new(rng.uniform_u64(0, last_node) as u32);
+            (at, node)
+        };
+        for _ in 0..config.outages {
+            let (at, node) = draw_site(rng);
+            let len = SimDuration::from_ticks(
+                rng.uniform_u64(config.outage_len.0, config.outage_len.1),
+            );
+            faults.push(Fault {
+                at,
+                node,
+                kind: FaultKind::Outage { len },
+            });
+        }
+        for _ in 0..config.degradations {
+            let (at, node) = draw_site(rng);
+            let (lo, hi) = config.degradation_factor;
+            let factor = if hi > lo { rng.uniform_f64(lo, hi) } else { lo };
+            faults.push(Fault {
+                at,
+                node,
+                kind: FaultKind::Degradation {
+                    factor: factor.clamp(0.05, 1.0),
+                },
+            });
+        }
+        for _ in 0..config.transfer_faults {
+            let (at, node) = draw_site(rng);
+            let retry = SimDuration::from_ticks(
+                rng.uniform_u64(config.transfer_retry.0, config.transfer_retry.1),
+            );
+            faults.push(Fault {
+                at,
+                node,
+                kind: FaultKind::TransferFault { retry },
+            });
+        }
+        faults.sort_by_key(|f| f.at);
+        FaultPlan { faults }
+    }
+
+    /// The scheduled faults, in time order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Campaign-wide fault and recovery accounting, surfaced in
+/// [`crate::report::VoReport`].
+///
+/// Injection counters count faults that actually *struck* (a fault landing
+/// past the horizon is discarded). Break counters classify every schedule
+/// break by its cause, faulty or benign. Recovery counters classify how
+/// breaks were resolved; breaks with nothing left to re-place resolve
+/// trivially and appear in no recovery counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Node outages injected.
+    pub outages_injected: usize,
+    /// Node degradations injected.
+    pub degradations_injected: usize,
+    /// Transfer faults injected.
+    pub transfer_faults_injected: usize,
+    /// Transfer faults absorbed by active replication (a nearby replica
+    /// made the broken link irrelevant).
+    pub transfer_faults_absorbed: usize,
+    /// Schedule breaks caused by external perturbations.
+    pub breaks_by_perturbation: usize,
+    /// Schedule breaks caused by task overruns.
+    pub breaks_by_overrun: usize,
+    /// Schedule breaks caused by node outages.
+    pub breaks_by_outage: usize,
+    /// Schedule breaks caused by transfer faults.
+    pub breaks_by_transfer_fault: usize,
+    /// Breaks resolved by switching to a precomputed supporting schedule.
+    pub switches: usize,
+    /// Breaks resolved by replanning pending tasks.
+    pub replans: usize,
+    /// Breaks resolved by migrating already-started tasks off a dead node
+    /// (restart elsewhere) alongside the pending replan.
+    pub migrations: usize,
+    /// Breaks with no feasible resolution: the job was dropped.
+    pub drops: usize,
+}
+
+impl FaultSummary {
+    /// Total faults injected, over all classes.
+    #[must_use]
+    pub fn injected(&self) -> usize {
+        self.outages_injected + self.degradations_injected + self.transfer_faults_injected
+    }
+
+    /// Total breaks recorded, over all causes.
+    #[must_use]
+    pub fn breaks(&self) -> usize {
+        self.breaks_by_perturbation
+            + self.breaks_by_overrun
+            + self.breaks_by_outage
+            + self.breaks_by_transfer_fault
+    }
+
+    /// Total non-trivial resolutions, over all mechanisms.
+    #[must_use]
+    pub fn resolutions(&self) -> usize {
+        self.switches + self.replans + self.migrations + self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultConfig {
+        FaultConfig {
+            outages: 5,
+            degradations: 4,
+            transfer_faults: 6,
+            ..FaultConfig::none()
+        }
+    }
+
+    #[test]
+    fn default_injects_nothing() {
+        assert!(FaultConfig::default().is_none());
+        let plan = FaultPlan::generate(
+            &FaultConfig::default(),
+            10,
+            SimDuration::from_ticks(100),
+            &mut SimRng::seed_from(1),
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_sorted() {
+        let make = |seed| {
+            FaultPlan::generate(
+                &cfg(),
+                12,
+                SimDuration::from_ticks(500),
+                &mut SimRng::seed_from(seed),
+            )
+        };
+        let a = make(9);
+        let b = make(9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 15);
+        assert!(a.faults().windows(2).all(|w| w[0].at <= w[1].at));
+        // Every fault lands on a valid node inside the horizon.
+        for f in a.faults() {
+            assert!(f.at < SimTime::from_ticks(500));
+            assert!(f.node.index() < 12);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let make = |seed| {
+            FaultPlan::generate(
+                &cfg(),
+                12,
+                SimDuration::from_ticks(500),
+                &mut SimRng::seed_from(seed),
+            )
+        };
+        assert_ne!(make(1), make(2));
+    }
+
+    #[test]
+    fn empty_pool_or_horizon_yields_no_faults() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(FaultPlan::generate(&cfg(), 0, SimDuration::from_ticks(10), &mut rng).is_empty());
+        assert!(FaultPlan::generate(&cfg(), 10, SimDuration::ZERO, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn degradation_factors_stay_in_bounds() {
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                degradations: 50,
+                degradation_factor: (0.01, 1.5),
+                ..FaultConfig::none()
+            },
+            4,
+            SimDuration::from_ticks(100),
+            &mut SimRng::seed_from(11),
+        );
+        for f in plan.faults() {
+            let FaultKind::Degradation { factor } = f.kind else {
+                panic!("only degradations scheduled");
+            };
+            assert!((0.05..=1.0).contains(&factor), "{factor}");
+        }
+    }
+
+    #[test]
+    fn summary_totals_add_up() {
+        let s = FaultSummary {
+            outages_injected: 2,
+            degradations_injected: 1,
+            transfer_faults_injected: 3,
+            transfer_faults_absorbed: 1,
+            breaks_by_perturbation: 4,
+            breaks_by_overrun: 5,
+            breaks_by_outage: 2,
+            breaks_by_transfer_fault: 2,
+            switches: 3,
+            replans: 6,
+            migrations: 1,
+            drops: 2,
+        };
+        assert_eq!(s.injected(), 6);
+        assert_eq!(s.breaks(), 13);
+        assert_eq!(s.resolutions(), 12);
+    }
+}

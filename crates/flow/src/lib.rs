@@ -11,7 +11,16 @@
 //!   activation of the supporting schedule matching observed conditions,
 //!   background perturbations, task overruns, and the dynamic reallocation
 //!   mechanism (schedule breaks → replan around started tasks);
-//! - [`report`]: per-job records and the aggregates Figs. 3–4 plot.
+//! - [`faults`]: deterministic fault injection — node outages (reserved
+//!   windows voided, running tasks migrate), node degradation (remaining
+//!   runtimes inflate) and data-transfer faults (retry penalty, absorbed
+//!   by active replication);
+//! - [`trace`]: the chronological campaign event log;
+//! - [`oracle`]: the trace-invariant oracle that replays a trace against
+//!   its report and the final pool — run automatically on every traced
+//!   campaign in debug/test builds;
+//! - [`report`]: per-job records and the aggregates Figs. 3–4 plot, plus
+//!   fault/recovery accounting.
 //!
 //! # Examples
 //!
@@ -33,13 +42,17 @@
 #![warn(missing_docs)]
 
 pub mod bridge;
+pub mod faults;
 pub mod metascheduler;
+pub mod oracle;
 pub mod report;
 pub mod simulation;
 pub mod trace;
 
 pub use bridge::{domain_reservations, domain_reserved_ticks};
+pub use faults::{Fault, FaultConfig, FaultKind, FaultPlan, FaultSummary};
 pub use metascheduler::{FlowAssignment, Metascheduler};
+pub use oracle::{audit, audit_final_state, FinalJobState, OracleViolation};
 pub use report::{JobRecord, VoReport};
 pub use simulation::{run_campaign, CampaignConfig};
 pub use trace::{BreakKind, CampaignEvent, CampaignTrace};

@@ -53,6 +53,9 @@ pub struct JobRecord {
     /// How many of those breaks were resolved by switching to another
     /// precomputed supporting schedule (no replanning needed).
     pub switches: usize,
+    /// How many breaks forced already-started tasks to *migrate* — restart
+    /// on another node because their original node died mid-execution.
+    pub migrations: usize,
     /// Whether the job was eventually dropped (no feasible replan).
     pub dropped: bool,
 }
@@ -66,6 +69,10 @@ pub struct VoReport {
     pub records: Vec<JobRecord>,
     /// Task-only node load per performance group over the horizon.
     pub task_load: GroupLoad,
+    /// Fault-injection and recovery accounting (all zeros when
+    /// [`crate::faults::FaultConfig`] injects nothing — benign breaks are
+    /// still classified here).
+    pub faults: crate::faults::FaultSummary,
     /// Chronological event log, when
     /// [`crate::simulation::CampaignConfig::collect_trace`] was set.
     pub trace: Option<crate::trace::CampaignTrace>,
@@ -164,6 +171,19 @@ impl VoReport {
         self.task_load.level(group)
     }
 
+    /// Total schedule breaks caused by injected faults (outages and
+    /// transfer faults), as opposed to benign dynamics.
+    #[must_use]
+    pub fn fault_breaks(&self) -> usize {
+        self.faults.breaks_by_outage + self.faults.breaks_by_transfer_fault
+    }
+
+    /// Total task migrations (started tasks restarted off dead nodes).
+    #[must_use]
+    pub fn migration_count(&self) -> usize {
+        self.records.iter().map(|r| r.migrations).sum()
+    }
+
     /// Fraction of activated jobs that were eventually dropped.
     #[must_use]
     pub fn drop_share(&self) -> f64 {
@@ -199,6 +219,7 @@ mod tests {
             time_to_live: cost.map(|_| SimDuration::from_ticks(8)),
             breaks: 0,
             switches: 0,
+            migrations: 0,
             dropped: false,
         }
     }
@@ -208,6 +229,7 @@ mod tests {
             strategy: StrategyKind::S1,
             records,
             task_load: GroupLoad::default(),
+            faults: crate::faults::FaultSummary::default(),
             trace: None,
         }
     }

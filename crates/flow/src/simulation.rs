@@ -17,13 +17,13 @@ use std::collections::HashMap;
 use gridsched_core::distribution::Placement;
 use gridsched_core::method::ScheduleRequest;
 use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
-use gridsched_data::policy::DataPolicy;
+use gridsched_data::policy::{DataPolicy, DataPolicyKind};
 use gridsched_metrics::load::GroupLoad;
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::{GlobalTaskId, JobId, NodeId, TaskId};
 use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
-use gridsched_model::perf::PerfGroup;
+use gridsched_model::perf::{Perf, PerfGroup};
 use gridsched_model::timetable::{ReservationId, ReservationOwner};
 use gridsched_model::window::TimeWindow;
 use gridsched_sim::rng::SimRng;
@@ -32,8 +32,10 @@ use gridsched_workload::background::{apply_background_load, BackgroundConfig};
 use gridsched_workload::jobs::{generate_stream, JobConfig};
 use gridsched_workload::pool::{generate_pool, PoolConfig};
 
+use crate::faults::{Fault, FaultConfig, FaultKind, FaultPlan, FaultSummary};
 use crate::metascheduler::{FlowAssignment, Metascheduler};
 use crate::report::{JobRecord, VoReport};
+use crate::trace::BreakKind;
 
 /// Configuration of one campaign run.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +57,9 @@ pub struct CampaignConfig {
     pub perturbations: usize,
     /// Min/max length of a perturbation reservation, in ticks.
     pub perturbation_len: (u64, u64),
+    /// Injected faults: node outages, degradations and transfer faults.
+    /// The default injects nothing.
+    pub faults: FaultConfig,
     /// Campaign horizon.
     pub horizon: SimDuration,
     /// Network model strategies plan with.
@@ -90,6 +95,7 @@ impl Default for CampaignConfig {
             job_gap: SimDuration::from_ticks(6),
             perturbations: 150,
             perturbation_len: (2, 8),
+            faults: FaultConfig::none(),
             horizon: SimDuration::from_ticks(1_000),
             transfer_model: gridsched_data::network::TransferModel::default(),
             slowdown_range: (1.0, EstimateScenario::WORST_FACTOR),
@@ -145,6 +151,7 @@ struct Campaign<'a> {
     horizon_end: SimTime,
     activation_rng: SimRng,
     next_background_tag: u64,
+    faults: FaultSummary,
     trace: Option<crate::trace::CampaignTrace>,
 }
 
@@ -155,6 +162,7 @@ enum Event {
         node: NodeId,
         len: SimDuration,
     },
+    Fault(Fault),
 }
 
 impl Event {
@@ -162,6 +170,7 @@ impl Event {
         match self {
             Event::Release(j) => j.release(),
             Event::Perturbation { at, .. } => *at,
+            Event::Fault(f) => f.at,
         }
     }
 }
@@ -191,6 +200,7 @@ impl<'a> Campaign<'a> {
             horizon_end: SimTime::ZERO + config.horizon,
             activation_rng,
             next_background_tag: 1 << 32,
+            faults: FaultSummary::default(),
             trace: config
                 .collect_trace
                 .then(crate::trace::CampaignTrace::new),
@@ -207,6 +217,7 @@ impl<'a> Campaign<'a> {
         let mut master = SimRng::seed_from(self.config.seed);
         let mut jobs_rng = master.fork(3);
         let mut pert_rng = master.fork(5);
+        let mut fault_rng = master.fork(6);
 
         let jobs = generate_stream(
             &self.config.job_config,
@@ -224,6 +235,13 @@ impl<'a> Campaign<'a> {
             );
             events.push(Event::Perturbation { at, node, len });
         }
+        let plan = FaultPlan::generate(
+            &self.config.faults,
+            node_count,
+            self.config.horizon,
+            &mut fault_rng,
+        );
+        events.extend(plan.faults().iter().copied().map(Event::Fault));
         events.sort_by_key(Event::time);
 
         for event in events {
@@ -232,6 +250,7 @@ impl<'a> Campaign<'a> {
             match event {
                 Event::Release(job) => self.handle_release(job),
                 Event::Perturbation { at, node, len } => self.handle_perturbation(at, node, len),
+                Event::Fault(fault) => self.handle_fault(fault),
             }
         }
         self.settle_overruns(self.horizon_end);
@@ -274,6 +293,7 @@ impl<'a> Campaign<'a> {
             nodes_used: None,
             breaks: 0,
             switches: 0,
+            migrations: 0,
             dropped: false,
         };
         let record_idx = self.records.len();
@@ -442,7 +462,7 @@ impl<'a> Campaign<'a> {
                 .iter()
                 .position(|a| a.job.id() == job_id && !a.dropped)
             {
-                self.break_job(idx, tau, crate::trace::BreakKind::Perturbation);
+                self.break_job(idx, tau, BreakKind::Perturbation, &[], tau);
             }
         }
         if self.pool.timetable(node).is_free(window) {
@@ -453,6 +473,174 @@ impl<'a> Campaign<'a> {
                 .reserve(window, ReservationOwner::Background(tag))
                 .expect("checked free");
             self.record_event(at, crate::trace::CampaignEvent::Perturbation { node });
+        }
+    }
+
+    /// Dispatches one injected fault.
+    fn handle_fault(&mut self, fault: Fault) {
+        if fault.at >= self.horizon_end {
+            return;
+        }
+        match fault.kind {
+            FaultKind::Outage { len } => self.handle_outage(fault.at, fault.node, len),
+            FaultKind::Degradation { factor } => {
+                self.handle_degradation(fault.at, fault.node, factor);
+            }
+            FaultKind::TransferFault { retry } => {
+                self.handle_transfer_fault(fault.at, fault.node, retry);
+            }
+        }
+    }
+
+    /// A node dies for `[at, at+len)`: every task reservation overlapping
+    /// the window is voided. Pending victims are replanned as usual;
+    /// already-running victims lose their partial execution and must
+    /// *migrate* — restart on another node. The outage window itself is
+    /// blocked so no replan lands inside it.
+    fn handle_outage(&mut self, at: SimTime, node: NodeId, len: SimDuration) {
+        if len.is_zero() {
+            return;
+        }
+        let window = TimeWindow::starting_at(at, len).expect("non-empty outage");
+        let voided = self.pool.timetable_mut(node).void_tasks_within(window);
+        self.faults.outages_injected += 1;
+        self.record_event(
+            at,
+            crate::trace::CampaignEvent::Outage {
+                node,
+                voided: voided.len(),
+            },
+        );
+        // Block every remaining free gap of the outage window (background
+        // reservations already occupying parts of it need no blocking).
+        let gaps = self.pool.timetable(node).free_windows(window);
+        for gap in gaps {
+            let tag = self.next_background_tag;
+            self.next_background_tag += 1;
+            self.pool
+                .timetable_mut(node)
+                .reserve(gap, ReservationOwner::Background(tag))
+                .expect("free_windows returned a free gap");
+        }
+        // Group victims by job; tasks already running at `at` are forced
+        // migrations (their reservation is gone mid-execution).
+        let mut victims: Vec<(JobId, Vec<TaskId>)> = Vec::new();
+        for r in &voided {
+            let ReservationOwner::Task(gid) = r.owner() else {
+                continue;
+            };
+            let pos = match victims.iter().position(|(j, _)| *j == gid.job) {
+                Some(p) => p,
+                None => {
+                    victims.push((gid.job, Vec::new()));
+                    victims.len() - 1
+                }
+            };
+            if r.window().start() <= at && !victims[pos].1.contains(&gid.task) {
+                victims[pos].1.push(gid.task);
+            }
+        }
+        for (job_id, forced) in victims {
+            let Some(idx) = self
+                .active
+                .iter()
+                .position(|a| a.job.id() == job_id && !a.dropped)
+            else {
+                continue;
+            };
+            // Drop the stale reservation handles the outage voided.
+            for r in &voided {
+                if let ReservationOwner::Task(gid) = r.owner() {
+                    if gid.job == job_id {
+                        self.active[idx].reservations.remove(&gid.task);
+                    }
+                }
+            }
+            self.break_job(idx, at, BreakKind::Outage, &forced, at);
+        }
+    }
+
+    /// A node's performance drops by `factor`: every remaining runtime on
+    /// it inflates, which future replans see directly and active schedules
+    /// feel as overruns.
+    fn handle_degradation(&mut self, at: SimTime, node: NodeId, factor: f64) {
+        let old = self.pool.node(node).perf().value();
+        let degraded = Perf::new((old * factor).clamp(0.05, 1.0))
+            .expect("clamped into a valid performance");
+        self.pool.set_perf(node, degraded);
+        self.faults.degradations_injected += 1;
+        self.record_event(at, crate::trace::CampaignEvent::Degraded { node });
+        // Remaining runtimes on the node just grew: refresh the earliest
+        // pending overrun of every job with a future placement there.
+        for i in 0..self.active.len() {
+            if self.active[i].dropped {
+                continue;
+            }
+            let affected = self.active[i]
+                .current
+                .values()
+                .any(|p| p.node == node && p.window.start() > at);
+            if affected {
+                let next = next_overrun(&self.active[i], &self.pool, at);
+                self.active[i].pending_overrun = next;
+            }
+        }
+    }
+
+    /// An inter-domain transfer incident at `node`: every active job with
+    /// a pending task whose input crosses the broken link re-draws the
+    /// transfer (retry penalty) and replans — unless its policy is active
+    /// replication, which reads a nearby replica and absorbs the fault.
+    fn handle_transfer_fault(&mut self, at: SimTime, node: NodeId, retry: SimDuration) {
+        self.faults.transfer_faults_injected += 1;
+        self.record_event(
+            at,
+            crate::trace::CampaignEvent::TransferFaultInjected { node },
+        );
+        let mut absorbed: Vec<usize> = Vec::new();
+        let mut victims: Vec<usize> = Vec::new();
+        for (i, a) in self.active.iter().enumerate() {
+            if a.dropped {
+                continue;
+            }
+            let exposed = a.job.edges().iter().any(|e| {
+                let from = &a.current[&e.from()];
+                let to = &a.current[&e.to()];
+                if to.window.start() <= at || from.node == to.node {
+                    return false;
+                }
+                let touches = from.node == node || to.node == node;
+                match a.policy.kind() {
+                    // Static storage stages every cross-node exchange
+                    // through the storage node, so it is exposed to
+                    // incidents there as well as at either endpoint.
+                    DataPolicyKind::StaticStorage => {
+                        touches || a.policy.storage_node() == Some(node)
+                    }
+                    _ => {
+                        touches
+                            && self.pool.node(from.node).domain()
+                                != self.pool.node(to.node).domain()
+                    }
+                }
+            });
+            if !exposed {
+                continue;
+            }
+            if a.policy.kind() == DataPolicyKind::ActiveReplication {
+                absorbed.push(i);
+            } else {
+                victims.push(i);
+            }
+        }
+        for i in absorbed {
+            let job = self.active[i].job.id();
+            self.faults.transfer_faults_absorbed += 1;
+            self.record_event(at, crate::trace::CampaignEvent::TransferAbsorbed { job });
+        }
+        for i in victims {
+            let earliest = at + retry;
+            self.break_job(i, at, BreakKind::TransferFault, &[], earliest);
         }
     }
 
@@ -500,28 +688,43 @@ impl<'a> Campaign<'a> {
         let entry = a.current.get_mut(&task).expect("task is placed");
         entry.window = extended;
         a.pending_overrun = None;
-        self.break_job(idx, at, crate::trace::BreakKind::Overrun);
+        self.break_job(idx, at, BreakKind::Overrun, &[], at);
     }
 
     /// Attempts to activate another supporting schedule of the job's
-    /// strategy: every window must lie in the future (start ≥ `tau`) and be
-    /// free on the current timetables. Returns `true` on success.
-    fn try_switch(&mut self, idx: usize, tau: SimTime) -> bool {
-        let candidate_pos = {
+    /// strategy. The alternative's *relative* structure (nodes, window
+    /// lengths, precedence offsets) was precomputed at activation; only
+    /// its anchor moves: the whole schedule is shifted uniformly forward
+    /// so its earliest window starts no sooner than `earliest`. A uniform
+    /// shift preserves precedence, so the switch succeeds iff every
+    /// shifted window is free on the current timetables and the shifted
+    /// makespan still meets the deadline. Returns `true` on success.
+    fn try_switch(&mut self, idx: usize, tau: SimTime, earliest: SimTime) -> bool {
+        let found = {
             let a = &self.active[idx];
-            a.alternatives.iter().position(|d| {
-                d.makespan() <= a.deadline_abs
-                    && d.placements().iter().all(|p| {
-                        p.window.start() >= tau
-                            && self.pool.timetable(p.node).is_free(p.window)
-                    })
+            a.alternatives.iter().enumerate().find_map(|(pos, d)| {
+                let first = d.placements().iter().map(|p| p.window.start()).min()?;
+                let delta = earliest.saturating_since(first);
+                if d.makespan() + delta > a.deadline_abs {
+                    return None;
+                }
+                let all_free = d.placements().iter().all(|p| {
+                    self.pool
+                        .timetable(p.node)
+                        .is_free(shift_window(p.window, delta))
+                });
+                all_free.then_some((pos, delta))
             })
         };
-        let Some(pos) = candidate_pos else {
+        let Some((pos, delta)) = found else {
             return false;
         };
         let dist = self.active[idx].alternatives.remove(pos);
         for p in dist.placements() {
+            let shifted = Placement {
+                window: shift_window(p.window, delta),
+                ..*p
+            };
             let a = &mut self.active[idx];
             let owner = ReservationOwner::Task(GlobalTaskId {
                 job: a.job.id(),
@@ -530,10 +733,10 @@ impl<'a> Campaign<'a> {
             let rid = self
                 .pool
                 .timetable_mut(p.node)
-                .reserve(p.window, owner)
+                .reserve(shifted.window, owner)
                 .expect("switch candidate windows were checked free");
             a.reservations.insert(p.task, rid);
-            a.current.insert(p.task, *p);
+            a.current.insert(p.task, shifted);
         }
         let a = &mut self.active[idx];
         a.scenario = dist.scenario();
@@ -546,21 +749,45 @@ impl<'a> Campaign<'a> {
     }
 
     /// Releases the job's pending reservations and replans the remaining
-    /// tasks from `tau` — the §2 reallocation mechanism.
-    fn break_job(&mut self, idx: usize, tau: SimTime, kind: crate::trace::BreakKind) {
+    /// tasks — the §2 reallocation mechanism.
+    ///
+    /// `forced` lists already-started tasks that must nevertheless be
+    /// re-placed (their node died mid-execution — migration); `earliest`
+    /// is the earliest time re-placed windows may start (`tau` itself for
+    /// benign breaks, `tau + retry` for transfer faults).
+    fn break_job(
+        &mut self,
+        idx: usize,
+        tau: SimTime,
+        kind: BreakKind,
+        forced: &[TaskId],
+        earliest: SimTime,
+    ) {
         let record_idx = self.active[idx].record;
         self.records[record_idx].breaks += 1;
         self.active[idx].first_break.get_or_insert(tau);
         let job_id = self.active[idx].job.id();
         self.record_event(tau, crate::trace::CampaignEvent::Broken { job: job_id, kind });
+        match kind {
+            BreakKind::Perturbation => self.faults.breaks_by_perturbation += 1,
+            BreakKind::Overrun => self.faults.breaks_by_overrun += 1,
+            BreakKind::Outage => self.faults.breaks_by_outage += 1,
+            BreakKind::TransferFault => self.faults.breaks_by_transfer_fault += 1,
+        }
 
-        // Split into started (fixed) and pending tasks.
-        let pending: Vec<TaskId> = self.active[idx]
+        // Split into started (fixed) and pending tasks; forced tasks are
+        // pending again even though they started.
+        let mut pending: Vec<TaskId> = self.active[idx]
             .current
             .iter()
             .filter(|(_, p)| p.window.start() > tau)
             .map(|(t, _)| *t)
             .collect();
+        for t in forced {
+            if !pending.contains(t) {
+                pending.push(*t);
+            }
+        }
         if pending.is_empty() {
             self.active[idx].pending_overrun = None;
             return;
@@ -583,8 +810,10 @@ impl<'a> Campaign<'a> {
         // on the state and load level of processor nodes" — before paying
         // for a replan, try to *switch* to another precomputed supporting
         // schedule. Only possible while no task has started (a started task
-        // pins its placement, which other schedules will not match).
-        if fixed.is_empty() && self.try_switch(idx, tau) {
+        // pins its placement, which other schedules will not match) and
+        // nothing was killed mid-execution.
+        if fixed.is_empty() && forced.is_empty() && self.try_switch(idx, tau, earliest) {
+            self.faults.switches += 1;
             self.record_event(tau, crate::trace::CampaignEvent::Switched { job: job_id });
             return;
         }
@@ -596,7 +825,7 @@ impl<'a> Campaign<'a> {
                 pool: &self.pool,
                 policy: &a.policy,
                 scenario: a.scenario,
-                release: tau,
+                release: earliest,
             };
             // §5's dynamic priority change: if the deadline is endangered,
             // pay quota for speed.
@@ -607,7 +836,7 @@ impl<'a> Campaign<'a> {
                         pool: &self.pool,
                         policy: &a.policy,
                         scenario: a.scenario,
-                        release: tau,
+                        release: earliest,
                         deadline: a.deadline_abs,
                         domain: None,
                         objective: gridsched_core::objective::Objective::MinCost,
@@ -617,7 +846,7 @@ impl<'a> Campaign<'a> {
                         .into_iter()
                         .max()
                         .unwrap_or(gridsched_sim::time::SimDuration::ZERO);
-                    let slack = a.deadline_abs.saturating_since(tau);
+                    let slack = a.deadline_abs.saturating_since(earliest);
                     if (slack.ticks() as f64) < remaining.ticks() as f64 * factor {
                         gridsched_core::objective::Objective::FASTEST
                     } else {
@@ -652,13 +881,21 @@ impl<'a> Campaign<'a> {
                 }
                 let next = next_overrun(&self.active[idx], &self.pool, tau);
                 self.active[idx].pending_overrun = next;
-                self.record_event(tau, crate::trace::CampaignEvent::Replanned { job: job_id });
+                if forced.is_empty() {
+                    self.faults.replans += 1;
+                    self.record_event(tau, crate::trace::CampaignEvent::Replanned { job: job_id });
+                } else {
+                    self.faults.migrations += 1;
+                    self.records[record_idx].migrations += 1;
+                    self.record_event(tau, crate::trace::CampaignEvent::Migrated { job: job_id });
+                }
             }
             Err(_) => {
                 let a = &mut self.active[idx];
                 a.dropped = true;
                 a.pending_overrun = None;
                 self.records[record_idx].dropped = true;
+                self.faults.drops += 1;
                 self.record_event(tau, crate::trace::CampaignEvent::Dropped { job: job_id });
             }
         }
@@ -719,19 +956,86 @@ impl<'a> Campaign<'a> {
                 None => planned_end.saturating_since(a.activation),
             });
         }
+        // Surviving activated jobs ran to completion: record the terminal
+        // fact. Completion is only *known* once the horizon closes, so the
+        // events are stamped at the horizon and carry the realized end.
+        let completions: Vec<(JobId, SimTime)> = self
+            .active
+            .iter()
+            .filter(|a| !a.dropped)
+            .map(|a| {
+                let end = a
+                    .current
+                    .values()
+                    .map(|p| p.window.end())
+                    .max()
+                    .unwrap_or(a.activation);
+                (a.job.id(), end)
+            })
+            .collect();
+        let horizon_end = self.horizon_end;
+        for (job, end) in completions {
+            self.record_event(
+                horizon_end,
+                crate::trace::CampaignEvent::Completed { job, end },
+            );
+        }
         let task_load = measure_task_load(&self.pool, self.horizon_end);
         let strategy = match &self.config.assignment {
             FlowAssignment::Single(kind) => *kind,
             FlowAssignment::RoundRobin(kinds) => kinds[0],
             FlowAssignment::BySize { large, .. } => *large,
         };
-        VoReport {
+        let report = VoReport {
             strategy,
-            records: self.records,
+            records: std::mem::take(&mut self.records),
             task_load,
-            trace: self.trace,
+            faults: self.faults,
+            trace: self.trace.take(),
+        };
+        #[cfg(debug_assertions)]
+        self.audit(&report);
+        report
+    }
+
+    /// Debug/test builds: every traced campaign run is replayed through
+    /// the [`crate::oracle`] before the report leaves the campaign. A
+    /// violation here is a bug in the campaign itself.
+    #[cfg(debug_assertions)]
+    fn audit(&self, report: &VoReport) {
+        if report.trace.is_none() {
+            return;
+        }
+        if let Err(violation) = crate::oracle::audit(report) {
+            panic!("campaign trace failed the oracle: {violation}");
+        }
+        let states: Vec<crate::oracle::FinalJobState<'_>> = self
+            .active
+            .iter()
+            .map(|a| {
+                let rec = report
+                    .records
+                    .iter()
+                    .find(|r| r.job_id == a.job.id())
+                    .expect("every active job has a record");
+                crate::oracle::FinalJobState {
+                    job: &a.job,
+                    placements: &a.current,
+                    dropped: a.dropped,
+                    breaks: rec.breaks,
+                }
+            })
+            .collect();
+        if let Err(violation) = crate::oracle::audit_final_state(&states, &self.pool) {
+            panic!("campaign final state failed the oracle: {violation}");
         }
     }
+}
+
+/// Shifts a window uniformly forward by `delta`, preserving its length.
+fn shift_window(w: TimeWindow, delta: SimDuration) -> TimeWindow {
+    TimeWindow::new(w.start() + delta, w.end() + delta)
+        .expect("a uniform forward shift preserves non-emptiness")
 }
 
 /// The task's actual execution time on its assigned node, under its drawn

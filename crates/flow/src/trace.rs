@@ -17,6 +17,20 @@ pub enum BreakKind {
     Perturbation,
     /// A task ran past its reserved budget.
     Overrun,
+    /// A node outage voided reservations (injected fault).
+    Outage,
+    /// A data transfer failed and must be retried (injected fault).
+    TransferFault,
+}
+
+impl BreakKind {
+    /// Every break cause.
+    pub const ALL: [BreakKind; 4] = [
+        BreakKind::Perturbation,
+        BreakKind::Overrun,
+        BreakKind::Outage,
+        BreakKind::TransferFault,
+    ];
 }
 
 impl fmt::Display for BreakKind {
@@ -24,6 +38,8 @@ impl fmt::Display for BreakKind {
         match self {
             BreakKind::Perturbation => f.write_str("perturbation"),
             BreakKind::Overrun => f.write_str("overrun"),
+            BreakKind::Outage => f.write_str("outage"),
+            BreakKind::TransferFault => f.write_str("transfer fault"),
         }
     }
 }
@@ -67,11 +83,75 @@ pub enum CampaignEvent {
         /// The job.
         job: JobId,
     },
+    /// The break was resolved by restarting already-started tasks on
+    /// other nodes (their original node died) and replanning the rest.
+    Migrated {
+        /// The job.
+        job: JobId,
+    },
     /// No feasible replan existed; the job was dropped.
     Dropped {
         /// The job.
         job: JobId,
     },
+    /// Every remaining task of the job ran to completion.
+    ///
+    /// Recorded once per surviving activated job when the campaign
+    /// finalizes; `end` is the job's realized completion time (which may
+    /// differ from the event's timestamp — completion facts are only
+    /// known at the end of the horizon).
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Realized completion time (latest placement window end).
+        end: SimTime,
+    },
+    /// A node outage struck (injected fault).
+    Outage {
+        /// The dead node.
+        node: NodeId,
+        /// Task reservations voided by the outage.
+        voided: usize,
+    },
+    /// A node's performance dropped (injected fault).
+    Degraded {
+        /// The degraded node.
+        node: NodeId,
+    },
+    /// An inter-domain transfer incident struck a node (injected fault).
+    TransferFaultInjected {
+        /// The afflicted node.
+        node: NodeId,
+    },
+    /// A transfer fault hit a job whose active-replication policy had a
+    /// nearby replica: no break needed.
+    TransferAbsorbed {
+        /// The unharmed job.
+        job: JobId,
+    },
+}
+
+impl CampaignEvent {
+    /// The job this event concerns, if any (pool-level events — external
+    /// perturbations and injected faults — concern no single job).
+    #[must_use]
+    pub fn job(&self) -> Option<JobId> {
+        match self {
+            CampaignEvent::Released { job, .. }
+            | CampaignEvent::Activated { job, .. }
+            | CampaignEvent::Broken { job, .. }
+            | CampaignEvent::Switched { job }
+            | CampaignEvent::Replanned { job }
+            | CampaignEvent::Migrated { job }
+            | CampaignEvent::Dropped { job }
+            | CampaignEvent::Completed { job, .. }
+            | CampaignEvent::TransferAbsorbed { job } => Some(*job),
+            CampaignEvent::Perturbation { .. }
+            | CampaignEvent::Outage { .. }
+            | CampaignEvent::Degraded { .. }
+            | CampaignEvent::TransferFaultInjected { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for CampaignEvent {
@@ -89,7 +169,19 @@ impl fmt::Display for CampaignEvent {
             CampaignEvent::Broken { job, kind } => write!(f, "{job} broken by {kind}"),
             CampaignEvent::Switched { job } => write!(f, "{job} switched supporting schedule"),
             CampaignEvent::Replanned { job } => write!(f, "{job} replanned"),
+            CampaignEvent::Migrated { job } => write!(f, "{job} migrated off a dead node"),
             CampaignEvent::Dropped { job } => write!(f, "{job} dropped"),
+            CampaignEvent::Completed { job, end } => write!(f, "{job} completed at {end}"),
+            CampaignEvent::Outage { node, voided } => {
+                write!(f, "outage on {node} ({voided} reservations voided)")
+            }
+            CampaignEvent::Degraded { node } => write!(f, "{node} degraded"),
+            CampaignEvent::TransferFaultInjected { node } => {
+                write!(f, "transfer fault at {node}")
+            }
+            CampaignEvent::TransferAbsorbed { job } => {
+                write!(f, "{job} absorbed a transfer fault via replication")
+            }
         }
     }
 }
@@ -116,23 +208,32 @@ impl CampaignTrace {
         self.events.push((at, event));
     }
 
+    /// Builds a trace from raw events, *without* the chronology check.
+    ///
+    /// Intended for tests that construct deliberately corrupt traces to
+    /// feed the [`crate::oracle`]; the oracle itself re-checks chronology.
+    #[must_use]
+    pub fn from_events(events: Vec<(SimTime, CampaignEvent)>) -> Self {
+        CampaignTrace { events }
+    }
+
     /// All events, in order.
     #[must_use]
     pub fn events(&self) -> &[(SimTime, CampaignEvent)] {
         &self.events
     }
 
+    /// Mutable access to the raw events, for tests that corrupt a real
+    /// trace in place before handing it to the [`crate::oracle`].
+    pub fn events_mut(&mut self) -> &mut Vec<(SimTime, CampaignEvent)> {
+        &mut self.events
+    }
+
     /// Events concerning one job.
     pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &(SimTime, CampaignEvent)> {
-        self.events.iter().filter(move |(_, e)| match e {
-            CampaignEvent::Released { job: j, .. }
-            | CampaignEvent::Activated { job: j, .. }
-            | CampaignEvent::Broken { job: j, .. }
-            | CampaignEvent::Switched { job: j }
-            | CampaignEvent::Replanned { job: j }
-            | CampaignEvent::Dropped { job: j } => *j == job,
-            CampaignEvent::Perturbation { .. } => false,
-        })
+        self.events
+            .iter()
+            .filter(move |(_, e)| e.job() == Some(job))
     }
 
     /// Count of events matching a predicate.

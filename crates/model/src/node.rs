@@ -168,6 +168,19 @@ impl ResourcePool {
             .expect("fastest_perf on empty pool")
     }
 
+    /// Changes a node's performance in place, keeping its timetable.
+    ///
+    /// Used by the fault layer to model node *degradation*: remaining
+    /// runtimes on the node inflate because every
+    /// [`Perf::exec_duration`] computed afterwards sees the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this pool.
+    pub fn set_perf(&mut self, id: NodeId, perf: Perf) {
+        self.nodes[id.index()].perf = perf;
+    }
+
     /// Clears every timetable, keeping the nodes. Used between experiment
     /// repetitions.
     pub fn reset_timetables(&mut self) {
@@ -229,6 +242,22 @@ mod tests {
         assert!(pool.timetable(NodeId::new(1)).is_free(w));
         pool.reset_timetables();
         assert!(pool.timetable(NodeId::new(0)).is_free(w));
+    }
+
+    #[test]
+    fn set_perf_changes_group_and_keeps_timetable() {
+        use crate::timetable::ReservationOwner;
+        use crate::window::TimeWindow;
+        use gridsched_sim::time::SimTime;
+
+        let mut pool = pool_with(&[1.0]);
+        let w = TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(3)).unwrap();
+        pool.timetable_mut(NodeId::new(0))
+            .reserve(w, ReservationOwner::Background(7))
+            .unwrap();
+        pool.set_perf(NodeId::new(0), Perf::new(0.4).unwrap());
+        assert_eq!(pool.node(NodeId::new(0)).group(), PerfGroup::Medium);
+        assert!(!pool.timetable(NodeId::new(0)).is_free(w));
     }
 
     #[test]

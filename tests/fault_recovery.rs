@@ -1,0 +1,268 @@
+//! Integration tests: fault injection and the recovery mechanisms.
+//!
+//! Seeded campaigns under escalating fault rates for every strategy kind,
+//! asserting the trace oracle stays clean, service quality degrades with
+//! fault pressure, data-replicating strategies shrug off transfer faults
+//! that break the storage-bound strategy, and every recovery path —
+//! schedule switch, replan, migration, drop — is demonstrably exercised.
+
+use gridsched::core::strategy::StrategyKind;
+use gridsched::flow::faults::FaultConfig;
+use gridsched::flow::metascheduler::FlowAssignment;
+use gridsched::flow::oracle;
+use gridsched::flow::simulation::{run_campaign, CampaignConfig};
+use gridsched::flow::trace::CampaignEvent;
+use gridsched::flow::VoReport;
+
+fn faults_at(level: usize) -> FaultConfig {
+    FaultConfig {
+        outages: level,
+        degradations: level,
+        transfer_faults: level,
+        ..FaultConfig::none()
+    }
+}
+
+/// A campaign in the default noisy environment: external perturbations
+/// and task overruns on top of whatever faults are injected.
+fn campaign(kind: StrategyKind, faults: FaultConfig, seed: u64) -> VoReport {
+    run_campaign(&CampaignConfig {
+        assignment: FlowAssignment::Single(kind),
+        jobs: 40,
+        perturbations: 30,
+        collect_trace: true,
+        faults,
+        seed,
+        ..CampaignConfig::default()
+    })
+}
+
+/// A campaign in a *clean* environment — no perturbations, no overruns —
+/// so every break is attributable to an injected fault.
+fn clean_campaign(kind: StrategyKind, faults: FaultConfig, seed: u64) -> VoReport {
+    run_campaign(&CampaignConfig {
+        assignment: FlowAssignment::Single(kind),
+        jobs: 40,
+        perturbations: 0,
+        slowdown_range: (1.0, 1.0),
+        task_jitter: 0.0,
+        collect_trace: true,
+        faults,
+        seed,
+        ..CampaignConfig::default()
+    })
+}
+
+#[test]
+fn oracle_stays_clean_under_escalating_faults_for_every_strategy() {
+    for kind in StrategyKind::ALL {
+        for level in [0usize, 4, 10, 20] {
+            let report = campaign(kind, faults_at(level), 0x5eed + level as u64);
+            oracle::audit(&report).unwrap_or_else(|v| {
+                panic!("{kind:?} at fault level {level}: oracle violation: {v}")
+            });
+            let f = &report.faults;
+            // Injection counters line up with the requested level.
+            assert_eq!(f.outages_injected, level, "{kind:?} level {level}");
+            assert_eq!(f.degradations_injected, level, "{kind:?} level {level}");
+            assert_eq!(f.transfer_faults_injected, level, "{kind:?} level {level}");
+            // Resolutions never outnumber breaks.
+            assert!(
+                f.resolutions() <= f.breaks(),
+                "{kind:?} level {level}: {} resolutions > {} breaks",
+                f.resolutions(),
+                f.breaks()
+            );
+        }
+    }
+}
+
+#[test]
+fn service_quality_degrades_with_fault_pressure() {
+    // Clean environment, so the only pressure on service quality is the
+    // injected fault load. Aggregate over a few seeds so the trend is
+    // about fault pressure, not one lucky draw. Quality = activated jobs
+    // that survived undropped.
+    let survival = |level: usize| -> (usize, usize) {
+        let mut survived = 0usize;
+        let mut activated = 0usize;
+        for seed in [11u64, 22, 33] {
+            let report = clean_campaign(StrategyKind::S2, faults_at(level), seed);
+            activated += report.records.iter().filter(|r| r.cost.is_some()).count();
+            survived += report
+                .records
+                .iter()
+                .filter(|r| r.cost.is_some() && !r.dropped)
+                .count();
+        }
+        (survived, activated)
+    };
+    let (s0, a0) = survival(0);
+    assert_eq!(s0, a0, "no fault, no perturbation: every activated job survives");
+    let clean = s0 as f64 / a0 as f64;
+    let (sh, ah) = survival(20);
+    let heavy = sh as f64 / ah as f64;
+    assert!(
+        heavy < clean,
+        "survival under heavy faults ({heavy:.3}) must fall below the clean run ({clean:.3})"
+    );
+    // Monotone-ish across the escalation: each level may wobble, but no
+    // level recovers above the clean baseline.
+    for level in [4usize, 10, 20] {
+        let (s, a) = survival(level);
+        let rate = s as f64 / a as f64;
+        assert!(
+            rate <= clean + 1e-9,
+            "fault level {level} pushed survival to {rate:.3}, above the clean {clean:.3}"
+        );
+    }
+}
+
+#[test]
+fn replication_absorbs_transfer_faults_that_break_static_storage() {
+    // Transfer faults only; S1/MS1 read nearby replicas, S3 stages all
+    // data through one storage node.
+    let faults = FaultConfig {
+        transfer_faults: 15,
+        ..FaultConfig::none()
+    };
+    let mut s1_breaks = 0usize;
+    let mut ms1_breaks = 0usize;
+    let mut s3_breaks = 0usize;
+    let mut s1_absorbed = 0usize;
+    let mut s3_drops = 0usize;
+    let mut s1_drops = 0usize;
+    let mut ms1_drops = 0usize;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let s1 = clean_campaign(StrategyKind::S1, faults.clone(), seed);
+        let ms1 = clean_campaign(StrategyKind::Ms1, faults.clone(), seed);
+        let s3 = clean_campaign(StrategyKind::S3, faults.clone(), seed);
+        s1_breaks += s1.faults.breaks_by_transfer_fault;
+        ms1_breaks += ms1.faults.breaks_by_transfer_fault;
+        s3_breaks += s3.faults.breaks_by_transfer_fault;
+        s1_absorbed += s1.faults.transfer_faults_absorbed;
+        s1_drops += s1.records.iter().filter(|r| r.dropped).count();
+        ms1_drops += ms1.records.iter().filter(|r| r.dropped).count();
+        s3_drops += s3.records.iter().filter(|r| r.dropped).count();
+    }
+    // Replication never breaks on a transfer fault — it absorbs it.
+    assert_eq!(s1_breaks, 0, "S1 replication must absorb transfer faults");
+    assert_eq!(ms1_breaks, 0, "MS1 replication must absorb transfer faults");
+    assert!(
+        s1_absorbed > 0,
+        "transfer faults must actually have hit S1 jobs to be absorbed"
+    );
+    assert!(
+        s3_breaks > 0,
+        "static storage must suffer transfer-fault breaks"
+    );
+    assert!(
+        s1_drops <= s3_drops && ms1_drops <= s3_drops,
+        "replicating strategies (S1 {s1_drops}, MS1 {ms1_drops}) must not drop \
+         more than static storage (S3 {s3_drops}) under transfer faults"
+    );
+}
+
+#[test]
+fn every_recovery_path_is_demonstrated_in_traces() {
+    // Each of the four resolution mechanisms — switch, replan, migration,
+    // drop — must be demonstrably exercised via its first-class trace
+    // event. Each mechanism gets the fault mix that provokes it best, and
+    // a deterministic band of seeds is scanned until it appears.
+    let first_seed_with = |faults: FaultConfig, pred: &dyn Fn(&CampaignEvent) -> bool| {
+        (0..40u64).find(|&seed| {
+            let report = clean_campaign(StrategyKind::S2, faults.clone(), seed);
+            let trace = report.trace.as_ref().expect("trace collected");
+            trace.count(pred) > 0
+        })
+    };
+
+    // Switches need a break *before any task starts* — a transfer fault
+    // can strike a job whose cross-domain input is still pending.
+    let switched = first_seed_with(
+        FaultConfig {
+            transfer_faults: 25,
+            ..FaultConfig::none()
+        },
+        &|e| matches!(e, CampaignEvent::Switched { .. }),
+    );
+    // The mixed config exercises replans and drops heavily.
+    let mixed = FaultConfig {
+        outages: 12,
+        outage_len: (6, 16),
+        degradations: 6,
+        transfer_faults: 10,
+        ..FaultConfig::none()
+    };
+    let replanned = first_seed_with(mixed.clone(), &|e| {
+        matches!(e, CampaignEvent::Replanned { .. })
+    });
+    let dropped = first_seed_with(mixed, &|e| matches!(e, CampaignEvent::Dropped { .. }));
+    // Migrations need an outage to kill a task mid-execution.
+    let migrated = first_seed_with(
+        FaultConfig {
+            outages: 14,
+            outage_len: (8, 20),
+            ..FaultConfig::none()
+        },
+        &|e| matches!(e, CampaignEvent::Migrated { .. }),
+    );
+
+    assert!(switched.is_some(), "no seed in 0..40 produced a switch");
+    assert!(replanned.is_some(), "no seed in 0..40 produced a replan");
+    assert!(migrated.is_some(), "no seed in 0..40 produced a migration");
+    assert!(dropped.is_some(), "no seed in 0..40 produced a drop");
+    println!(
+        "recovery coverage: switch@{switched:?} replan@{replanned:?} \
+         migrate@{migrated:?} drop@{dropped:?}"
+    );
+}
+
+#[test]
+fn migration_restarts_started_tasks_on_live_nodes() {
+    // Find a seeded campaign with a migration and check its accounting:
+    // the migrating job records it, and the trace pairs it with an
+    // outage-caused break.
+    use gridsched::flow::trace::BreakKind;
+    for seed in 0..60u64 {
+        let report = clean_campaign(
+            StrategyKind::S2,
+            FaultConfig {
+                outages: 14,
+                outage_len: (8, 20),
+                ..FaultConfig::none()
+            },
+            seed,
+        );
+        let trace = report.trace.as_ref().expect("trace collected");
+        let Some(&(at, CampaignEvent::Migrated { job })) = trace
+            .events()
+            .iter()
+            .find(|(_, e)| matches!(e, CampaignEvent::Migrated { .. }))
+        else {
+            continue;
+        };
+        let record = report
+            .records
+            .iter()
+            .find(|r| r.job_id == job)
+            .expect("migrating job has a record");
+        assert!(record.migrations >= 1, "migration must be recorded");
+        assert!(report.faults.migrations >= 1);
+        // The migration resolves a break caused by an outage at the same
+        // instant.
+        let outage_break = trace.for_job(job).any(|&(t, e)| {
+            t == at
+                && matches!(
+                    e,
+                    CampaignEvent::Broken {
+                        kind: BreakKind::Outage,
+                        ..
+                    }
+                )
+        });
+        assert!(outage_break, "migration must resolve an outage break");
+        return;
+    }
+    panic!("no seed in 0..60 produced a migration");
+}
