@@ -17,7 +17,7 @@ use gridsched_model::window::TimeWindow;
 
 use crate::job::{BatchJob, BatchJobId};
 use crate::policy::QueuePolicy;
-use crate::profile::Profile;
+use crate::profile::{Profile, ProfileOverlay};
 
 /// An advance reservation blocking `width` nodes over a window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -403,19 +403,26 @@ impl<'a> Simulation<'a> {
         );
         let shadow = TimeWindow::starting_at(shadow_start, head_job.estimate())
             .expect("non-empty shadow window");
-        self.profile.add(shadow, head_job.width());
-        // Backfill pass over the rest of the queue, in arrival order.
+        // Backfill pass over the rest of the queue, in arrival order. The
+        // shadow lives in a what-if overlay (rebuilt per iteration over the
+        // committed profile, so earlier backfill starts stay visible)
+        // instead of being added to and removed from the real profile.
         loop {
-            let candidate = self.queue[1..]
-                .iter()
-                .copied()
-                .find(|&i| self.fits_now(i, now));
+            let candidate = {
+                let mut shadowed = ProfileOverlay::new(&self.profile);
+                shadowed.add(shadow, head_job.width());
+                self.queue[1..].iter().copied().find(|&i| {
+                    let j = &self.jobs[i];
+                    let window =
+                        TimeWindow::starting_at(now, j.estimate()).expect("non-empty window");
+                    shadowed.max_allocation_in(window) + j.width() <= self.config.capacity
+                })
+            };
             match candidate {
                 Some(i) => self.start_job(i, now),
                 None => break,
             }
         }
-        self.profile.remove(shadow, head_job.width());
     }
 
     /// Conservative backfilling: every queued job holds a reservation; a job
@@ -423,23 +430,22 @@ impl<'a> Simulation<'a> {
     /// ("compression"), so early completions pull reservations forward.
     fn pass_conservative(&mut self, now: SimTime) {
         loop {
-            let mut temp: Vec<(TimeWindow, u32)> = Vec::new();
             let mut to_start: Option<usize> = None;
-            for &i in &self.queue {
-                let j = self.jobs[i];
-                let s =
-                    self.profile
-                        .earliest_fit(now, j.estimate(), j.width(), self.config.capacity);
-                if s == now {
-                    to_start = Some(i);
-                    break;
+            {
+                // Trial reservations go into a what-if overlay and are
+                // simply dropped with it — no removal bookkeeping against
+                // the real profile.
+                let mut trial = ProfileOverlay::new(&self.profile);
+                for &i in &self.queue {
+                    let j = self.jobs[i];
+                    let s = trial.earliest_fit(now, j.estimate(), j.width(), self.config.capacity);
+                    if s == now {
+                        to_start = Some(i);
+                        break;
+                    }
+                    let w = TimeWindow::starting_at(s, j.estimate()).expect("non-empty window");
+                    trial.add(w, j.width());
                 }
-                let w = TimeWindow::starting_at(s, j.estimate()).expect("non-empty window");
-                self.profile.add(w, j.width());
-                temp.push((w, j.width()));
-            }
-            for (w, width) in temp {
-                self.profile.remove(w, width);
             }
             match to_start {
                 Some(i) => self.start_job(i, now),
@@ -454,7 +460,9 @@ impl<'a> Simulation<'a> {
     /// and future arrivals are unknown — both assumptions §5 identifies as
     /// forecast error sources.
     fn predict_start(&self, idx: usize, now: SimTime) -> SimTime {
-        let mut profile = self.profile.clone();
+        // What-if forecast over the live profile: a copy-on-write overlay
+        // instead of cloning the whole breakpoint map.
+        let mut profile = ProfileOverlay::new(&self.profile);
         let mut ahead = self.queue.clone();
         // Head-of-line policies additionally start jobs in queue order, so
         // a queued job can never start before the one ahead of it.

@@ -5,6 +5,12 @@
 //! *estimated* ends) and by advance reservations. Scheduling decisions
 //! (FCFS head starts, backfill shadow times, reservation placement) are all
 //! queries against this profile.
+//!
+//! What-if questions (start predictions, backfill shadows, conservative
+//! trial reservations) go through a [`ProfileOverlay`]: a copy-on-write
+//! view holding only the what-if deltas on top of a borrowed base profile —
+//! the batch-level analogue of the planning-session overlay timetables in
+//! `gridsched-model`.
 
 use std::collections::BTreeMap;
 
@@ -81,12 +87,12 @@ impl Profile {
     /// Allocation at instant `t`.
     #[must_use]
     pub fn allocation_at(&self, t: SimTime) -> u32 {
-        let sum: i64 = self
-            .deltas
-            .range(..=t)
-            .map(|(_, &d)| d)
-            .sum();
-        u32::try_from(sum.max(0)).expect("allocation out of range")
+        u32::try_from(self.raw_allocation_at(t).max(0)).expect("allocation out of range")
+    }
+
+    /// Unclamped delta sum up to and including `t`.
+    fn raw_allocation_at(&self, t: SimTime) -> i64 {
+        self.deltas.range(..=t).map(|(_, &d)| d).sum()
     }
 
     /// Maximum allocation over `[window.start, window.end)`.
@@ -158,6 +164,174 @@ impl Profile {
     #[must_use]
     pub fn breakpoints(&self) -> usize {
         self.deltas.len()
+    }
+}
+
+/// A copy-on-write what-if view over a borrowed [`Profile`].
+///
+/// The overlay records only its own allocation deltas; every query answers
+/// over the *sum* of base and overlay deltas — exactly what a cloned
+/// profile holding both sets of allocations would answer. Dropping the
+/// overlay discards the what-if state without ever touching (or copying)
+/// the base.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_batch::profile::{Profile, ProfileOverlay};
+/// use gridsched_model::window::TimeWindow;
+/// use gridsched_sim::time::{SimDuration, SimTime};
+///
+/// let mut base = Profile::new();
+/// base.add(TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(10)).unwrap(), 3);
+/// let mut what_if = ProfileOverlay::new(&base);
+/// what_if.add(TimeWindow::new(SimTime::from_ticks(10), SimTime::from_ticks(20)).unwrap(), 3);
+/// // The overlay sees both allocations…
+/// assert_eq!(
+///     what_if.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(4), 2, 4),
+///     SimTime::from_ticks(20)
+/// );
+/// // …while the base never learns about the what-if window.
+/// assert_eq!(base.allocation_at(SimTime::from_ticks(15)), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileOverlay<'a> {
+    base: &'a Profile,
+    /// This view's own capacity deltas, same encoding as [`Profile`].
+    deltas: BTreeMap<SimTime, i64>,
+}
+
+impl<'a> ProfileOverlay<'a> {
+    /// Creates an overlay with no what-if allocations over `base`.
+    #[must_use]
+    pub fn new(base: &'a Profile) -> Self {
+        ProfileOverlay {
+            base,
+            deltas: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates `width` nodes over `window` in this view only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn add(&mut self, window: TimeWindow, width: u32) {
+        assert!(width > 0, "ProfileOverlay::add: zero width");
+        *self.deltas.entry(window.start()).or_insert(0) += i64::from(width);
+        *self.deltas.entry(window.end()).or_insert(0) -= i64::from(width);
+        self.prune(window.start());
+        self.prune(window.end());
+    }
+
+    /// Removes a what-if allocation previously [`ProfileOverlay::add`]ed
+    /// to this view.
+    pub fn remove(&mut self, window: TimeWindow, width: u32) {
+        assert!(width > 0, "ProfileOverlay::remove: zero width");
+        *self.deltas.entry(window.start()).or_insert(0) -= i64::from(width);
+        *self.deltas.entry(window.end()).or_insert(0) += i64::from(width);
+        self.prune(window.start());
+        self.prune(window.end());
+    }
+
+    fn prune(&mut self, key: SimTime) {
+        if self.deltas.get(&key) == Some(&0) {
+            self.deltas.remove(&key);
+        }
+    }
+
+    /// Combined (base + what-if) allocation at instant `t`.
+    #[must_use]
+    pub fn allocation_at(&self, t: SimTime) -> u32 {
+        let sum = self.base.raw_allocation_at(t)
+            + self.deltas.range(..=t).map(|(_, &d)| d).sum::<i64>();
+        u32::try_from(sum.max(0)).expect("allocation out of range")
+    }
+
+    /// Maximum combined allocation over `[window.start, window.end)` — a
+    /// merged breakpoint walk over both delta maps, mirroring
+    /// [`Profile::max_allocation_in`].
+    #[must_use]
+    pub fn max_allocation_in(&self, window: TimeWindow) -> u32 {
+        let bounds = (
+            std::ops::Bound::Excluded(window.start()),
+            std::ops::Bound::Excluded(window.end()),
+        );
+        let mut current = self.base.raw_allocation_at(window.start())
+            + self
+                .deltas
+                .range(..=window.start())
+                .map(|(_, &d)| d)
+                .sum::<i64>();
+        let mut max = current;
+        let mut a = self.base.deltas.range(bounds).peekable();
+        let mut b = self.deltas.range(bounds).peekable();
+        loop {
+            // Merge the two breakpoint streams; equal instants apply both
+            // deltas at once (as a materialized sum-profile would).
+            let step = match (a.peek(), b.peek()) {
+                (Some((&ta, _)), Some((&tb, _))) => {
+                    if ta < tb {
+                        *a.next().expect("peeked").1
+                    } else if tb < ta {
+                        *b.next().expect("peeked").1
+                    } else {
+                        *a.next().expect("peeked").1 + *b.next().expect("peeked").1
+                    }
+                }
+                (Some(_), None) => *a.next().expect("peeked").1,
+                (None, Some(_)) => *b.next().expect("peeked").1,
+                (None, None) => break,
+            };
+            current += step;
+            max = max.max(current);
+        }
+        u32::try_from(max.max(0)).expect("allocation out of range")
+    }
+
+    /// Earliest `t >= from` such that allocating `width` more nodes over
+    /// `[t, t + duration)` never exceeds `capacity` in the combined view —
+    /// the jump loop of [`Profile::earliest_fit`] over merged breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > capacity`.
+    #[must_use]
+    pub fn earliest_fit(
+        &self,
+        from: SimTime,
+        duration: SimDuration,
+        width: u32,
+        capacity: u32,
+    ) -> SimTime {
+        assert!(
+            width <= capacity,
+            "job width {width} exceeds cluster capacity {capacity}"
+        );
+        let budget = capacity - width;
+        let mut candidate = from;
+        loop {
+            let window =
+                TimeWindow::starting_at(candidate, duration.max_one()).expect("non-empty window");
+            if self.max_allocation_in(window) <= budget {
+                return candidate;
+            }
+            let after = (
+                std::ops::Bound::Excluded(candidate),
+                std::ops::Bound::Unbounded,
+            );
+            let next = [
+                self.base.deltas.range(after).map(|(&t, _)| t).next(),
+                self.deltas.range(after).map(|(&t, _)| t).next(),
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            match next {
+                Some(t) => candidate = t,
+                None => unreachable!("profile allocation never drops to zero"),
+            }
+        }
     }
 }
 
@@ -259,6 +433,61 @@ mod tests {
         let mut p = Profile::new();
         p.add(w(0, 4), 1);
         assert_eq!(p.earliest_fit(t(0), SimDuration::ZERO, 1, 1), t(4));
+    }
+
+    #[test]
+    fn overlay_matches_materialized_clone() {
+        let mut base = Profile::new();
+        base.add(w(0, 10), 2);
+        base.add(w(5, 15), 1);
+        let extra: &[(TimeWindow, u32)] = &[(w(3, 8), 1), (w(12, 20), 3), (w(0, 2), 1)];
+        let mut overlay = ProfileOverlay::new(&base);
+        let mut clone = base.clone();
+        for &(win, width) in extra {
+            overlay.add(win, width);
+            clone.add(win, width);
+        }
+        for tick in 0..25 {
+            assert_eq!(overlay.allocation_at(t(tick)), clone.allocation_at(t(tick)), "@{tick}");
+        }
+        for (a, b) in [(0, 25), (3, 8), (7, 13), (11, 12)] {
+            assert_eq!(
+                overlay.max_allocation_in(w(a, b)),
+                clone.max_allocation_in(w(a, b)),
+                "[{a},{b})"
+            );
+        }
+        for width in 1..=4u32 {
+            for dur in [1u64, 3, 6] {
+                assert_eq!(
+                    overlay.earliest_fit(t(0), d(dur), width, 6),
+                    clone.earliest_fit(t(0), d(dur), width, 6),
+                    "w{width} d{dur}"
+                );
+            }
+        }
+        // Removing the what-if windows restores base answers; base itself
+        // was never touched.
+        for &(win, width) in extra {
+            overlay.remove(win, width);
+        }
+        for tick in 0..25 {
+            assert_eq!(overlay.allocation_at(t(tick)), base.allocation_at(t(tick)));
+        }
+        assert_eq!(base.max_allocation_in(w(0, 25)), 3);
+    }
+
+    #[test]
+    fn overlay_equal_breakpoints_apply_together() {
+        // Base ends a window exactly where the overlay starts one: the
+        // merged walk must apply both deltas at that instant.
+        let mut base = Profile::new();
+        base.add(w(0, 5), 2);
+        let mut overlay = ProfileOverlay::new(&base);
+        overlay.add(w(5, 10), 2);
+        assert_eq!(overlay.max_allocation_in(w(0, 10)), 2);
+        assert_eq!(overlay.earliest_fit(t(0), d(3), 1, 3), t(0));
+        assert_eq!(overlay.earliest_fit(t(0), d(3), 2, 3), t(10));
     }
 
     #[test]

@@ -12,6 +12,27 @@ use std::time::{Duration, Instant};
 /// Default measurement budget per benchmark.
 pub const DEFAULT_BUDGET: Duration = Duration::from_millis(300);
 
+/// Per-benchmark statistics, also returned to the caller so bins can
+/// post-process them (speedup ratios, JSON reports).
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Timed iterations (the warm-up call is not counted).
+    pub iters: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+}
+
+impl Stats {
+    /// `self` / `other` as a throughput ratio: how many times faster
+    /// `other`'s mean iteration is than `self`'s.
+    #[must_use]
+    pub fn speedup_over(&self, other: &Stats) -> f64 {
+        self.mean.as_secs_f64() / other.mean.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
 /// One benchmark group, printed as an indented block.
 pub struct Group {
     name: String,
@@ -36,8 +57,8 @@ impl Group {
         self
     }
 
-    /// Measures `f`, printing per-iteration statistics.
-    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+    /// Measures `f`, printing and returning per-iteration statistics.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) -> Stats {
         // Warm-up: one untimed call (fills caches, faults pages).
         black_box(f());
         let mut iters: u64 = 0;
@@ -55,6 +76,11 @@ impl Group {
             "  {label:<40} {iters:>8} iters   mean {:>12?}   min {:>12?}",
             mean, best
         );
+        Stats {
+            iters,
+            mean,
+            min: best,
+        }
     }
 
     /// The group's name.
@@ -72,8 +98,26 @@ mod tests {
     fn bench_runs_at_least_once() {
         let g = Group::new("test").with_budget(Duration::from_millis(5));
         let counter = std::cell::Cell::new(0u64);
-        g.bench("noop", || counter.set(counter.get() + 1));
+        let stats = g.bench("noop", || counter.set(counter.get() + 1));
         assert!(counter.get() >= 1);
+        assert!(stats.iters >= 1);
+        assert!(stats.min <= stats.mean || stats.iters == 1);
         assert_eq!(g.name(), "test");
+    }
+
+    #[test]
+    fn speedup_is_a_mean_ratio() {
+        let slow = Stats {
+            iters: 1,
+            mean: Duration::from_millis(40),
+            min: Duration::from_millis(40),
+        };
+        let fast = Stats {
+            iters: 1,
+            mean: Duration::from_millis(10),
+            min: Duration::from_millis(10),
+        };
+        let ratio = slow.speedup_over(&fast);
+        assert!((ratio - 4.0).abs() < 1e-9, "got {ratio}");
     }
 }

@@ -23,11 +23,11 @@ use std::fmt;
 use gridsched_sim::time::{SimDuration, SimTime};
 
 use gridsched_data::policy::DataPolicy;
+use gridsched_model::availability::Availability;
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::{NodeId, TaskId};
 use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
-use gridsched_model::timetable::Timetable;
 use gridsched_model::window::TimeWindow;
 
 use crate::cost::{task_cost, Cost};
@@ -105,8 +105,10 @@ struct State {
     parent: Option<(usize, usize)>,
 }
 
-/// Allocates `chain` onto the availability in `timetables` (indexed by
-/// `NodeId::index`), minimizing accumulated cost subject to the deadline.
+/// Allocates `chain` onto `availability` (any [`Availability`] view —
+/// a planning-session [`gridsched_model::availability::TimetableOverlay`]
+/// or materialized `Vec<Timetable>` clones), minimizing accumulated cost
+/// subject to the deadline.
 ///
 /// `placed` holds placements committed by earlier critical works of the
 /// same job; their times constrain this chain.
@@ -118,18 +120,18 @@ struct State {
 ///
 /// # Panics
 ///
-/// Panics if `chain` is empty or `timetables.len() != pool.len()`.
-pub fn allocate_chain(
+/// Panics if `chain` is empty or `availability.node_count() != pool.len()`.
+pub fn allocate_chain<A: Availability>(
     ctx: &AllocationContext<'_>,
     chain: &[TaskId],
     placed: &HashMap<TaskId, Placement>,
-    timetables: &[Timetable],
+    availability: &A,
 ) -> Result<Vec<Placement>, AllocateError> {
     assert!(!chain.is_empty(), "cannot allocate an empty chain");
     assert_eq!(
-        timetables.len(),
+        availability.node_count(),
         ctx.pool.len(),
-        "timetable slice must cover every node"
+        "availability view must cover every node"
     );
     let rem = ctx.remaining_optimistic();
     let nodes: Vec<NodeId> = ctx.pool.nodes().map(|n| n.id()).collect();
@@ -180,7 +182,8 @@ pub fn allocate_chain(
             if pos == 0 {
                 let dur = stall_placed + exec;
                 if let Some(state) = fit_state(
-                    &timetables[node_id.index()],
+                    availability,
+                    node_id,
                     ready_placed,
                     dur,
                     stall_placed,
@@ -209,7 +212,8 @@ pub fn allocate_chain(
                     for (si, prev) in prev_states.iter().enumerate() {
                         let ready = ready_placed.max_of(prev.finish);
                         if let Some(state) = fit_state(
-                            &timetables[node_id.index()],
+                            availability,
+                            node_id,
                             ready,
                             dur,
                             stall,
@@ -301,8 +305,9 @@ fn saturating_deadline(deadline: SimTime, slack: SimDuration) -> SimTime {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn fit_state(
-    timetable: &Timetable,
+fn fit_state<A: Availability>(
+    availability: &A,
+    node: NodeId,
     ready: SimTime,
     duration: SimDuration,
     stall: SimDuration,
@@ -310,7 +315,7 @@ fn fit_state(
     cost: Cost,
     parent: Option<(usize, usize)>,
 ) -> Option<State> {
-    let start = timetable.earliest_fit(ready, duration, finish_bound)?;
+    let start = availability.earliest_fit(node, ready, duration, finish_bound)?;
     Some(State {
         start,
         finish: start + duration,
@@ -340,7 +345,7 @@ mod tests {
     use gridsched_model::fixtures::pipeline_job;
     use gridsched_model::ids::{DomainId, JobId};
     use gridsched_model::perf::Perf;
-    use gridsched_model::timetable::ReservationOwner;
+    use gridsched_model::timetable::{ReservationOwner, Timetable};
     use gridsched_model::volume::Volume;
 
     fn pool_two_nodes() -> ResourcePool {

@@ -63,6 +63,7 @@ pub mod gantt;
 pub mod granularity;
 pub mod method;
 pub mod objective;
+pub mod session;
 pub mod strategy;
 
 pub use allocate::{AllocateError, AllocationContext};
@@ -71,6 +72,7 @@ pub use cost::{task_cost, Cost};
 pub use distribution::{CollisionRecord, Distribution, DistributionError, Placement};
 pub use gantt::render_gantt;
 pub use granularity::{coarsen, CoarsenedJob};
-pub use method::{build_distribution, build_distribution_direct, build_distribution_in_domain, build_distribution_recovering, build_distribution_with_objective, reschedule, reschedule_with_deadline, reschedule_with_objective, ScheduleError, ScheduleRequest};
+pub use method::{build_distribution, build_distribution_cloning, build_distribution_direct, build_distribution_in_domain, build_distribution_recovering, build_distribution_with_objective, reschedule, reschedule_with_deadline, reschedule_with_objective, ScheduleError, ScheduleRequest};
 pub use objective::Objective;
+pub use session::PlanningSession;
 pub use strategy::{Strategy, StrategyConfig, StrategyKind, FULL_SWEEP_SCENARIOS};

@@ -18,6 +18,13 @@
 //!    Fig. 3b statistic) and re-allocate the work against the true
 //!    availability;
 //! 4. commit the work's reservations and continue.
+//!
+//! All schedule construction flows through the planning-session layer
+//! ([`crate::session::PlanningSession`]): the free functions here are thin
+//! wrappers that open a session (one availability snapshot) and run the
+//! method against copy-on-write overlay views. The pre-refactor
+//! clone-per-run path survives as [`build_distribution_cloning`] for
+//! differential tests and benchmarks.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -25,6 +32,7 @@ use std::fmt;
 use gridsched_sim::time::SimTime;
 
 use gridsched_data::policy::DataPolicy;
+use gridsched_model::availability::Availability;
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::{GlobalTaskId, TaskId};
 use gridsched_model::job::Job;
@@ -34,6 +42,7 @@ use gridsched_model::timetable::{ReservationOwner, Timetable};
 use crate::allocate::{allocate_chain, AllocationContext};
 use crate::chains::{next_critical_work, CriticalWork};
 use crate::distribution::{CollisionRecord, Distribution, Placement};
+use crate::session::PlanningSession;
 
 /// Vertex-disjoint critical works over the not-yet-placed tasks only.
 fn decompose_remaining(
@@ -113,7 +122,42 @@ impl std::error::Error for ScheduleError {}
 /// Returns [`ScheduleError`] if some task cannot be placed within the
 /// job's deadline on the available windows.
 pub fn build_distribution(req: &ScheduleRequest<'_>) -> Result<Distribution, ScheduleError> {
-    reschedule(req, &HashMap::new())
+    PlanningSession::open(req.pool).build_distribution(req)
+}
+
+/// The pre-refactor clone-per-run baseline of [`build_distribution`]: both
+/// availability views are materialized `Vec<Timetable>` clones of the
+/// pool's calendars instead of copy-on-write overlays over a shared
+/// snapshot.
+///
+/// Kept (and exercised by the differential/determinism suites and the
+/// `strategy_sweep` bench) to pin the overlay path's bit-identical output
+/// and to quantify what the share-don't-copy design saves.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] exactly when [`build_distribution`] does.
+pub fn build_distribution_cloning(
+    req: &ScheduleRequest<'_>,
+) -> Result<Distribution, ScheduleError> {
+    let deadline = req.release.saturating_add(req.job.deadline());
+    let background: Vec<Timetable> = req
+        .pool
+        .nodes()
+        .map(|n| req.pool.timetable(n.id()).clone())
+        .collect();
+    let mut with_job = background.clone();
+    run_method_chains(
+        req,
+        &HashMap::new(),
+        deadline,
+        true,
+        None,
+        crate::objective::Objective::MinCost,
+        false,
+        &background,
+        &mut with_job,
+    )
 }
 
 /// Rebuilds the schedule for the tasks *not* in `fixed`, keeping the fixed
@@ -139,8 +183,7 @@ pub fn reschedule(
     req: &ScheduleRequest<'_>,
     fixed: &HashMap<TaskId, Placement>,
 ) -> Result<Distribution, ScheduleError> {
-    let deadline = req.release.saturating_add(req.job.deadline());
-    reschedule_with_deadline(req, fixed, deadline)
+    PlanningSession::open(req.pool).reschedule(req, fixed)
 }
 
 /// [`reschedule`] with an explicit absolute deadline (used when replanning
@@ -154,7 +197,7 @@ pub fn reschedule_with_deadline(
     fixed: &HashMap<TaskId, Placement>,
     deadline: SimTime,
 ) -> Result<Distribution, ScheduleError> {
-    run_method(req, fixed, deadline, true)
+    PlanningSession::open(req.pool).reschedule_with_deadline(req, fixed, deadline)
 }
 
 /// [`reschedule_with_deadline`] under an explicit optimization criterion —
@@ -172,18 +215,7 @@ pub fn reschedule_with_objective(
     deadline: SimTime,
     objective: crate::objective::Objective,
 ) -> Result<Distribution, ScheduleError> {
-    match run_method_full(req, fixed, deadline, true, None, objective) {
-        Ok(d) => Ok(d),
-        Err(e) if objective == crate::objective::Objective::MinCost => Err(e),
-        Err(_) => run_method_full(
-            req,
-            fixed,
-            deadline,
-            true,
-            None,
-            crate::objective::Objective::MinCost,
-        ),
-    }
+    PlanningSession::open(req.pool).reschedule_with_objective(req, fixed, deadline, objective)
 }
 
 /// Single-phase ablation of the critical works method: every chain is
@@ -201,8 +233,7 @@ pub fn reschedule_with_objective(
 pub fn build_distribution_direct(
     req: &ScheduleRequest<'_>,
 ) -> Result<Distribution, ScheduleError> {
-    let deadline = req.release.saturating_add(req.job.deadline());
-    run_method(req, &HashMap::new(), deadline, false)
+    PlanningSession::open(req.pool).build_distribution_direct(req)
 }
 
 /// [`build_distribution`], but restricted to the nodes of one domain —
@@ -218,21 +249,7 @@ pub fn build_distribution_in_domain(
     req: &ScheduleRequest<'_>,
     domain: gridsched_model::ids::DomainId,
 ) -> Result<Distribution, ScheduleError> {
-    assert!(
-        req.pool.in_domain(domain).next().is_some(),
-        "domain {domain} has no nodes"
-    );
-    let deadline = req.release.saturating_add(req.job.deadline());
-    run_method_in(req, &HashMap::new(), deadline, true, Some(domain))
-}
-
-fn run_method(
-    req: &ScheduleRequest<'_>,
-    fixed: &HashMap<TaskId, Placement>,
-    deadline: SimTime,
-    two_phase: bool,
-) -> Result<Distribution, ScheduleError> {
-    run_method_in(req, fixed, deadline, two_phase, None)
+    PlanningSession::open(req.pool).build_distribution_in_domain(req, domain)
 }
 
 /// [`build_distribution`] under an explicit optimization criterion: the
@@ -248,51 +265,7 @@ pub fn build_distribution_with_objective(
     req: &ScheduleRequest<'_>,
     objective: crate::objective::Objective,
 ) -> Result<Distribution, ScheduleError> {
-    let deadline = req.release.saturating_add(req.job.deadline());
-    let aggressive = run_method_full(req, &HashMap::new(), deadline, true, None, objective);
-    match (aggressive, objective) {
-        (Ok(d), _) => Ok(d),
-        (Err(e), crate::objective::Objective::MinCost) => Err(e),
-        // The sequential chain heuristic can strand later critical works
-        // when earlier ones are packed with zero slack; degrade gracefully
-        // to the conservative criterion rather than fail the scenario.
-        (Err(_), _) => run_method_full(
-            req,
-            &HashMap::new(),
-            deadline,
-            true,
-            None,
-            crate::objective::Objective::MinCost,
-        ),
-    }
-}
-
-fn run_method_in(
-    req: &ScheduleRequest<'_>,
-    fixed: &HashMap<TaskId, Placement>,
-    deadline: SimTime,
-    two_phase: bool,
-    domain: Option<gridsched_model::ids::DomainId>,
-) -> Result<Distribution, ScheduleError> {
-    run_method_full(
-        req,
-        fixed,
-        deadline,
-        two_phase,
-        domain,
-        crate::objective::Objective::MinCost,
-    )
-}
-
-fn run_method_full(
-    req: &ScheduleRequest<'_>,
-    fixed: &HashMap<TaskId, Placement>,
-    deadline: SimTime,
-    two_phase: bool,
-    domain: Option<gridsched_model::ids::DomainId>,
-    objective: crate::objective::Objective,
-) -> Result<Distribution, ScheduleError> {
-    run_method_chains(req, fixed, deadline, two_phase, domain, objective, false)
+    PlanningSession::open(req.pool).build_distribution_with_objective(req, objective)
 }
 
 /// [`build_distribution`] with list-scheduling recovery: if the sequential
@@ -313,18 +286,19 @@ fn run_method_full(
 pub fn build_distribution_recovering(
     req: &ScheduleRequest<'_>,
 ) -> Result<Distribution, ScheduleError> {
-    let deadline = req.release.saturating_add(req.job.deadline());
-    let objective = crate::objective::Objective::MinCost;
-    match run_method_chains(req, &HashMap::new(), deadline, true, None, objective, false) {
-        Ok(d) => Ok(d),
-        Err(_) => {
-            run_method_chains(req, &HashMap::new(), deadline, true, None, objective, true)
-        }
-    }
+    PlanningSession::open(req.pool).build_distribution_recovering(req)
 }
 
+/// The critical-works engine proper, generic over the availability view.
+///
+/// `background` and `with_job` must start as equal views of the pool's
+/// current availability: phase 1 allocates against `background` only,
+/// phase 2 and the commits run against `with_job`. The planning session
+/// passes two fresh [`gridsched_model::availability::TimetableOverlay`]s
+/// over one shared snapshot; [`build_distribution_cloning`] passes two
+/// materialized `Vec<Timetable>` clones.
 #[allow(clippy::too_many_arguments)]
-fn run_method_chains(
+pub(crate) fn run_method_chains<A: Availability>(
     req: &ScheduleRequest<'_>,
     fixed: &HashMap<TaskId, Placement>,
     deadline: SimTime,
@@ -332,6 +306,8 @@ fn run_method_chains(
     domain: Option<gridsched_model::ids::DomainId>,
     objective: crate::objective::Objective,
     singleton_chains: bool,
+    background: &A,
+    with_job: &mut A,
 ) -> Result<Distribution, ScheduleError> {
     let ctx = AllocationContext {
         job: req.job,
@@ -367,15 +343,6 @@ fn run_method_chains(
         decompose_remaining(req, &unassigned, fastest)
     };
 
-    // Background availability (fixed) vs availability including this job's
-    // own committed reservations.
-    let background: Vec<Timetable> = req
-        .pool
-        .nodes()
-        .map(|n| req.pool.timetable(n.id()).clone())
-        .collect();
-    let mut with_job = background.clone();
-
     let mut placed: HashMap<TaskId, Placement> = fixed.clone();
     let mut collisions: Vec<CollisionRecord> = Vec::new();
 
@@ -383,15 +350,15 @@ fn run_method_chains(
         // Phase 1: ideal allocation against the background only (the
         // single-phase ablation skips straight to the true availability).
         let ideal = if two_phase {
-            allocate_chain(&ctx, &work.tasks, &placed, &background)
+            allocate_chain(&ctx, &work.tasks, &placed, background)
         } else {
-            allocate_chain(&ctx, &work.tasks, &placed, &with_job)
+            allocate_chain(&ctx, &work.tasks, &placed, &*with_job)
         };
         let chosen = match ideal {
             Ok(placements) => {
                 let conflicting: Vec<&Placement> = placements
                     .iter()
-                    .filter(|p| !with_job[p.node.index()].is_free(p.window))
+                    .filter(|p| !with_job.is_free(p.node, p.window))
                     .collect();
                 if conflicting.is_empty() {
                     Ok(placements)
@@ -404,7 +371,7 @@ fn run_method_chains(
                             group: req.pool.node(p.node).group(),
                         });
                     }
-                    allocate_chain(&ctx, &work.tasks, &placed, &with_job)
+                    allocate_chain(&ctx, &work.tasks, &placed, &*with_job)
                 }
             }
             Err(e) => Err(e),
@@ -415,8 +382,9 @@ fn run_method_chains(
             collisions: collisions.clone(),
         })?;
         for p in placements {
-            with_job[p.node.index()]
+            with_job
                 .reserve(
+                    p.node,
                     p.window,
                     ReservationOwner::Task(GlobalTaskId {
                         job: req.job.id(),

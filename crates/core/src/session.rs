@@ -1,0 +1,438 @@
+//! The planning-session layer: one availability snapshot, many cheap
+//! what-if views.
+//!
+//! Every schedule construction — a single supporting schedule, a full
+//! strategy sweep, a mid-flight replan — is a *planning session* against
+//! the pool's availability at one instant. A [`PlanningSession`] captures
+//! that availability **once** as an immutable, `Arc`-backed
+//! [`AvailabilitySnapshot`] and hands out copy-on-write
+//! [`TimetableOverlay`] views: each scenario of a strategy sweep plans on
+//! its own overlay (recording only its tentative reservations) while the
+//! base windows are shared by reference. Because the snapshot is immutable
+//! and `Sync`, scenario sweeps can run concurrently over one session —
+//! the share-don't-copy primitive that hierarchical bulk schedulers treat
+//! as the core of scalable what-if planning.
+//!
+//! The session's entry points mirror the free functions of
+//! [`crate::method`] one-for-one (those free functions now simply open a
+//! throwaway session). Callers that plan repeatedly against the same pool
+//! state — [`crate::strategy::Strategy`] sweeps, the job-flow layer's
+//! fault-driven replans — open one session and reuse it.
+
+use std::collections::HashMap;
+
+use gridsched_sim::time::SimTime;
+
+use gridsched_model::availability::{AvailabilitySnapshot, TimetableOverlay};
+use gridsched_model::ids::TaskId;
+use gridsched_model::node::ResourcePool;
+
+use crate::distribution::{Distribution, Placement};
+use crate::method::{run_method_chains, ScheduleError, ScheduleRequest};
+use crate::objective::Objective;
+
+/// A planning session: a pool reference plus one shared availability
+/// snapshot that every what-if view of the session reads through.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_core::method::ScheduleRequest;
+/// use gridsched_core::session::PlanningSession;
+/// use gridsched_data::policy::DataPolicy;
+/// use gridsched_model::estimate::EstimateScenario;
+/// use gridsched_model::fixtures::fig2_job_with_deadline;
+/// use gridsched_model::ids::DomainId;
+/// use gridsched_model::node::ResourcePool;
+/// use gridsched_model::perf::Perf;
+/// use gridsched_sim::time::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+/// let mut pool = ResourcePool::new();
+/// for j in 1..=4u32 {
+///     pool.add_node(DomainId::new(0), Perf::new(1.0 / f64::from(j))?);
+/// }
+/// let policy = DataPolicy::remote_access();
+/// let session = PlanningSession::open(&pool);
+/// // Several scenarios plan against the same snapshot without recloning.
+/// for scenario in [EstimateScenario::BEST, EstimateScenario::WORST] {
+///     let dist = session.build_distribution(&ScheduleRequest {
+///         job: &job,
+///         pool: &pool,
+///         policy: &policy,
+///         scenario,
+///         release: SimTime::ZERO,
+///     })?;
+///     assert!(dist.meets_deadline(SimTime::from_ticks(60)));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PlanningSession<'p> {
+    pool: &'p ResourcePool,
+    snapshot: AvailabilitySnapshot,
+}
+
+impl<'p> PlanningSession<'p> {
+    /// Opens a session against the pool's current availability.
+    ///
+    /// This is the only point that reads the pool's timetables; every view
+    /// created afterwards shares the captured windows by reference and
+    /// stays consistent even if the live pool moves on.
+    #[must_use]
+    pub fn open(pool: &'p ResourcePool) -> Self {
+        PlanningSession {
+            pool,
+            snapshot: pool.snapshot(),
+        }
+    }
+
+    /// The pool this session plans against.
+    #[must_use]
+    pub fn pool(&self) -> &'p ResourcePool {
+        self.pool
+    }
+
+    /// The shared availability snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> &AvailabilitySnapshot {
+        &self.snapshot
+    }
+
+    /// A fresh copy-on-write view over the session's snapshot.
+    #[must_use]
+    pub fn overlay(&self) -> TimetableOverlay {
+        TimetableOverlay::new(self.snapshot.clone())
+    }
+
+    // The engine's full parameter surface; mirrored by `run_method_chains`.
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        req: &ScheduleRequest<'_>,
+        fixed: &HashMap<TaskId, Placement>,
+        deadline: SimTime,
+        two_phase: bool,
+        domain: Option<gridsched_model::ids::DomainId>,
+        objective: Objective,
+        singleton_chains: bool,
+    ) -> Result<Distribution, ScheduleError> {
+        debug_assert!(
+            std::ptr::eq(self.pool, req.pool),
+            "request pool must be the session's pool"
+        );
+        let background = self.overlay();
+        let mut with_job = self.overlay();
+        run_method_chains(
+            req,
+            fixed,
+            deadline,
+            two_phase,
+            domain,
+            objective,
+            singleton_chains,
+            &background,
+            &mut with_job,
+        )
+    }
+
+    /// Session form of [`crate::method::build_distribution`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some task cannot be placed within the
+    /// job's deadline.
+    pub fn build_distribution(
+        &self,
+        req: &ScheduleRequest<'_>,
+    ) -> Result<Distribution, ScheduleError> {
+        self.reschedule(req, &HashMap::new())
+    }
+
+    /// Session form of [`crate::method::reschedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some remaining task cannot be placed.
+    pub fn reschedule(
+        &self,
+        req: &ScheduleRequest<'_>,
+        fixed: &HashMap<TaskId, Placement>,
+    ) -> Result<Distribution, ScheduleError> {
+        let deadline = req.release.saturating_add(req.job.deadline());
+        self.reschedule_with_deadline(req, fixed, deadline)
+    }
+
+    /// Session form of [`crate::method::reschedule_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some remaining task cannot be placed.
+    pub fn reschedule_with_deadline(
+        &self,
+        req: &ScheduleRequest<'_>,
+        fixed: &HashMap<TaskId, Placement>,
+        deadline: SimTime,
+    ) -> Result<Distribution, ScheduleError> {
+        self.run(req, fixed, deadline, true, None, Objective::MinCost, false)
+    }
+
+    /// Session form of [`crate::method::reschedule_with_objective`]:
+    /// replans under an aggressive criterion, degrading to `MinCost` if
+    /// the aggressive pass strands a critical work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some remaining task cannot be placed
+    /// even under `MinCost`.
+    pub fn reschedule_with_objective(
+        &self,
+        req: &ScheduleRequest<'_>,
+        fixed: &HashMap<TaskId, Placement>,
+        deadline: SimTime,
+        objective: Objective,
+    ) -> Result<Distribution, ScheduleError> {
+        match self.run(req, fixed, deadline, true, None, objective, false) {
+            Ok(d) => Ok(d),
+            Err(e) if objective == Objective::MinCost => Err(e),
+            Err(_) => self.run(req, fixed, deadline, true, None, Objective::MinCost, false),
+        }
+    }
+
+    /// Session form of [`crate::method::build_distribution_direct`] (the
+    /// single-phase ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some task cannot be placed within the
+    /// job's deadline.
+    pub fn build_distribution_direct(
+        &self,
+        req: &ScheduleRequest<'_>,
+    ) -> Result<Distribution, ScheduleError> {
+        let deadline = req.release.saturating_add(req.job.deadline());
+        self.run(
+            req,
+            &HashMap::new(),
+            deadline,
+            false,
+            None,
+            Objective::MinCost,
+            false,
+        )
+    }
+
+    /// Session form of [`crate::method::build_distribution_in_domain`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some task cannot be placed inside the
+    /// domain within the job's deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` has no nodes in the pool.
+    pub fn build_distribution_in_domain(
+        &self,
+        req: &ScheduleRequest<'_>,
+        domain: gridsched_model::ids::DomainId,
+    ) -> Result<Distribution, ScheduleError> {
+        assert!(
+            req.pool.in_domain(domain).next().is_some(),
+            "domain {domain} has no nodes"
+        );
+        let deadline = req.release.saturating_add(req.job.deadline());
+        self.run(
+            req,
+            &HashMap::new(),
+            deadline,
+            true,
+            Some(domain),
+            Objective::MinCost,
+            false,
+        )
+    }
+
+    /// Session form of [`crate::method::build_distribution_with_objective`]:
+    /// falls back to `MinCost` when the aggressive criterion strands a
+    /// critical work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if some task cannot be placed within the
+    /// job's deadline even under `MinCost`.
+    pub fn build_distribution_with_objective(
+        &self,
+        req: &ScheduleRequest<'_>,
+        objective: Objective,
+    ) -> Result<Distribution, ScheduleError> {
+        let deadline = req.release.saturating_add(req.job.deadline());
+        let aggressive = self.run(
+            req,
+            &HashMap::new(),
+            deadline,
+            true,
+            None,
+            objective,
+            false,
+        );
+        match (aggressive, objective) {
+            (Ok(d), _) => Ok(d),
+            (Err(e), Objective::MinCost) => Err(e),
+            // The sequential chain heuristic can strand later critical
+            // works when earlier ones are packed with zero slack; degrade
+            // gracefully to the conservative criterion rather than fail
+            // the scenario.
+            (Err(_), _) => self.run(
+                req,
+                &HashMap::new(),
+                deadline,
+                true,
+                None,
+                Objective::MinCost,
+                false,
+            ),
+        }
+    }
+
+    /// Session form of [`crate::method::build_distribution_recovering`]:
+    /// retries with singleton chains when the critical-works pass strands
+    /// a later chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if even the recovery pass cannot place
+    /// some task within the deadline.
+    pub fn build_distribution_recovering(
+        &self,
+        req: &ScheduleRequest<'_>,
+    ) -> Result<Distribution, ScheduleError> {
+        let deadline = req.release.saturating_add(req.job.deadline());
+        match self.run(
+            req,
+            &HashMap::new(),
+            deadline,
+            true,
+            None,
+            Objective::MinCost,
+            false,
+        ) {
+            Ok(d) => Ok(d),
+            Err(_) => self.run(
+                req,
+                &HashMap::new(),
+                deadline,
+                true,
+                None,
+                Objective::MinCost,
+                true,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_data::policy::DataPolicy;
+    use gridsched_model::estimate::EstimateScenario;
+    use gridsched_model::fixtures::fig2_job_with_deadline;
+    use gridsched_model::ids::{DomainId, NodeId};
+    use gridsched_model::perf::Perf;
+    use gridsched_model::timetable::ReservationOwner;
+    use gridsched_model::window::TimeWindow;
+    use gridsched_sim::time::SimDuration;
+
+    fn fig2_pool() -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        for j in 1..=4u32 {
+            pool.add_node(DomainId::new(0), Perf::new(1.0 / f64::from(j)).unwrap());
+        }
+        pool
+    }
+
+    #[test]
+    fn session_matches_free_function_and_cloning_baseline() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let mut pool = fig2_pool();
+        // Non-trivial background load so overlay merging actually runs.
+        for i in 0..pool.len() {
+            pool.timetable_mut(NodeId::new(i as u32))
+                .reserve(
+                    TimeWindow::new(
+                        SimTime::from_ticks(2 * i as u64),
+                        SimTime::from_ticks(2 * i as u64 + 5),
+                    )
+                    .unwrap(),
+                    ReservationOwner::Background(i as u64),
+                )
+                .unwrap();
+        }
+        let policy = DataPolicy::remote_access();
+        let session = PlanningSession::open(&pool);
+        for scenario in [EstimateScenario::BEST, EstimateScenario::WORST] {
+            let req = ScheduleRequest {
+                job: &job,
+                pool: &pool,
+                policy: &policy,
+                scenario,
+                release: SimTime::ZERO,
+            };
+            let via_session = session.build_distribution(&req).unwrap();
+            let via_free = crate::method::build_distribution(&req).unwrap();
+            let via_cloning = crate::method::build_distribution_cloning(&req).unwrap();
+            assert_eq!(via_session.placements(), via_free.placements());
+            assert_eq!(via_session.placements(), via_cloning.placements());
+            assert_eq!(via_session.collisions(), via_cloning.collisions());
+        }
+    }
+
+    #[test]
+    fn snapshot_outlives_pool_changes_and_fresh_sessions_see_them() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let mut pool = fig2_pool();
+        let policy = DataPolicy::remote_access();
+        // A session borrows the pool, so the type system already forbids
+        // mutating the pool under a live session; what *can* outlive pool
+        // changes is the captured snapshot.
+        let old_snapshot = PlanningSession::open(&pool).snapshot().clone();
+        for i in 0..pool.len() {
+            pool.timetable_mut(NodeId::new(i as u32))
+                .reserve(
+                    TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(10)).unwrap(),
+                    ReservationOwner::Background(0),
+                )
+                .unwrap();
+        }
+        for i in 0..pool.len() {
+            let id = NodeId::new(i as u32);
+            assert!(old_snapshot.windows(id).is_empty(), "snapshot is pinned");
+        }
+        let req = ScheduleRequest {
+            job: &job,
+            pool: &pool,
+            policy: &policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
+        };
+        // A fresh session sees the new load.
+        let fresh = PlanningSession::open(&pool).build_distribution(&req).unwrap();
+        assert!(fresh.placements()[0].window.start() >= SimTime::from_ticks(10));
+    }
+
+    #[test]
+    fn overlays_are_independent_views() {
+        let pool = fig2_pool();
+        let session = PlanningSession::open(&pool);
+        let node = NodeId::new(0);
+        let w = TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(5)).unwrap();
+        let mut a = session.overlay();
+        let b = session.overlay();
+        a.reserve_window(node, w).unwrap();
+        assert!(!a.is_free(node, w));
+        assert!(b.is_free(node, w), "sibling overlays never see each other");
+        assert!(session.overlay().is_free(node, w));
+    }
+}

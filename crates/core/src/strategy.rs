@@ -12,6 +12,7 @@
 //! | S3   | coarse      | static data storage | full sweep         |
 //! | MS1  | fine        | active replication  | best + worst only  |
 
+use std::borrow::Cow;
 use std::fmt;
 
 use gridsched_sim::time::SimTime;
@@ -23,7 +24,8 @@ use gridsched_model::node::ResourcePool;
 
 use crate::distribution::{CollisionRecord, Distribution};
 use crate::granularity::coarsen;
-use crate::method::{build_distribution, ScheduleError, ScheduleRequest};
+use crate::method::{build_distribution_cloning, ScheduleError, ScheduleRequest};
+use crate::session::PlanningSession;
 
 /// Number of scenarios in the full sweeps of S1/S2/S3.
 pub const FULL_SWEEP_SCENARIOS: usize = 4;
@@ -187,6 +189,13 @@ impl Strategy {
     /// One supporting schedule is attempted per scenario in the sweep;
     /// scenarios with no feasible schedule are recorded as failures (their
     /// collisions still count).
+    ///
+    /// All scenarios plan inside **one** [`PlanningSession`] (a single
+    /// availability snapshot shared by reference) and run concurrently on
+    /// scoped threads; the result is bit-identical to the sequential sweep
+    /// ([`Strategy::generate_sequential`]) because each scenario's
+    /// schedule depends only on the immutable snapshot and the results are
+    /// collected in sweep order.
     #[must_use]
     pub fn generate(
         job: &Job,
@@ -194,11 +203,76 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        let planning_job: Job = if config.coarse_grain {
-            coarsen(job).job
+        Strategy::generate_prepared(Self::planning_job(job, config), pool, config, release, true)
+    }
+
+    /// [`Strategy::generate`] taking the job by value — the metascheduler
+    /// hand-off path, where the caller is done with the job and no clone
+    /// is needed even for fine-grain strategies.
+    #[must_use]
+    pub fn generate_owned(
+        job: Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        Strategy::generate_owned_inner(job, pool, config, release, true)
+    }
+
+    /// [`Strategy::generate_owned`] with the scenario sweep forced
+    /// sequential — the campaign-level determinism baseline
+    /// (`CampaignConfig::sequential_planning` routes here).
+    #[must_use]
+    pub fn generate_owned_sequential(
+        job: Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        Strategy::generate_owned_inner(job, pool, config, release, false)
+    }
+
+    fn generate_owned_inner(
+        job: Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        parallel: bool,
+    ) -> Strategy {
+        let planning_job = if config.coarse_grain {
+            Cow::Owned(coarsen(&job).job)
         } else {
-            job.clone()
+            Cow::Owned(job)
         };
+        Strategy::generate_prepared(planning_job, pool, config, release, parallel)
+    }
+
+    /// [`Strategy::generate`] with the scenario sweep forced sequential —
+    /// the determinism baseline the parallel sweep is checked against.
+    #[must_use]
+    pub fn generate_sequential(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        Strategy::generate_prepared(Self::planning_job(job, config), pool, config, release, false)
+    }
+
+    /// The pre-refactor baseline sweep: sequential, with every scenario
+    /// materializing two full `Vec<Timetable>` clones of the pool
+    /// ([`build_distribution_cloning`]) instead of sharing one snapshot.
+    ///
+    /// Kept for the determinism suite and the `strategy_sweep` bench; it
+    /// must produce bit-identical strategies to [`Strategy::generate`].
+    #[must_use]
+    pub fn generate_cloning(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        let planning_job = Self::planning_job(job, config);
         let mut distributions = Vec::new();
         let mut failures = Vec::new();
         for &scenario in config.sweep.scenarios() {
@@ -209,7 +283,7 @@ impl Strategy {
                 scenario,
                 release,
             };
-            match build_distribution(&req) {
+            match build_distribution_cloning(&req) {
                 Ok(d) => distributions.push(d),
                 Err(e) => failures.push(e),
             }
@@ -217,7 +291,82 @@ impl Strategy {
         Strategy {
             kind: config.kind,
             config: config.clone(),
-            job: planning_job,
+            job: planning_job.into_owned(),
+            distributions,
+            failures,
+        }
+    }
+
+    /// The job actually planned: borrowed as-is for fine-grain
+    /// strategies, an owned coarsened copy for S3. Only the coarse path
+    /// pays an allocation.
+    fn planning_job<'j>(job: &'j Job, config: &StrategyConfig) -> Cow<'j, Job> {
+        if config.coarse_grain {
+            Cow::Owned(coarsen(job).job)
+        } else {
+            Cow::Borrowed(job)
+        }
+    }
+
+    /// Sweeps the scenarios of `config` over one planning session.
+    ///
+    /// `planning_job` must already be in planning granularity (coarsened
+    /// for S3) — this is what lets [`Strategy::refresh`] reuse its stored
+    /// job without re-coarsening. With `parallel`, scenarios run on scoped
+    /// threads reading the shared snapshot; results are collected in sweep
+    /// order, so output is bit-identical either way.
+    fn generate_prepared(
+        planning_job: Cow<'_, Job>,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        parallel: bool,
+    ) -> Strategy {
+        let session = PlanningSession::open(pool);
+        let job: &Job = &planning_job;
+        let plan = |scenario| {
+            session.build_distribution(&ScheduleRequest {
+                job,
+                pool,
+                policy: &config.policy,
+                scenario,
+                release,
+            })
+        };
+        let scenarios = config.sweep.scenarios();
+        let results: Vec<Result<Distribution, ScheduleError>> =
+            if parallel && scenarios.len() > 1 {
+                // First scenario on the current thread, the rest on scoped
+                // threads; collection order is the sweep order regardless
+                // of completion order.
+                std::thread::scope(|s| {
+                    let plan = &plan;
+                    let handles: Vec<_> = scenarios[1..]
+                        .iter()
+                        .map(|&scenario| s.spawn(move || plan(scenario)))
+                        .collect();
+                    let first = plan(scenarios[0]);
+                    std::iter::once(first)
+                        .chain(handles.into_iter().map(|h| {
+                            h.join().expect("scenario planning never panics")
+                        }))
+                        .collect()
+                })
+            } else {
+                scenarios.iter().map(|&scenario| plan(scenario)).collect()
+            };
+        let mut distributions = Vec::new();
+        let mut failures = Vec::new();
+        for result in results {
+            match result {
+                Ok(d) => distributions.push(d),
+                Err(e) => failures.push(e),
+            }
+        }
+        Strategy {
+            kind: config.kind,
+            config: config.clone(),
+            job: planning_job.into_owned(),
             distributions,
             failures,
         }
@@ -227,9 +376,16 @@ impl Strategy {
     /// planning from `now` — the "supporting and updating strategies based
     /// on cooperation with local managers" of §2. The original
     /// configuration (policy, sweep, granularity) is reused.
+    ///
+    /// The stored planning job is reused **as-is**: for S3 it is already
+    /// coarsened, and running it through [`Strategy::generate`] (which
+    /// coarsens again when `coarse_grain` is set) would both redo the
+    /// grouping work and rely on coarsening being idempotent. The
+    /// `refresh_matches_fresh_s3_strategy` regression test pins the
+    /// equivalence with a freshly generated strategy.
     #[must_use]
     pub fn refresh(&self, pool: &ResourcePool, now: SimTime) -> Strategy {
-        Strategy::generate(&self.job, pool, &self.config, now)
+        Strategy::generate_prepared(Cow::Borrowed(&self.job), pool, &self.config, now, true)
     }
 
     /// The configuration this strategy was generated with.
@@ -467,6 +623,88 @@ mod tests {
                 assert!(p.window.start() >= SimTime::from_ticks(30));
             }
         }
+    }
+
+    /// Everything observable about a strategy, for bit-exact comparisons.
+    fn fingerprint(s: &Strategy) -> impl PartialEq + std::fmt::Debug {
+        (
+            s.kind(),
+            s.job().task_count(),
+            s.distributions()
+                .iter()
+                .map(|d| {
+                    (
+                        d.scenario(),
+                        d.cost(),
+                        d.makespan(),
+                        d.placements().to_vec(),
+                        d.collisions().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+            s.failures().to_vec(),
+        )
+    }
+
+    #[test]
+    fn parallel_sequential_and_cloning_sweeps_are_bit_identical() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(100));
+        let mut pool = pool();
+        // Background load so overlay merging is exercised.
+        for i in 0..pool.len() {
+            let id = gridsched_model::ids::NodeId::new(i as u32);
+            pool.timetable_mut(id)
+                .reserve(
+                    gridsched_model::window::TimeWindow::new(
+                        SimTime::from_ticks(3 * i as u64),
+                        SimTime::from_ticks(3 * i as u64 + 4),
+                    )
+                    .unwrap(),
+                    gridsched_model::timetable::ReservationOwner::Background(i as u64),
+                )
+                .unwrap();
+        }
+        for kind in StrategyKind::ALL {
+            let cfg = StrategyConfig::for_kind(kind, &pool);
+            let par = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+            let seq = Strategy::generate_sequential(&job, &pool, &cfg, SimTime::ZERO);
+            let cloning = Strategy::generate_cloning(&job, &pool, &cfg, SimTime::ZERO);
+            let owned = Strategy::generate_owned(job.clone(), &pool, &cfg, SimTime::ZERO);
+            assert_eq!(fingerprint(&par), fingerprint(&seq), "{kind}");
+            assert_eq!(fingerprint(&par), fingerprint(&cloning), "{kind}");
+            assert_eq!(fingerprint(&par), fingerprint(&owned), "{kind}");
+        }
+    }
+
+    #[test]
+    fn refresh_matches_fresh_s3_strategy() {
+        use gridsched_model::timetable::ReservationOwner;
+        use gridsched_model::window::TimeWindow;
+
+        // Regression for the double-coarsening bug: refresh used to route
+        // the *already coarsened* S3 planning job back through
+        // `Strategy::generate`, whose `coarse_grain` config coarsened it a
+        // second time. Refresh must reuse the planning job as-is and match
+        // a freshly generated strategy on the same pool state exactly.
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(200));
+        let mut pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S3, &pool);
+        let original = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        for i in 0..pool.len() {
+            let id = gridsched_model::ids::NodeId::new(i as u32);
+            pool.timetable_mut(id)
+                .reserve(
+                    TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(25)).unwrap(),
+                    ReservationOwner::Background(7),
+                )
+                .unwrap();
+        }
+        let refreshed = original.refresh(&pool, SimTime::from_ticks(10));
+        let fresh = Strategy::generate(&job, &pool, &cfg, SimTime::from_ticks(10));
+        assert_eq!(fingerprint(&refreshed), fingerprint(&fresh));
+        // The planning job is passed through untouched — same task count,
+        // no re-coarsening artifacts.
+        assert_eq!(refreshed.job().task_count(), original.job().task_count());
     }
 
     #[test]

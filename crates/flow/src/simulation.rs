@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use gridsched_core::distribution::Placement;
 use gridsched_core::method::ScheduleRequest;
+use gridsched_core::session::PlanningSession;
 use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
 use gridsched_data::policy::{DataPolicy, DataPolicyKind};
 use gridsched_metrics::load::GroupLoad;
@@ -75,6 +76,11 @@ pub struct CampaignConfig {
     /// Collect a chronological [`crate::trace::CampaignTrace`] of every
     /// activation, break, switch, replan and drop.
     pub collect_trace: bool,
+    /// Force every strategy's scenario sweep sequential instead of the
+    /// default scoped-thread sweep. The campaign must be bit-identical
+    /// either way (the determinism suite pins this); the flag exists so
+    /// that baseline is expressible without touching planner code.
+    pub sequential_planning: bool,
     /// Urgency escalation (§5's dynamic priority change): when a broken
     /// job's remaining slack falls below this multiple of its optimistic
     /// remaining work, it replans for speed (`MinTime`) instead of cost.
@@ -101,6 +107,7 @@ impl Default for CampaignConfig {
             slowdown_range: (1.0, EstimateScenario::WORST_FACTOR),
             task_jitter: 0.15,
             collect_trace: false,
+            sequential_planning: false,
             urgency_slack_factor: Some(1.5),
             seed: 0x9d5c,
         }
@@ -265,7 +272,15 @@ impl<'a> Campaign<'a> {
             .clone()
             .with_transfer_model(self.config.transfer_model.clone());
         let config = config.with_policy(policy);
-        let strategy = Strategy::generate(&job, &self.pool, &config, job.release());
+        // The job is handed off to the strategy whole: `generate_owned`
+        // avoids the planning clone for fine-grain strategies.
+        let job_id = job.id();
+        let release = job.release();
+        let strategy = if self.config.sequential_planning {
+            Strategy::generate_owned_sequential(job, &self.pool, &config, release)
+        } else {
+            Strategy::generate_owned(job, &self.pool, &config, release)
+        };
         let mut fast = 0;
         let mut slow = 0;
         for c in strategy.collisions() {
@@ -276,9 +291,9 @@ impl<'a> Campaign<'a> {
             }
         }
         let record = JobRecord {
-            job_id: job.id(),
+            job_id,
             strategy: kind,
-            release: job.release(),
+            release,
             admissible: strategy.is_admissible(),
             collisions_fast: fast,
             collisions_slow: slow,
@@ -298,11 +313,10 @@ impl<'a> Campaign<'a> {
         };
         let record_idx = self.records.len();
         let admissible = strategy.is_admissible();
-        let release = job.release();
         self.record_event(
             release,
             crate::trace::CampaignEvent::Released {
-                job: job.id(),
+                job: job_id,
                 admissible,
             },
         );
@@ -702,17 +716,21 @@ impl<'a> Campaign<'a> {
     fn try_switch(&mut self, idx: usize, tau: SimTime, earliest: SimTime) -> bool {
         let found = {
             let a = &self.active[idx];
+            // A read-only what-if view over one snapshot: every candidate
+            // alternative is probed against the same captured availability
+            // (the planning-session discipline; bit-identical to reading
+            // the live timetables since nothing mutates during the probe).
+            let probe = PlanningSession::open(&self.pool).overlay();
             a.alternatives.iter().enumerate().find_map(|(pos, d)| {
                 let first = d.placements().iter().map(|p| p.window.start()).min()?;
                 let delta = earliest.saturating_since(first);
                 if d.makespan() + delta > a.deadline_abs {
                     return None;
                 }
-                let all_free = d.placements().iter().all(|p| {
-                    self.pool
-                        .timetable(p.node)
-                        .is_free(shift_window(p.window, delta))
-                });
+                let all_free = d
+                    .placements()
+                    .iter()
+                    .all(|p| probe.is_free(p.node, shift_window(p.window, delta)));
                 all_free.then_some((pos, delta))
             })
         };
@@ -820,6 +838,10 @@ impl<'a> Campaign<'a> {
 
         let result = {
             let a = &self.active[idx];
+            // One planning session per replan: the snapshot is taken after
+            // the pending reservations were released above, so overlay
+            // views see exactly the availability the replan may use.
+            let session = PlanningSession::open(&self.pool);
             let req = ScheduleRequest {
                 job: &a.job,
                 pool: &self.pool,
@@ -855,12 +877,7 @@ impl<'a> Campaign<'a> {
                 }
                 None => gridsched_core::objective::Objective::MinCost,
             };
-            gridsched_core::method::reschedule_with_objective(
-                &req,
-                &fixed,
-                a.deadline_abs,
-                objective,
-            )
+            session.reschedule_with_objective(&req, &fixed, a.deadline_abs, objective)
         };
         match result {
             Ok(dist) => {

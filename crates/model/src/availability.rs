@@ -1,0 +1,558 @@
+//! Planning-session availability: immutable shared snapshots of the pool's
+//! timetables and copy-on-write overlay views.
+//!
+//! Schedule construction is a *what-if* exercise: every estimation scenario
+//! of a strategy sweep asks "where would this job's tasks fit on the
+//! current calendars?" without committing anything. Before this layer each
+//! scenario answered that question by cloning every [`Timetable`] in the
+//! pool (twice — once for the background view, once for the view including
+//! the job's own tentative reservations). An [`AvailabilitySnapshot`] is
+//! taken **once** per planning session instead and shared by reference
+//! ([`std::sync::Arc`]-backed, so sharing across scenario threads is a
+//! pointer copy), while each scenario records its tentative reservations in
+//! a private [`TimetableOverlay`] on top of the shared snapshot.
+//!
+//! Overlay queries answer exactly as a materialized [`Timetable`] holding
+//! the union of base and tentative reservations would — the differential
+//! property suite (`crates/model/tests/prop_overlay.rs`) pins this
+//! equivalence on random reservation sets.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use crate::ids::NodeId;
+use crate::node::ResourcePool;
+use crate::timetable::{ReservationOwner, Timetable};
+use crate::window::TimeWindow;
+
+/// A requested window collided with an existing (base or tentative)
+/// reservation of a planning view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConflict {
+    /// The window that could not be granted.
+    pub requested: TimeWindow,
+    /// The earliest window it collides with.
+    pub existing: TimeWindow,
+}
+
+impl fmt::Display for PlanConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "planned window {} conflicts with {}",
+            self.requested, self.existing
+        )
+    }
+}
+
+impl std::error::Error for PlanConflict {}
+
+/// Node-indexed availability that schedule construction can query and
+/// tentatively reserve against.
+///
+/// Two implementations exist: [`TimetableOverlay`] (the planning-session
+/// path: shared snapshot + copy-on-write tentative windows) and
+/// `Vec<Timetable>` (materialized per-scenario clones — the pre-refactor
+/// baseline, kept for differential tests and benchmarks).
+pub trait Availability {
+    /// Number of nodes covered (must equal the pool's node count).
+    fn node_count(&self) -> usize;
+
+    /// Whether `window` is completely free on `node`.
+    fn is_free(&self, node: NodeId, window: TimeWindow) -> bool;
+
+    /// Earliest start `s >= not_before` on `node` such that
+    /// `[s, s + duration)` is free and ends no later than `deadline`.
+    fn earliest_fit(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime>;
+
+    /// Tentatively reserves `window` on `node` for `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanConflict`] if the window is not free.
+    fn reserve(
+        &mut self,
+        node: NodeId,
+        window: TimeWindow,
+        owner: ReservationOwner,
+    ) -> Result<(), PlanConflict>;
+}
+
+impl Availability for Vec<Timetable> {
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn is_free(&self, node: NodeId, window: TimeWindow) -> bool {
+        self[node.index()].is_free(window)
+    }
+
+    fn earliest_fit(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        self[node.index()].earliest_fit(not_before, duration, deadline)
+    }
+
+    fn reserve(
+        &mut self,
+        node: NodeId,
+        window: TimeWindow,
+        owner: ReservationOwner,
+    ) -> Result<(), PlanConflict> {
+        self[node.index()]
+            .reserve(window, owner)
+            .map(|_| ())
+            .map_err(|e| PlanConflict {
+                requested: e.requested(),
+                existing: e.existing(),
+            })
+    }
+}
+
+/// An immutable, cheaply shareable capture of every node's reserved
+/// windows at one instant.
+///
+/// Cloning a snapshot is an [`Arc`] bump: sharing it across the scenario
+/// threads of a strategy sweep costs nothing. Windows are stored exactly
+/// as the timetables held them (same order, adjacent windows *not*
+/// merged), so overlay queries reproduce [`Timetable`] answers bit for
+/// bit.
+///
+/// # Examples
+///
+/// ```
+/// use gridsched_model::availability::TimetableOverlay;
+/// use gridsched_model::ids::{DomainId, NodeId};
+/// use gridsched_model::node::ResourcePool;
+/// use gridsched_model::perf::Perf;
+/// use gridsched_model::timetable::ReservationOwner;
+/// use gridsched_model::window::TimeWindow;
+/// use gridsched_sim::time::{SimDuration, SimTime};
+///
+/// let mut pool = ResourcePool::new();
+/// let n = pool.add_node(DomainId::new(0), Perf::FULL);
+/// let w = TimeWindow::new(SimTime::ZERO, SimTime::from_ticks(5)).unwrap();
+/// pool.timetable_mut(n).reserve(w, ReservationOwner::Background(0))?;
+///
+/// let snapshot = pool.snapshot();
+/// let mut overlay = TimetableOverlay::new(snapshot);
+/// // Base reservations are visible…
+/// assert!(!overlay.is_free(n, w));
+/// // …and tentative ones stack on top without touching the pool.
+/// let t = TimeWindow::new(SimTime::from_ticks(5), SimTime::from_ticks(8)).unwrap();
+/// overlay.reserve_window(n, t).unwrap();
+/// assert_eq!(
+///     overlay.earliest_fit(n, SimTime::ZERO, SimDuration::from_ticks(2), SimTime::MAX),
+///     Some(SimTime::from_ticks(8))
+/// );
+/// assert!(pool.timetable(n).is_free(t), "the pool never sees tentative windows");
+/// # Ok::<(), gridsched_model::timetable::ReserveConflict>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AvailabilitySnapshot {
+    /// `nodes[NodeId::index]` = that node's reserved windows, sorted by
+    /// start, pairwise non-overlapping.
+    nodes: Arc<[Box<[TimeWindow]>]>,
+}
+
+impl AvailabilitySnapshot {
+    /// Captures the current reservations of every node in `pool`.
+    #[must_use]
+    pub fn capture(pool: &ResourcePool) -> Self {
+        let nodes: Vec<Box<[TimeWindow]>> = pool
+            .nodes()
+            .map(|n| {
+                pool.timetable(n.id())
+                    .iter()
+                    .map(|r| r.window())
+                    .collect()
+            })
+            .collect();
+        AvailabilitySnapshot {
+            nodes: nodes.into(),
+        }
+    }
+
+    /// Number of nodes captured.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The captured reserved windows of `node`, in start order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the captured pool.
+    #[must_use]
+    pub fn windows(&self, node: NodeId) -> &[TimeWindow] {
+        &self.nodes[node.index()]
+    }
+}
+
+/// A copy-on-write view over an [`AvailabilitySnapshot`]: the shared base
+/// windows plus this scenario's private tentative reservations.
+///
+/// Creating an overlay never copies base windows; tentative reservations
+/// are the only per-scenario allocation (one short sorted `Vec` per node,
+/// populated lazily). All queries answer over the *union* of base and
+/// tentative windows with the exact algorithms of [`Timetable`].
+#[derive(Debug, Clone)]
+pub struct TimetableOverlay {
+    base: AvailabilitySnapshot,
+    /// `tentative[NodeId::index]` = this view's own reservations, sorted
+    /// by start, non-overlapping with each other and with the base.
+    tentative: Vec<Vec<TimeWindow>>,
+}
+
+/// Two-pointer merge over a node's base and tentative windows.
+///
+/// Both inputs are sorted by start and pairwise non-overlapping, and the
+/// union is non-overlapping too (reservations check conflicts against
+/// both lists), so merging by start yields a sequence with non-decreasing
+/// ends — the same shape a materialized [`Timetable`] would have.
+struct MergedWindows<'a> {
+    base: &'a [TimeWindow],
+    extra: &'a [TimeWindow],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> MergedWindows<'a> {
+    /// Positions both cursors at the first window ending after `t`
+    /// (mirrors `Timetable::first_ending_after`).
+    fn ending_after(base: &'a [TimeWindow], extra: &'a [TimeWindow], t: SimTime) -> Self {
+        MergedWindows {
+            base,
+            extra,
+            i: base.partition_point(|w| w.end() <= t),
+            j: extra.partition_point(|w| w.end() <= t),
+        }
+    }
+
+    fn peek(&self) -> Option<TimeWindow> {
+        match (self.base.get(self.i), self.extra.get(self.j)) {
+            (Some(&a), Some(&b)) => Some(if a.start() <= b.start() { a } else { b }),
+            (Some(&a), None) => Some(a),
+            (None, Some(&b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn advance(&mut self) {
+        match (self.base.get(self.i), self.extra.get(self.j)) {
+            (Some(a), Some(b)) => {
+                if a.start() <= b.start() {
+                    self.i += 1;
+                } else {
+                    self.j += 1;
+                }
+            }
+            (Some(_), None) => self.i += 1,
+            (None, Some(_)) => self.j += 1,
+            (None, None) => {}
+        }
+    }
+
+    fn next(&mut self) -> Option<TimeWindow> {
+        let w = self.peek()?;
+        self.advance();
+        Some(w)
+    }
+}
+
+impl TimetableOverlay {
+    /// Creates an overlay with no tentative reservations over `base`.
+    #[must_use]
+    pub fn new(base: AvailabilitySnapshot) -> Self {
+        let n = base.node_count();
+        TimetableOverlay {
+            base,
+            tentative: vec![Vec::new(); n],
+        }
+    }
+
+    /// The shared snapshot this overlay reads through.
+    #[must_use]
+    pub fn base(&self) -> &AvailabilitySnapshot {
+        &self.base
+    }
+
+    /// Number of tentative reservations recorded on `node`.
+    #[must_use]
+    pub fn tentative_count(&self, node: NodeId) -> usize {
+        self.tentative[node.index()].len()
+    }
+
+    fn merged_after(&self, node: NodeId, t: SimTime) -> MergedWindows<'_> {
+        MergedWindows::ending_after(self.base.windows(node), &self.tentative[node.index()], t)
+    }
+
+    /// The first base or tentative window overlapping `window`, if any.
+    #[must_use]
+    pub fn first_conflict(&self, node: NodeId, window: TimeWindow) -> Option<TimeWindow> {
+        // Mirrors `Timetable::first_conflict`: only the first reservation
+        // ending after `window.start()` can overlap — later ones start at
+        // or after its end.
+        self.merged_after(node, window.start())
+            .next()
+            .filter(|w| w.overlaps(window))
+    }
+
+    /// Whether `window` is completely free on `node`.
+    #[must_use]
+    pub fn is_free(&self, node: NodeId, window: TimeWindow) -> bool {
+        self.first_conflict(node, window).is_none()
+    }
+
+    /// Finds the earliest start `s >= not_before` on `node` such that
+    /// `[s, s + duration)` is free and ends no later than `deadline`.
+    ///
+    /// Same candidate/jump algorithm as [`Timetable::earliest_fit`], run
+    /// over the merged base + tentative sequence.
+    #[must_use]
+    pub fn earliest_fit(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        if duration.is_zero() {
+            return Some(not_before);
+        }
+        let mut merged = self.merged_after(node, not_before);
+        let mut candidate = not_before;
+        loop {
+            let end = candidate.saturating_add(duration);
+            if end > deadline {
+                return None;
+            }
+            match merged.peek() {
+                Some(w) if w.start() < end => {
+                    // Gap too small; jump past this reservation.
+                    candidate = candidate.max_of(w.end());
+                    merged.advance();
+                }
+                _ => return Some(candidate),
+            }
+        }
+    }
+
+    /// Free windows of `node` inside `range`, in time order — the cursor
+    /// walk of [`Timetable::free_windows`] over the merged sequence.
+    #[must_use]
+    pub fn free_windows(&self, node: NodeId, range: TimeWindow) -> Vec<TimeWindow> {
+        let mut out = Vec::new();
+        let mut cursor = range.start();
+        let mut merged = self.merged_after(node, range.start());
+        while let Some(w) = merged.next() {
+            if w.start() >= range.end() {
+                break;
+            }
+            if w.start() > cursor {
+                if let Ok(free) = TimeWindow::new(cursor, w.start()) {
+                    out.push(free);
+                }
+            }
+            cursor = cursor.max_of(w.end());
+        }
+        if cursor < range.end() {
+            if let Ok(free) = TimeWindow::new(cursor, range.end()) {
+                out.push(free);
+            }
+        }
+        out
+    }
+
+    /// Tentatively reserves `window` on `node`.
+    ///
+    /// The reservation lives only in this overlay; the snapshot and the
+    /// pool it came from are never touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanConflict`] naming the earliest colliding window if
+    /// `window` is not free.
+    pub fn reserve_window(
+        &mut self,
+        node: NodeId,
+        window: TimeWindow,
+    ) -> Result<(), PlanConflict> {
+        if let Some(existing) = self.first_conflict(node, window) {
+            return Err(PlanConflict {
+                requested: window,
+                existing,
+            });
+        }
+        let list = &mut self.tentative[node.index()];
+        let idx = list.partition_point(|w| w.start() < window.start());
+        list.insert(idx, window);
+        debug_assert!(
+            list.windows(2).all(|p| p[0].end() <= p[1].start()),
+            "tentative windows stay sorted and disjoint"
+        );
+        Ok(())
+    }
+}
+
+impl Availability for TimetableOverlay {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    fn is_free(&self, node: NodeId, window: TimeWindow) -> bool {
+        TimetableOverlay::is_free(self, node, window)
+    }
+
+    fn earliest_fit(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        TimetableOverlay::earliest_fit(self, node, not_before, duration, deadline)
+    }
+
+    fn reserve(
+        &mut self,
+        node: NodeId,
+        window: TimeWindow,
+        _owner: ReservationOwner,
+    ) -> Result<(), PlanConflict> {
+        // Planning views never need owner attribution: tentative windows
+        // are discarded with the overlay, and activation re-reserves on
+        // the live pool with the proper owner.
+        self.reserve_window(node, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DomainId;
+    use crate::perf::Perf;
+
+    fn w(a: u64, b: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_ticks(a), SimTime::from_ticks(b)).unwrap()
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn d(x: u64) -> SimDuration {
+        SimDuration::from_ticks(x)
+    }
+
+    fn pool_with_windows(windows: &[TimeWindow]) -> ResourcePool {
+        let mut pool = ResourcePool::new();
+        let n = pool.add_node(DomainId::new(0), Perf::FULL);
+        for (i, &win) in windows.iter().enumerate() {
+            pool.timetable_mut(n)
+                .reserve(win, ReservationOwner::Background(i as u64))
+                .unwrap();
+        }
+        pool
+    }
+
+    #[test]
+    fn snapshot_captures_windows_in_order() {
+        let pool = pool_with_windows(&[w(5, 10), w(0, 3), w(12, 14)]);
+        let snap = pool.snapshot();
+        assert_eq!(snap.node_count(), 1);
+        assert_eq!(snap.windows(NodeId::new(0)), &[w(0, 3), w(5, 10), w(12, 14)]);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_pool_changes() {
+        let mut pool = pool_with_windows(&[w(0, 5)]);
+        let snap = pool.snapshot();
+        pool.timetable_mut(NodeId::new(0))
+            .reserve(w(5, 9), ReservationOwner::Background(9))
+            .unwrap();
+        assert_eq!(snap.windows(NodeId::new(0)), &[w(0, 5)]);
+    }
+
+    #[test]
+    fn overlay_merges_base_and_tentative() {
+        let pool = pool_with_windows(&[w(0, 4), w(10, 12)]);
+        let node = NodeId::new(0);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        overlay.reserve_window(node, w(6, 8)).unwrap();
+        assert!(!overlay.is_free(node, w(1, 2)), "base window blocks");
+        assert!(!overlay.is_free(node, w(7, 9)), "tentative window blocks");
+        assert!(overlay.is_free(node, w(4, 6)));
+        assert_eq!(
+            overlay.free_windows(node, w(0, 14)),
+            vec![w(4, 6), w(8, 10), w(12, 14)]
+        );
+        assert_eq!(overlay.tentative_count(node), 1);
+    }
+
+    #[test]
+    fn overlay_earliest_fit_jumps_both_layers() {
+        let pool = pool_with_windows(&[w(0, 4), w(10, 12)]);
+        let node = NodeId::new(0);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        overlay.reserve_window(node, w(5, 9)).unwrap();
+        // Gaps: [4,5) too small, [9,10) too small — first 2-tick slot is 12.
+        assert_eq!(overlay.earliest_fit(node, t(0), d(2), SimTime::MAX), Some(t(12)));
+        assert_eq!(overlay.earliest_fit(node, t(0), d(1), SimTime::MAX), Some(t(4)));
+        assert_eq!(overlay.earliest_fit(node, t(0), d(2), t(13)), None);
+        assert_eq!(overlay.earliest_fit(node, t(3), SimDuration::ZERO, t(0)), Some(t(3)));
+    }
+
+    #[test]
+    fn overlay_reserve_conflicts_name_the_collision() {
+        let pool = pool_with_windows(&[w(0, 4)]);
+        let node = NodeId::new(0);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        let err = overlay.reserve_window(node, w(2, 6)).unwrap_err();
+        assert_eq!(err.existing, w(0, 4));
+        assert!(err.to_string().contains("conflicts"));
+        overlay.reserve_window(node, w(4, 6)).unwrap();
+        let err = overlay.reserve_window(node, w(5, 7)).unwrap_err();
+        assert_eq!(err.existing, w(4, 6));
+    }
+
+    #[test]
+    fn adjacent_base_windows_are_not_merged() {
+        // first_conflict parity depends on keeping [0,5) and [5,8) distinct:
+        // a query at [6,7) must report [5,8), not a fused [0,8).
+        let pool = pool_with_windows(&[w(0, 5), w(5, 8)]);
+        let node = NodeId::new(0);
+        let overlay = TimetableOverlay::new(pool.snapshot());
+        assert_eq!(overlay.first_conflict(node, w(6, 7)), Some(w(5, 8)));
+    }
+
+    #[test]
+    fn vec_timetable_availability_matches_direct_calls() {
+        let mut tts = vec![Timetable::new(), Timetable::new()];
+        let n1 = NodeId::new(1);
+        Availability::reserve(&mut tts, n1, w(2, 5), ReservationOwner::Background(0)).unwrap();
+        assert_eq!(tts.node_count(), 2);
+        assert!(!Availability::is_free(&tts, n1, w(3, 4)));
+        assert!(Availability::is_free(&tts, NodeId::new(0), w(3, 4)));
+        assert_eq!(
+            Availability::earliest_fit(&tts, n1, t(0), d(3), SimTime::MAX),
+            Some(t(5))
+        );
+        let err = Availability::reserve(&mut tts, n1, w(4, 6), ReservationOwner::Background(1))
+            .unwrap_err();
+        assert_eq!(err.existing, w(2, 5));
+    }
+}

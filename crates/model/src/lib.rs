@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod availability;
 pub mod estimate;
 pub mod fixtures;
 pub mod ids;
@@ -42,6 +43,7 @@ pub mod timetable;
 pub mod volume;
 pub mod window;
 
+pub use availability::{Availability, AvailabilitySnapshot, PlanConflict, TimetableOverlay};
 pub use estimate::{EstimateScenario, ScenarioSweep};
 pub use ids::{DataId, DomainId, GlobalTaskId, JobId, NodeId, TaskId};
 pub use job::{BuildJobError, DataEdge, Job, JobBuilder};

@@ -135,6 +135,16 @@ impl ResourcePool {
         self.nodes.iter()
     }
 
+    /// Captures an immutable availability snapshot of every timetable.
+    ///
+    /// The snapshot is `Arc`-backed: cloning it is cheap, and any number of
+    /// [`crate::availability::TimetableOverlay`] planning views may be
+    /// layered on top of it concurrently without touching the pool again.
+    #[must_use]
+    pub fn snapshot(&self) -> crate::availability::AvailabilitySnapshot {
+        crate::availability::AvailabilitySnapshot::capture(self)
+    }
+
     /// Iterates over the nodes of one domain.
     pub fn in_domain(&self, domain: DomainId) -> impl Iterator<Item = &Node> {
         self.nodes.iter().filter(move |n| n.domain == domain)

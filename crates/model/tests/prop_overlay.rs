@@ -1,0 +1,121 @@
+//! Differential property tests: a [`TimetableOverlay`] over a snapshot
+//! must answer exactly like a materialized cloned [`Timetable`] holding
+//! the union of base and tentative reservations.
+//!
+//! This is the equivalence the planning-session refactor rests on: the
+//! critical-works method used to plan against per-scenario `Timetable`
+//! clones; it now plans against copy-on-write overlays, and bit-identical
+//! strategies require bit-identical availability answers.
+
+use gridsched_model::availability::TimetableOverlay;
+use gridsched_model::ids::{DomainId, NodeId};
+use gridsched_model::node::ResourcePool;
+use gridsched_model::perf::Perf;
+use gridsched_model::timetable::{ReservationOwner, Timetable};
+use gridsched_model::window::TimeWindow;
+use gridsched_sim::check::{check, Gen};
+use gridsched_sim::time::{SimDuration, SimTime};
+
+fn gen_window(g: &mut Gen) -> TimeWindow {
+    let start = g.u64_in(0, 199);
+    let len = g.u64_in(1, 19);
+    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+        .expect("len >= 1")
+}
+
+/// A random pool state plus an overlay/clone pair driven by the same
+/// reservation attempts: base reservations land in the pool before the
+/// snapshot, tentative ones go to the overlay and to the clone.
+struct Fixture {
+    node: NodeId,
+    overlay: TimetableOverlay,
+    clone: Timetable,
+}
+
+fn build(g: &mut Gen) -> Fixture {
+    let mut pool = ResourcePool::new();
+    let node = pool.add_node(DomainId::new(0), Perf::FULL);
+    for (i, w) in g.vec_of(0, 14, gen_window).into_iter().enumerate() {
+        let _ = pool
+            .timetable_mut(node)
+            .reserve(w, ReservationOwner::Background(i as u64));
+    }
+    // The clone is the pre-refactor materialization: a full copy of the
+    // node's calendar that tentative reservations are committed into.
+    let mut clone = pool.timetable(node).clone();
+    let mut overlay = TimetableOverlay::new(pool.snapshot());
+    for (i, w) in g.vec_of(0, 14, gen_window).into_iter().enumerate() {
+        let via_overlay = overlay.reserve_window(node, w);
+        let via_clone = clone.reserve(w, ReservationOwner::Background(100 + i as u64));
+        assert_eq!(
+            via_overlay.is_err(),
+            via_clone.is_err(),
+            "reserve acceptance diverged on {w}"
+        );
+        if let (Err(o), Err(c)) = (via_overlay, via_clone) {
+            assert_eq!(o.requested, c.requested(), "conflict request diverged");
+            assert_eq!(o.existing, c.existing(), "conflict window diverged");
+        }
+    }
+    Fixture {
+        node,
+        overlay,
+        clone,
+    }
+}
+
+#[test]
+fn is_free_and_first_conflict_match_materialized_clone() {
+    check(256, |g| {
+        let f = build(g);
+        for _ in 0..20 {
+            let w = gen_window(g);
+            assert_eq!(
+                f.overlay.is_free(f.node, w),
+                f.clone.is_free(w),
+                "is_free diverged on {w}"
+            );
+            assert_eq!(
+                f.overlay.first_conflict(f.node, w),
+                f.clone.first_conflict(w).map(|r| r.window()),
+                "first_conflict diverged on {w}"
+            );
+        }
+    });
+}
+
+#[test]
+fn earliest_fit_matches_materialized_clone() {
+    check(256, |g| {
+        let f = build(g);
+        for _ in 0..20 {
+            let from = SimTime::from_ticks(g.u64_in(0, 220));
+            let duration = SimDuration::from_ticks(g.u64_in(0, 25));
+            let deadline = SimTime::from_ticks(g.u64_in(0, 400));
+            assert_eq!(
+                f.overlay.earliest_fit(f.node, from, duration, deadline),
+                f.clone.earliest_fit(from, duration, deadline),
+                "earliest_fit diverged from={from} dur={duration} dl={deadline}"
+            );
+        }
+    });
+}
+
+#[test]
+fn free_windows_match_materialized_clone() {
+    check(256, |g| {
+        let f = build(g);
+        for _ in 0..10 {
+            let start = g.u64_in(0, 150);
+            let len = g.u64_in(1, 150);
+            let range =
+                TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+                    .expect("non-empty");
+            assert_eq!(
+                f.overlay.free_windows(f.node, range),
+                f.clone.free_windows(range),
+                "free_windows diverged on {range}"
+            );
+        }
+    });
+}

@@ -5,6 +5,7 @@ use gridsched::flow::simulation::{run_campaign, CampaignConfig};
 use gridsched::model::ids::JobId;
 use gridsched::sim::rng::SimRng;
 use gridsched::sim::time::SimTime;
+use gridsched::workload::background::{apply_background_load, BackgroundConfig};
 use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
@@ -27,6 +28,102 @@ fn strategy_generation_is_deterministic() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
+}
+
+/// The parallel scoped-thread scenario sweep, the sequential session
+/// sweep and the pre-refactor clone-per-scenario sweep must all produce
+/// the same strategy, placement for placement — otherwise the planning
+/// sessions of this PR silently changed the paper's numbers.
+#[test]
+fn parallel_sweep_matches_sequential_and_cloning_baselines() {
+    let mut rng = SimRng::seed_from(2009);
+    let mut pool = generate_pool(&PoolConfig::default(), &mut rng.fork(1));
+    apply_background_load(
+        &mut pool,
+        &BackgroundConfig {
+            load: 0.6,
+            ..BackgroundConfig::default()
+        },
+        &mut rng.fork(2),
+    );
+    let fingerprint = |s: &Strategy| {
+        (
+            s.kind(),
+            s.job().tasks().len(),
+            s.distributions()
+                .iter()
+                .map(|d| {
+                    (
+                        d.scenario(),
+                        d.cost(),
+                        d.makespan(),
+                        d.placements().to_vec(),
+                        d.collisions().to_vec(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+            s.failures().to_vec(),
+        )
+    };
+    for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+        let job = generate_job(
+            &JobConfig::default(),
+            JobId::new(i as u64),
+            SimTime::ZERO,
+            &mut rng.fork(3 + i as u64),
+        );
+        let config = StrategyConfig::for_kind(kind, &pool);
+        let parallel = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
+        let sequential = Strategy::generate_sequential(&job, &pool, &config, SimTime::ZERO);
+        let cloning = Strategy::generate_cloning(&job, &pool, &config, SimTime::ZERO);
+        let owned = Strategy::generate_owned(job.clone(), &pool, &config, SimTime::ZERO);
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&sequential),
+            "{kind}: parallel sweep diverged from sequential"
+        );
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&cloning),
+            "{kind}: session sweep diverged from the clone-per-scenario baseline"
+        );
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&owned),
+            "{kind}: by-value hand-off diverged from the borrowed path"
+        );
+    }
+}
+
+/// A full traced, faulted campaign routed through the refactored planning
+/// path (shared snapshots + parallel sweeps) must be bit-identical to the
+/// same campaign with every sweep forced sequential.
+#[test]
+fn traced_campaign_matches_sequential_planning_baseline() {
+    let cfg = CampaignConfig {
+        jobs: 25,
+        perturbations: 30,
+        faults: gridsched::flow::faults::FaultConfig {
+            outages: 6,
+            degradations: 4,
+            transfer_faults: 6,
+            ..gridsched::flow::faults::FaultConfig::none()
+        },
+        collect_trace: true,
+        seed: 4242,
+        ..CampaignConfig::default()
+    };
+    let parallel = run_campaign(&cfg);
+    let sequential = run_campaign(&CampaignConfig {
+        sequential_planning: true,
+        ..cfg
+    });
+    assert_eq!(parallel.records, sequential.records);
+    assert_eq!(parallel.faults, sequential.faults);
+    assert_eq!(
+        parallel.trace, sequential.trace,
+        "parallel-sweep campaign trace must be bit-identical to the sequential baseline"
+    );
 }
 
 #[test]
