@@ -11,6 +11,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use gridsched_metrics::telemetry::{Counter, Telemetry};
 use gridsched_sim::time::{SimDuration, SimTime};
 
 use gridsched_model::window::TimeWindow;
@@ -34,6 +35,7 @@ pub struct ClusterConfig {
     capacity: u32,
     policy: QueuePolicy,
     reservations: Vec<AdvanceReservation>,
+    telemetry: Telemetry,
 }
 
 impl ClusterConfig {
@@ -49,7 +51,19 @@ impl ClusterConfig {
             capacity,
             policy,
             reservations: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder: runs count backfill shadow hits,
+    /// conservative trial reservations, profile what-if overlays and
+    /// start-time forecasts, and each [`ClusterConfig::run`] executes
+    /// under a `batch_run` span. Outcomes are bit-identical to an
+    /// uninstrumented run.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// Adds an advance reservation.
@@ -96,6 +110,7 @@ impl ClusterConfig {
     /// Panics if any job is wider than the cluster.
     #[must_use]
     pub fn run(&self, jobs: &[BatchJob]) -> BatchOutcome {
+        let _span = self.telemetry.span("batch_run");
         Simulation::new(self, jobs).run()
     }
 }
@@ -279,7 +294,9 @@ impl<'a> Simulation<'a> {
                     break;
                 }
                 self.completions.pop();
-                let window = self.reserved[idx].take().expect("completed job had a window");
+                let window = self.reserved[idx]
+                    .take()
+                    .expect("completed job had a window");
                 self.profile.remove(window, self.jobs[idx].width());
                 // Re-add the truly used part so past allocation stays
                 // consistent for diagnostics (never queried for decisions).
@@ -409,7 +426,8 @@ impl<'a> Simulation<'a> {
         // instead of being added to and removed from the real profile.
         loop {
             let candidate = {
-                let mut shadowed = ProfileOverlay::new(&self.profile);
+                let mut shadowed =
+                    ProfileOverlay::instrumented(&self.profile, &self.config.telemetry);
                 shadowed.add(shadow, head_job.width());
                 self.queue[1..].iter().copied().find(|&i| {
                     let j = &self.jobs[i];
@@ -419,7 +437,11 @@ impl<'a> Simulation<'a> {
                 })
             };
             match candidate {
-                Some(i) => self.start_job(i, now),
+                Some(i) => {
+                    // A job jumped the queue under the head's shadow.
+                    self.config.telemetry.incr(Counter::BackfillShadowHits);
+                    self.start_job(i, now);
+                }
                 None => break,
             }
         }
@@ -435,7 +457,7 @@ impl<'a> Simulation<'a> {
                 // Trial reservations go into a what-if overlay and are
                 // simply dropped with it — no removal bookkeeping against
                 // the real profile.
-                let mut trial = ProfileOverlay::new(&self.profile);
+                let mut trial = ProfileOverlay::instrumented(&self.profile, &self.config.telemetry);
                 for &i in &self.queue {
                     let j = self.jobs[i];
                     let s = trial.earliest_fit(now, j.estimate(), j.width(), self.config.capacity);
@@ -444,6 +466,7 @@ impl<'a> Simulation<'a> {
                         break;
                     }
                     let w = TimeWindow::starting_at(s, j.estimate()).expect("non-empty window");
+                    self.config.telemetry.incr(Counter::ConservativeTrials);
                     trial.add(w, j.width());
                 }
             }
@@ -460,9 +483,10 @@ impl<'a> Simulation<'a> {
     /// and future arrivals are unknown — both assumptions §5 identifies as
     /// forecast error sources.
     fn predict_start(&self, idx: usize, now: SimTime) -> SimTime {
+        self.config.telemetry.incr(Counter::StartPredictions);
         // What-if forecast over the live profile: a copy-on-write overlay
         // instead of cloning the whole breakpoint map.
-        let mut profile = ProfileOverlay::new(&self.profile);
+        let mut profile = ProfileOverlay::instrumented(&self.profile, &self.config.telemetry);
         let mut ahead = self.queue.clone();
         // Head-of-line policies additionally start jobs in queue order, so
         // a queued job can never start before the one ahead of it.
@@ -486,7 +510,8 @@ impl<'a> Simulation<'a> {
         let mut prev_start = now;
         for &i in &ahead {
             let j = self.jobs[i];
-            let mut s = profile.earliest_fit(prev_start, j.estimate(), j.width(), self.config.capacity);
+            let mut s =
+                profile.earliest_fit(prev_start, j.estimate(), j.width(), self.config.capacity);
             if !head_of_line {
                 s = profile.earliest_fit(now, j.estimate(), j.width(), self.config.capacity);
             }
@@ -570,11 +595,7 @@ mod tests {
         // Capacity 3: j0 uses 2 nodes for 10; j1 needs 3 (blocked);
         // j2 (width 1, runtime ≤ wait) backfills on the free node.
         let cfg = ClusterConfig::new(3, QueuePolicy::EasyBackfill);
-        let jobs = [
-            job(0, 0, 2, 10, 10),
-            job(1, 1, 3, 5, 5),
-            job(2, 2, 1, 8, 8),
-        ];
+        let jobs = [job(0, 0, 2, 10, 10), job(1, 1, 3, 5, 5), job(2, 2, 1, 8, 8)];
         let out = cfg.run(&jobs);
         assert_eq!(outcome_of(&out, 2).start, t(2), "side hole backfill");
         assert_eq!(outcome_of(&out, 1).start, t(10), "head start unchanged");
@@ -606,11 +627,7 @@ mod tests {
         // Both queued behind j0; LWF runs the small one first even though
         // it arrived later.
         let cfg = ClusterConfig::new(1, QueuePolicy::Lwf);
-        let jobs = [
-            job(0, 0, 1, 10, 10),
-            job(1, 1, 1, 8, 8),
-            job(2, 2, 1, 2, 2),
-        ];
+        let jobs = [job(0, 0, 1, 10, 10), job(1, 1, 1, 8, 8), job(2, 2, 1, 2, 2)];
         let out = cfg.run(&jobs);
         assert_eq!(outcome_of(&out, 2).start, t(10));
         assert_eq!(outcome_of(&out, 1).start, t(12));
@@ -691,16 +708,39 @@ mod tests {
         assert_eq!(out.capacity(), 1);
     }
 
+    #[test]
+    fn instrumented_run_is_behavior_neutral_and_counts_events() {
+        let jobs = [job(0, 0, 2, 10, 10), job(1, 1, 3, 5, 5), job(2, 2, 1, 8, 8)];
+        let plain = ClusterConfig::new(3, QueuePolicy::EasyBackfill).run(&jobs);
+        let telemetry = Telemetry::new();
+        let instrumented = ClusterConfig::new(3, QueuePolicy::EasyBackfill)
+            .with_telemetry(&telemetry)
+            .run(&jobs);
+        assert_eq!(plain.jobs(), instrumented.jobs());
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("start_predictions"),
+            jobs.len() as u64,
+            "one forecast per arrival"
+        );
+        assert!(snap.counter("backfill_shadow_hits") >= 1, "j2 backfills");
+        assert!(snap.counter("profile_overlays") >= jobs.len() as u64);
+        assert!(snap.phases().contains(&"batch_run"));
+
+        // Conservative backfilling places trial reservations.
+        let telemetry = Telemetry::new();
+        let _ = ClusterConfig::new(1, QueuePolicy::ConservativeBackfill)
+            .with_telemetry(&telemetry)
+            .run(&[job(0, 0, 1, 10, 4), job(1, 1, 1, 3, 3)]);
+        assert!(telemetry.snapshot().counter("conservative_trials") >= 1);
+    }
+
     /// Recomputes real usage from outcomes and asserts the capacity
     /// invariant at every breakpoint.
     fn assert_capacity_respected(out: &BatchOutcome, jobs: &[BatchJob], capacity: u32) {
         let widths: std::collections::HashMap<BatchJobId, u32> =
             jobs.iter().map(|j| (j.id(), j.width())).collect();
-        let mut points: Vec<SimTime> = out
-            .jobs()
-            .iter()
-            .flat_map(|o| [o.start, o.end])
-            .collect();
+        let mut points: Vec<SimTime> = out.jobs().iter().flat_map(|o| [o.start, o.end]).collect();
         points.sort_unstable();
         points.dedup();
         for &p in &points {
@@ -710,7 +750,10 @@ mod tests {
                 .filter(|o| o.start <= p && p < o.end)
                 .map(|o| widths[&o.id])
                 .sum();
-            assert!(used <= capacity, "capacity exceeded at {p}: {used} > {capacity}");
+            assert!(
+                used <= capacity,
+                "capacity exceeded at {p}: {used} > {capacity}"
+            );
         }
     }
 }

@@ -87,9 +87,7 @@ pub fn run_gang(config: GangConfig, jobs: &[BatchJob]) -> Vec<JobOutcome> {
             let idx = order[next_arrival];
             next_arrival += 1;
             let width = jobs[idx].width();
-            let row_pos = rows
-                .iter()
-                .position(|r| r.used + width <= config.capacity);
+            let row_pos = rows.iter().position(|r| r.used + width <= config.capacity);
             let row_pos = match row_pos {
                 Some(p) => {
                     rows[p].members.push(idx);
@@ -177,7 +175,9 @@ mod tests {
     }
 
     fn outcome(out: &[JobOutcome], id: u64) -> JobOutcome {
-        *out.iter().find(|o| o.id == BatchJobId(id)).expect("job present")
+        *out.iter()
+            .find(|o| o.id == BatchJobId(id))
+            .expect("job present")
     }
 
     #[test]
@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn fitting_jobs_share_a_row_and_run_concurrently() {
-        let out = run_gang(GangConfig::new(4, d(5)), &[job(0, 0, 2, 10), job(1, 0, 2, 10)]);
+        let out = run_gang(
+            GangConfig::new(4, d(5)),
+            &[job(0, 0, 2, 10), job(1, 0, 2, 10)],
+        );
         assert_eq!(outcome(&out, 0).start, t(0));
         assert_eq!(outcome(&out, 1).start, t(0));
         assert_eq!(outcome(&out, 0).end, t(10));
@@ -202,7 +205,10 @@ mod tests {
     fn oversized_pair_time_slices() {
         // Two width-3 jobs on 4 nodes: two rows alternate, each job gets
         // every other quantum.
-        let out = run_gang(GangConfig::new(4, d(5)), &[job(0, 0, 3, 10), job(1, 0, 3, 10)]);
+        let out = run_gang(
+            GangConfig::new(4, d(5)),
+            &[job(0, 0, 3, 10), job(1, 0, 3, 10)],
+        );
         let a = outcome(&out, 0);
         let b = outcome(&out, 1);
         assert_eq!(a.start, t(0));

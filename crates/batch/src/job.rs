@@ -48,7 +48,10 @@ impl BatchJob {
     ) -> Self {
         assert!(width > 0, "batch job width must be positive");
         assert!(!estimate.is_zero(), "batch job estimate must be positive");
-        assert!(!actual.is_zero(), "batch job actual runtime must be positive");
+        assert!(
+            !actual.is_zero(),
+            "batch job actual runtime must be positive"
+        );
         assert!(
             actual <= estimate,
             "actual runtime {actual} exceeds wall-time estimate {estimate}"

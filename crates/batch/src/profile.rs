@@ -100,13 +100,10 @@ impl Profile {
     pub fn max_allocation_in(&self, window: TimeWindow) -> u32 {
         let mut current = i64::from(self.allocation_at(window.start()));
         let mut max = current;
-        for (_, &d) in self
-            .deltas
-            .range((
-                std::ops::Bound::Excluded(window.start()),
-                std::ops::Bound::Excluded(window.end()),
-            ))
-        {
+        for (_, &d) in self.deltas.range((
+            std::ops::Bound::Excluded(window.start()),
+            std::ops::Bound::Excluded(window.end()),
+        )) {
             current += d;
             max = max.max(current);
         }
@@ -142,7 +139,10 @@ impl Profile {
             // Jump to the next breakpoint where allocation can decrease.
             let next = self
                 .deltas
-                .range((std::ops::Bound::Excluded(candidate), std::ops::Bound::Unbounded))
+                .range((
+                    std::ops::Bound::Excluded(candidate),
+                    std::ops::Bound::Unbounded,
+                ))
                 .map(|(&t, _)| t)
                 .next();
             match next {
@@ -211,6 +211,19 @@ impl<'a> ProfileOverlay<'a> {
         }
     }
 
+    /// [`ProfileOverlay::new`] with a telemetry recorder attached: bumps
+    /// [`Counter::ProfileOverlays`](gridsched_metrics::telemetry::Counter)
+    /// so what-if pressure on the batch profile is observable. The overlay
+    /// itself is identical to [`ProfileOverlay::new`].
+    #[must_use]
+    pub fn instrumented(
+        base: &'a Profile,
+        telemetry: &gridsched_metrics::telemetry::Telemetry,
+    ) -> Self {
+        telemetry.incr(gridsched_metrics::telemetry::Counter::ProfileOverlays);
+        ProfileOverlay::new(base)
+    }
+
     /// Allocates `width` nodes over `window` in this view only.
     ///
     /// # Panics
@@ -243,8 +256,8 @@ impl<'a> ProfileOverlay<'a> {
     /// Combined (base + what-if) allocation at instant `t`.
     #[must_use]
     pub fn allocation_at(&self, t: SimTime) -> u32 {
-        let sum = self.base.raw_allocation_at(t)
-            + self.deltas.range(..=t).map(|(_, &d)| d).sum::<i64>();
+        let sum =
+            self.base.raw_allocation_at(t) + self.deltas.range(..=t).map(|(_, &d)| d).sum::<i64>();
         u32::try_from(sum.max(0)).expect("allocation out of range")
     }
 
@@ -404,8 +417,8 @@ mod tests {
     fn earliest_fit_must_clear_whole_duration() {
         let mut p = Profile::new();
         p.add(w(4, 6), 4); // full blockage in the middle, capacity 4
-        // A 3-tick 1-wide job starting at t0 would run into the blockage at
-        // t4? No: [0,3) clears it. A 5-tick job cannot.
+                           // A 3-tick 1-wide job starting at t0 would run into the blockage at
+                           // t4? No: [0,3) clears it. A 5-tick job cannot.
         assert_eq!(p.earliest_fit(t(0), d(3), 1, 4), t(0));
         assert_eq!(p.earliest_fit(t(0), d(5), 1, 4), t(6));
         // From t2, even a 2-tick job collides with [4,6).
@@ -448,7 +461,11 @@ mod tests {
             clone.add(win, width);
         }
         for tick in 0..25 {
-            assert_eq!(overlay.allocation_at(t(tick)), clone.allocation_at(t(tick)), "@{tick}");
+            assert_eq!(
+                overlay.allocation_at(t(tick)),
+                clone.allocation_at(t(tick)),
+                "@{tick}"
+            );
         }
         for (a, b) in [(0, 25), (3, 8), (7, 13), (11, 12)] {
             assert_eq!(

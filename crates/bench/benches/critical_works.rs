@@ -20,7 +20,10 @@ use gridsched_bench::timing::Group;
 fn fig2_pool() -> ResourcePool {
     let mut pool = ResourcePool::new();
     for j in 1..=4u32 {
-        pool.add_node(DomainId::new(0), Perf::new(1.0 / f64::from(j)).expect("valid"));
+        pool.add_node(
+            DomainId::new(0),
+            Perf::new(1.0 / f64::from(j)).expect("valid"),
+        );
     }
     pool
 }
@@ -35,7 +38,12 @@ fn sized_job(layers: usize, seed: u64) -> Job {
         deadline_factor: 20.0,
         ..JobConfig::default()
     };
-    generate_job(&cfg, JobId::new(seed), SimTime::ZERO, &mut SimRng::seed_from(seed))
+    generate_job(
+        &cfg,
+        JobId::new(seed),
+        SimTime::ZERO,
+        &mut SimRng::seed_from(seed),
+    )
 }
 
 fn main() {

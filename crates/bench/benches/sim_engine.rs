@@ -37,12 +37,10 @@ fn main() {
     // A timetable with 1000 busy windows; measure earliest-fit probing.
     let mut tt = Timetable::new();
     for k in 0..1000u64 {
-        let w = TimeWindow::new(
-            SimTime::from_ticks(k * 10),
-            SimTime::from_ticks(k * 10 + 7),
-        )
-        .expect("valid");
-        tt.reserve(w, ReservationOwner::Background(k)).expect("free");
+        let w = TimeWindow::new(SimTime::from_ticks(k * 10), SimTime::from_ticks(k * 10 + 7))
+            .expect("valid");
+        tt.reserve(w, ReservationOwner::Background(k))
+            .expect("free");
     }
     group.bench("earliest_fit_1000_reservations", || {
         tt.earliest_fit(
@@ -51,8 +49,8 @@ fn main() {
             SimTime::from_ticks(20_000),
         )
     });
-    let w = TimeWindow::new(SimTime::from_ticks(10_007), SimTime::from_ticks(10_009))
-        .expect("valid");
+    let w =
+        TimeWindow::new(SimTime::from_ticks(10_007), SimTime::from_ticks(10_009)).expect("valid");
     let cell = std::cell::RefCell::new(tt);
     group.bench("reserve_release_cycle", || {
         let mut tt = cell.borrow_mut();

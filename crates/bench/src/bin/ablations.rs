@@ -111,7 +111,13 @@ fn main() {
         }
     }
 
-    let mut t1 = Table::new(vec!["variant", "admissible %", "mean CF", "mean makespan", "collisions"]);
+    let mut t1 = Table::new(vec![
+        "variant",
+        "admissible %",
+        "mean CF",
+        "mean makespan",
+        "collisions",
+    ]);
     t1.row(vec![
         "two-phase (paper)".into(),
         pct(tp_ok as f64 / jobs as f64),

@@ -1,0 +1,47 @@
+//! CI gate for the `strategy_sweep` benchmark.
+//!
+//! Reads a freshly produced sweep result plus the committed baseline and
+//! fails (exit code 1) when the measured mean speedup of planning-session
+//! sweeps over the clone-per-scenario baseline drops below the committed
+//! threshold. This is the regression tripwire behind the repo's headline
+//! performance claim (planning sessions ≥ 2× faster, see ROADMAP.md and
+//! `BENCH_strategy_sweep.json`).
+//!
+//! Run with:
+//! `cargo run --release -p gridsched-bench --bin bench_check -- \
+//!    --fresh BENCH_fresh.json --baseline BENCH_strategy_sweep.json --min-speedup 2.0`
+
+use gridsched_bench::{bench_gate, Args};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn main() {
+    let args = Args::capture();
+    let fresh_path: String = args.get("fresh", "BENCH_fresh.json".to_owned());
+    let baseline_path: String = args.get("baseline", "BENCH_strategy_sweep.json".to_owned());
+    let min_speedup: f64 = args.get("min-speedup", 2.0);
+
+    let fresh = read(&fresh_path);
+    let baseline = read(&baseline_path);
+    let (lines, pass) = bench_gate(&fresh, &baseline, min_speedup);
+
+    println!("bench_check: {fresh_path} vs {baseline_path} (floor {min_speedup:.2}x)");
+    for line in &lines {
+        let fmt = |v: Option<f64>| v.map_or("missing".to_owned(), |v| format!("{v:.2}x"));
+        println!(
+            "  [{}] {:<28} fresh {:>9}   committed baseline {:>9}",
+            if line.pass { "OK  " } else { "FAIL" },
+            line.key,
+            fmt(line.fresh),
+            fmt(line.baseline),
+        );
+    }
+    if pass {
+        println!("bench_check: PASS");
+    } else {
+        println!("bench_check: FAIL — speedup dropped below the committed {min_speedup:.2}x floor");
+        std::process::exit(1);
+    }
+}

@@ -16,9 +16,9 @@ use gridsched::batch::policy::QueuePolicy;
 use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
 use gridsched::flow::bridge::domain_reservations;
 use gridsched::metrics::table::{ratio, Table};
+use gridsched::model::ids::GlobalTaskId;
 use gridsched::model::node::ResourcePool;
 use gridsched::model::timetable::ReservationOwner;
-use gridsched::model::ids::GlobalTaskId;
 use gridsched::sim::rng::SimRng;
 use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
 use gridsched::workload::jobs::{generate_stream, JobConfig};

@@ -25,7 +25,10 @@ use gridsched_bench::verdict;
 fn fig2_pool() -> ResourcePool {
     let mut pool = ResourcePool::new();
     for j in 1..=4u32 {
-        pool.add_node(DomainId::new(0), Perf::new(1.0 / f64::from(j)).expect("valid perf"));
+        pool.add_node(
+            DomainId::new(0),
+            Perf::new(1.0 / f64::from(j)).expect("valid perf"),
+        );
     }
     pool
 }
@@ -60,7 +63,10 @@ fn main() {
     }
     println!("critical works:\n{works_table}");
     let lengths: Vec<u64> = paths.iter().map(|p| p.length.ticks()).collect();
-    verdict("fig2: critical works are 12, 11, 10, 9 time units", lengths == [12, 11, 10, 9]);
+    verdict(
+        "fig2: critical works are 12, 11, 10, 9 time units",
+        lengths == [12, 11, 10, 9],
+    );
 
     // Strategy fragment on the 0..20 axis.
     let config = StrategyConfig::for_kind(StrategyKind::S2, &pool);
@@ -120,6 +126,12 @@ fn main() {
     }
     verdict(
         "fig2: critical works collide on scarce resources and are reallocated",
-        !dist.collisions().is_empty() && dist.validate(&fig2_job_with_deadline(SimDuration::from_ticks(40)), &scarce).is_ok(),
+        !dist.collisions().is_empty()
+            && dist
+                .validate(
+                    &fig2_job_with_deadline(SimDuration::from_ticks(40)),
+                    &scarce,
+                )
+                .is_ok(),
     );
 }

@@ -81,7 +81,10 @@ fn main() {
         let job = generate_job(&job_config, JobId::new(i as u64), SimTime::ZERO, &mut rng);
         for (k, kind) in KINDS.into_iter().enumerate() {
             let config = StrategyConfig::for_kind(kind, &pool);
-            let policy = config.policy().clone().with_transfer_model(transfer_model());
+            let policy = config
+                .policy()
+                .clone()
+                .with_transfer_model(transfer_model());
             let config = config.with_policy(policy);
             let strategy = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
             if strategy.is_admissible() {

@@ -61,7 +61,10 @@ fn main() {
     println!("                            time MS1 ≈ S3 ≈ 1.0, S2 ≈ 0.5\n");
 
     println!("paper-shape checks:");
-    verdict("fig4b: S3 is the cheapest strategy", rel_cost[2] <= rel_cost[0] && rel_cost[2] <= rel_cost[1]);
+    verdict(
+        "fig4b: S3 is the cheapest strategy",
+        rel_cost[2] <= rel_cost[0] && rel_cost[2] <= rel_cost[1],
+    );
     verdict(
         "fig4b: S2 has the shortest task wall times",
         rel_window[1] <= rel_window[0] && rel_window[1] <= rel_window[2],

@@ -84,8 +84,7 @@ fn main() {
 }
 
 fn spread(levels: &[f64]) -> f64 {
-    levels.iter().copied().fold(0.0f64, f64::max)
-        - levels.iter().copied().fold(1.0f64, f64::min)
+    levels.iter().copied().fold(0.0f64, f64::max) - levels.iter().copied().fold(1.0f64, f64::min)
 }
 
 /// Slow-group load as a share of the strategy's total load.

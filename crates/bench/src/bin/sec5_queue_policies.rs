@@ -46,9 +46,7 @@ fn main() {
             ..BatchWorkloadConfig::default()
         };
         let stream = generate_batch_jobs(&workload, &mut SimRng::seed_from(seed));
-        println!(
-            "\n=== load: {label} (mean gap {gap}, {jobs} jobs, {capacity} nodes) ==="
-        );
+        println!("\n=== load: {label} (mean gap {gap}, {jobs} jobs, {capacity} nodes) ===");
         let mut table = Table::new(vec![
             "policy",
             "mean wait",

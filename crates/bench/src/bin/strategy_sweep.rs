@@ -24,13 +24,18 @@
 //! directory.
 //!
 //! Run with: `cargo run --release -p gridsched-bench --bin strategy_sweep`
-//! Knobs: `--seed N --load F --horizon TICKS --budget-ms N`
+//! Knobs: `--seed N --load F --horizon TICKS --budget-ms N --out PATH`
+//!
+//! Pass `--telemetry` to additionally record one instrumented generation
+//! per strategy kind, print the phase-breakdown table and write
+//! `TELEMETRY_strategy_sweep.json` / `TELEMETRY_strategy_sweep.prom`.
 //!
 //! [`AvailabilitySnapshot`]: gridsched::model::availability::AvailabilitySnapshot
 
 use std::time::Duration;
 
 use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched::metrics::telemetry::Telemetry;
 use gridsched::model::ids::JobId;
 use gridsched::model::node::ResourcePool;
 use gridsched::sim::rng::SimRng;
@@ -92,6 +97,12 @@ fn main() {
     let load: f64 = args.get("load", 0.8);
     let horizon: u64 = args.get("horizon", 20_000);
     let budget_ms: u64 = args.get("budget-ms", 400);
+    let out: String = args.get("out", "BENCH_strategy_sweep.json".to_owned());
+    let telemetry = if args.get("telemetry", false) {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
 
     let mut master = SimRng::seed_from(seed);
     let mut pool: ResourcePool = generate_pool(&PoolConfig::default(), &mut master.fork(1));
@@ -122,8 +133,8 @@ fn main() {
         pool.len()
     );
 
-    let group = Group::new("full-sweep strategy generation")
-        .with_budget(Duration::from_millis(budget_ms));
+    let group =
+        Group::new("full-sweep strategy generation").with_budget(Duration::from_millis(budget_ms));
     let mut results = Vec::new();
     for kind in StrategyKind::ALL {
         let config = StrategyConfig::for_kind(kind, &pool);
@@ -142,6 +153,21 @@ fn main() {
             fingerprint(&via_parallel),
             "{kind}: parallel sweep diverged from sequential sweep"
         );
+        if telemetry.is_enabled() {
+            let via_instrumented = Strategy::generate_instrumented(
+                &job,
+                &pool,
+                &config,
+                SimTime::ZERO,
+                &telemetry,
+                None,
+            );
+            assert_eq!(
+                fingerprint(&via_parallel),
+                fingerprint(&via_instrumented),
+                "{kind}: instrumented sweep diverged from uninstrumented sweep"
+            );
+        }
 
         let cloning = group.bench(&format!("{kind} cloning (pre-refactor)"), || {
             Strategy::generate_cloning(&job, &pool, &config, SimTime::ZERO)
@@ -205,9 +231,19 @@ fn main() {
         ss = speedup_sequential,
         sp = speedup_parallel,
     );
-    std::fs::write("BENCH_strategy_sweep.json", &json)
-        .expect("write BENCH_strategy_sweep.json");
-    println!("wrote BENCH_strategy_sweep.json");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+
+    if telemetry.is_enabled() {
+        let snapshot = telemetry.snapshot();
+        println!("\ntelemetry phase breakdown (instrumented generations):");
+        println!("{}", snapshot.phase_table());
+        std::fs::write("TELEMETRY_strategy_sweep.json", snapshot.to_json())
+            .expect("write TELEMETRY_strategy_sweep.json");
+        std::fs::write("TELEMETRY_strategy_sweep.prom", snapshot.to_prometheus())
+            .expect("write TELEMETRY_strategy_sweep.prom");
+        println!("wrote TELEMETRY_strategy_sweep.json and TELEMETRY_strategy_sweep.prom");
+    }
 
     verdict(
         "all three sweeps produce bit-identical strategies",

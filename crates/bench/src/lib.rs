@@ -11,9 +11,13 @@ use gridsched::flow::VoReport;
 
 pub mod timing;
 
-/// Parses `--key value` style overrides from `std::env::args`.
+/// Parses `--key value` and bare `--flag` style overrides from
+/// `std::env::args`.
 ///
-/// Unknown keys are ignored so every binary accepts the common knobs.
+/// Unknown keys are ignored so every binary accepts the common knobs. A
+/// `--flag` followed by another `--option` (or by nothing) is recorded as
+/// a boolean flag with the value `"true"`, so `--telemetry` style switches
+/// need no explicit value.
 #[derive(Debug, Clone)]
 pub struct Args {
     pairs: Vec<(String, String)>,
@@ -23,15 +27,31 @@ impl Args {
     /// Captures the process arguments.
     #[must_use]
     pub fn capture() -> Self {
-        let raw: Vec<String> = std::env::args().skip(1).collect();
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (what [`Args::capture`] does with
+    /// the process arguments).
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let raw: Vec<String> = raw.into_iter().collect();
         let mut pairs = Vec::new();
         let mut i = 0;
-        while i + 1 < raw.len() {
-            if let Some(key) = raw[i].strip_prefix("--") {
-                pairs.push((key.to_owned(), raw[i + 1].clone()));
-                i += 2;
-            } else {
+        while i < raw.len() {
+            let Some(key) = raw[i].strip_prefix("--") else {
                 i += 1;
+                continue;
+            };
+            match raw.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    pairs.push((key.to_owned(), value.clone()));
+                    i += 2;
+                }
+                _ => {
+                    // Bare flag: `--telemetry`, `--verbose`, end-of-args.
+                    pairs.push((key.to_owned(), "true".to_owned()));
+                    i += 1;
+                }
             }
         }
         Args { pairs }
@@ -120,6 +140,62 @@ pub fn normalize(values: &[f64]) -> Vec<f64> {
     values.iter().map(|v| v / max).collect()
 }
 
+/// Extracts the numeric value following `"key":` in a JSON document.
+///
+/// This is deliberately tiny — just enough to read back the flat
+/// `BENCH_*.json` files this crate writes (first occurrence of the key
+/// wins; nested objects with colliding key names are not a concern for
+/// those files).
+#[must_use]
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let idx = json.find(&pat)?;
+    let rest = json[idx + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One checked metric of a bench-gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLine {
+    /// The JSON key that was checked.
+    pub key: &'static str,
+    /// The freshly measured value, if the key was present.
+    pub fresh: Option<f64>,
+    /// The committed baseline value, if the key was present.
+    pub baseline: Option<f64>,
+    /// Whether the fresh value clears the threshold.
+    pub pass: bool,
+}
+
+/// Compares a fresh `strategy_sweep` result against the committed
+/// baseline: both overall speedups must be present and at or above
+/// `min_speedup` (the paper-claim floor — absolute, not relative to the
+/// baseline, because CI machines are slower and noisier than the one
+/// that produced the committed numbers). Returns the per-metric lines
+/// and the overall verdict.
+#[must_use]
+pub fn bench_gate(fresh: &str, baseline: &str, min_speedup: f64) -> (Vec<GateLine>, bool) {
+    let keys = ["overall_speedup_sequential", "overall_speedup_parallel"];
+    let lines: Vec<GateLine> = keys
+        .iter()
+        .map(|key| {
+            let fresh_value = json_number(fresh, key);
+            GateLine {
+                key,
+                fresh: fresh_value,
+                baseline: json_number(baseline, key),
+                pass: fresh_value.is_some_and(|v| v >= min_speedup),
+            }
+        })
+        .collect();
+    let pass = lines.iter().all(|l| l.pass);
+    (lines, pass)
+}
+
 /// Prints a HOLDS/DIFFERS verdict line for a paper-claim check.
 pub fn verdict(label: &str, holds: bool) {
     let mark = if holds { "HOLDS" } else { "DIFFERS" };
@@ -153,12 +229,59 @@ mod tests {
     }
 
     #[test]
+    fn args_parse_bare_flags() {
+        let args = Args::parse(
+            ["--telemetry", "--jobs", "5", "--verbose"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert!(args.has("telemetry"));
+        assert!(args.get("telemetry", false));
+        assert_eq!(args.get("jobs", 0usize), 5);
+        assert!(args.get("verbose", false));
+        assert!(!args.has("seed"));
+    }
+
+    #[test]
     #[should_panic(expected = "--jobs")]
     fn args_report_bad_values() {
         let args = Args {
             pairs: vec![("jobs".into(), "many".into())],
         };
         let _: usize = args.get("jobs", 1);
+    }
+
+    #[test]
+    fn json_number_reads_flat_documents() {
+        let doc = "{\n  \"a\": 1.5,\n  \"b\": -2e3,\n  \"c\": 7\n}";
+        assert_eq!(json_number(doc, "a"), Some(1.5));
+        assert_eq!(json_number(doc, "b"), Some(-2e3));
+        assert_eq!(json_number(doc, "c"), Some(7.0));
+        assert_eq!(json_number(doc, "missing"), None);
+        assert_eq!(json_number("{\"a\": \"text\"}", "a"), None);
+    }
+
+    #[test]
+    fn bench_gate_passes_and_fails_on_threshold() {
+        let fresh = "{\"overall_speedup_sequential\": 5.0, \"overall_speedup_parallel\": 4.0}";
+        let baseline = "{\"overall_speedup_sequential\": 34.1, \"overall_speedup_parallel\": 28.9}";
+        let (lines, pass) = bench_gate(fresh, baseline, 2.0);
+        assert!(pass);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].fresh, Some(5.0));
+        assert_eq!(lines[0].baseline, Some(34.1));
+
+        let (lines, pass) = bench_gate(fresh, baseline, 4.5);
+        assert!(!pass, "parallel speedup 4.0 is below 4.5");
+        assert!(lines[0].pass);
+        assert!(!lines[1].pass);
+    }
+
+    #[test]
+    fn bench_gate_fails_on_missing_keys() {
+        let (lines, pass) = bench_gate("{}", "{}", 2.0);
+        assert!(!pass);
+        assert!(lines.iter().all(|l| l.fresh.is_none() && !l.pass));
     }
 
     #[test]

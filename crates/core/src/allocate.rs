@@ -68,8 +68,8 @@ impl AllocationContext<'_> {
             let mut best = SimDuration::ZERO;
             for e in self.job.outgoing(t) {
                 let succ = e.to();
-                let candidate = self.scenario.duration(self.job.task(succ), fastest)
-                    + rem[succ.index()];
+                let candidate =
+                    self.scenario.duration(self.job.task(succ), fastest) + rem[succ.index()];
                 if candidate > best {
                     best = candidate;
                 }
@@ -203,9 +203,12 @@ pub fn allocate_chain<A: Availability>(
                     .expect("consecutive chain tasks are connected");
                 for (pni, prev_states) in frontiers[pos - 1].iter().enumerate() {
                     let prev_node = nodes[pni];
-                    let chain_stall =
-                        ctx.policy
-                            .consumer_delay(chain_edge.volume(), prev_node, node_id, ctx.pool);
+                    let chain_stall = ctx.policy.consumer_delay(
+                        chain_edge.volume(),
+                        prev_node,
+                        node_id,
+                        ctx.pool,
+                    );
                     let stall = stall_placed.max(chain_stall);
                     let dur = stall + exec;
                     let step_cost = task_cost(task.volume(), dur);
@@ -270,9 +273,7 @@ pub fn allocate_chain<A: Availability>(
             }
         }
     }
-    let (mut ni, mut si) = best
-        .or(cheapest)
-        .expect("non-empty final frontier");
+    let (mut ni, mut si) = best.or(cheapest).expect("non-empty final frontier");
 
     // Backtrack.
     let mut placements = Vec::with_capacity(chain.len());

@@ -91,8 +91,7 @@ pub fn chain_decomposition(
 ) -> Vec<CriticalWork> {
     let mut unassigned: HashSet<TaskId> = job.tasks().iter().map(|t| t.id()).collect();
     let mut works = Vec::new();
-    while let Some(work) =
-        next_critical_work(job, &unassigned, &mut task_weight, &mut edge_weight)
+    while let Some(work) = next_critical_work(job, &unassigned, &mut task_weight, &mut edge_weight)
     {
         for t in &work.tasks {
             unassigned.remove(t);

@@ -57,7 +57,11 @@ pub struct CollisionRecord {
 
 impl fmt::Display for CollisionRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "collision: {} on {} ({})", self.task, self.node, self.group)
+        write!(
+            f,
+            "collision: {} on {} ({})",
+            self.task, self.node, self.group
+        )
     }
 }
 
@@ -86,7 +90,10 @@ impl Distribution {
         placements: Vec<Placement>,
         collisions: Vec<CollisionRecord>,
     ) -> Self {
-        assert!(!placements.is_empty(), "a distribution places at least one task");
+        assert!(
+            !placements.is_empty(),
+            "a distribution places at least one task"
+        );
         for (i, p) in placements.iter().enumerate() {
             assert_eq!(
                 p.task.index(),

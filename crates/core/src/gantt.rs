@@ -71,7 +71,12 @@ pub fn render_gantt(dist: &Distribution, pool: &ResourcePool) -> String {
             }
         }
         if used {
-            let _ = writeln!(out, "{:>4} |{}|", node.id().to_string(), row.iter().collect::<String>());
+            let _ = writeln!(
+                out,
+                "{:>4} |{}|",
+                node.id().to_string(),
+                row.iter().collect::<String>()
+            );
         }
     }
     // Time axis with a mark every 5 ticks.

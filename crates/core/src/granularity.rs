@@ -76,10 +76,7 @@ pub fn coarsen(job: &Job) -> CoarsenedJob {
     let mut builder = JobBuilder::new();
     for members in &groups {
         let volume: Volume = members.iter().map(|&t| job.task(t).volume()).sum();
-        let min_perf: Option<Perf> = members
-            .iter()
-            .filter_map(|&t| job.task(t).min_perf())
-            .max();
+        let min_perf: Option<Perf> = members.iter().filter_map(|&t| job.task(t).min_perf()).max();
         builder.add_task_with(volume, min_perf);
     }
     // Cross-group arcs, with parallel arcs combined.
@@ -114,7 +111,11 @@ mod tests {
 
     #[test]
     fn pipeline_fuses_to_one_task() {
-        let job = pipeline_job(JobId::new(3), &[10.0, 20.0, 30.0], SimDuration::from_ticks(50));
+        let job = pipeline_job(
+            JobId::new(3),
+            &[10.0, 20.0, 30.0],
+            SimDuration::from_ticks(50),
+        );
         let c = coarsen(&job);
         assert_eq!(c.job.task_count(), 1);
         assert_eq!(c.job.edges().len(), 0);

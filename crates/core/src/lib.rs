@@ -72,7 +72,12 @@ pub use cost::{task_cost, Cost};
 pub use distribution::{CollisionRecord, Distribution, DistributionError, Placement};
 pub use gantt::render_gantt;
 pub use granularity::{coarsen, CoarsenedJob};
-pub use method::{build_distribution, build_distribution_cloning, build_distribution_direct, build_distribution_in_domain, build_distribution_recovering, build_distribution_with_objective, reschedule, reschedule_with_deadline, reschedule_with_objective, ScheduleError, ScheduleRequest};
+pub use method::{
+    build_distribution, build_distribution_cloning, build_distribution_direct,
+    build_distribution_in_domain, build_distribution_recovering, build_distribution_with_objective,
+    reschedule, reschedule_with_deadline, reschedule_with_objective, ScheduleError,
+    ScheduleRequest,
+};
 pub use objective::Objective;
 pub use session::PlanningSession;
 pub use strategy::{Strategy, StrategyConfig, StrategyKind, FULL_SWEEP_SCENARIOS};

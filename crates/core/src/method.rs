@@ -230,9 +230,7 @@ pub fn reschedule_with_objective(
 ///
 /// Returns [`ScheduleError`] if some task cannot be placed within the
 /// job's deadline.
-pub fn build_distribution_direct(
-    req: &ScheduleRequest<'_>,
-) -> Result<Distribution, ScheduleError> {
+pub fn build_distribution_direct(req: &ScheduleRequest<'_>) -> Result<Distribution, ScheduleError> {
     PlanningSession::open(req.pool).build_distribution_direct(req)
 }
 
@@ -553,9 +551,11 @@ mod tests {
             .collect();
         let mut req = request(&job, &pool, &policy);
         req.release = SimTime::from_ticks(3);
-        let replanned =
-            reschedule_with_deadline(&req, &fixed, SimTime::from_ticks(60)).unwrap();
-        assert_eq!(replanned.placement(TaskId::new(0)), original.placement(TaskId::new(0)));
+        let replanned = reschedule_with_deadline(&req, &fixed, SimTime::from_ticks(60)).unwrap();
+        assert_eq!(
+            replanned.placement(TaskId::new(0)),
+            original.placement(TaskId::new(0))
+        );
         assert_eq!(replanned.validate(&job, &pool), Ok(()));
         for p in replanned.placements() {
             if p.task != TaskId::new(0) {
@@ -573,7 +573,10 @@ mod tests {
         let policy = DataPolicy::remote_access();
         let req = request(&job, &pool, &policy);
         let direct = build_distribution_direct(&req).unwrap();
-        assert!(direct.collisions().is_empty(), "single-phase never collides");
+        assert!(
+            direct.collisions().is_empty(),
+            "single-phase never collides"
+        );
         assert_eq!(direct.validate(&job, &pool), Ok(()));
         // The two-phase variant on the same input does record collisions.
         let two_phase = build_distribution(&req).unwrap();
@@ -631,7 +634,10 @@ mod tests {
         let req = request(&job, &pool, &policy);
         let cheap = build_distribution(&req).unwrap();
         let fast = build_distribution_with_objective(&req, Objective::FASTEST).unwrap();
-        assert!(fast.makespan() < cheap.makespan(), "fast {fast} vs cheap {cheap}");
+        assert!(
+            fast.makespan() < cheap.makespan(),
+            "fast {fast} vs cheap {cheap}"
+        );
         assert!(fast.cost() > cheap.cost());
         assert_eq!(fast.validate(&job, &pool), Ok(()));
     }
@@ -676,7 +682,11 @@ mod tests {
         let req = request(&job, &pool, &policy);
         let cheap = build_distribution(&req).unwrap();
         let fast = build_distribution_with_objective(&req, Objective::FASTEST).unwrap();
-        assert_eq!(fast.cost(), cheap.cost(), "fallback produced the MinCost schedule");
+        assert_eq!(
+            fast.cost(),
+            cheap.cost(),
+            "fallback produced the MinCost schedule"
+        );
         assert_eq!(fast.validate(&job, &pool), Ok(()));
     }
 
@@ -713,7 +723,10 @@ mod tests {
         });
         let job = stranded.expect("some deep fork-join strands the chains-only pass");
         let req = request(&job, &pool, &policy);
-        assert!(build_distribution(&req).is_err(), "chains alone strand this job");
+        assert!(
+            build_distribution(&req).is_err(),
+            "chains alone strand this job"
+        );
         let recovered = build_distribution_recovering(&req).unwrap();
         assert_eq!(recovered.validate(&job, &pool), Ok(()));
         assert!(recovered.meets_deadline(job.absolute_deadline()));
@@ -733,8 +746,7 @@ mod tests {
         let mut req = request(&job, &pool, &policy);
         req.release = SimTime::from_ticks(3);
         let deadline = SimTime::from_ticks(80);
-        let cheap =
-            reschedule_with_objective(&req, &fixed, deadline, Objective::MinCost).unwrap();
+        let cheap = reschedule_with_objective(&req, &fixed, deadline, Objective::MinCost).unwrap();
         let req2 = {
             let mut r = request(&job, &pool, &policy);
             r.release = SimTime::from_ticks(3);

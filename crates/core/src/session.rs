@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use gridsched_sim::time::SimTime;
 
+use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
 use gridsched_model::availability::{AvailabilitySnapshot, TimetableOverlay};
 use gridsched_model::ids::TaskId;
 use gridsched_model::node::ResourcePool;
@@ -73,6 +74,8 @@ use crate::objective::Objective;
 pub struct PlanningSession<'p> {
     pool: &'p ResourcePool,
     snapshot: AvailabilitySnapshot,
+    telemetry: Telemetry,
+    span_parent: Option<SpanId>,
 }
 
 impl<'p> PlanningSession<'p> {
@@ -83,9 +86,50 @@ impl<'p> PlanningSession<'p> {
     /// stays consistent even if the live pool moves on.
     #[must_use]
     pub fn open(pool: &'p ResourcePool) -> Self {
+        PlanningSession::open_instrumented(pool, &Telemetry::disabled(), None)
+    }
+
+    /// [`PlanningSession::open`] with a telemetry recorder attached.
+    ///
+    /// The session counts the snapshot capture
+    /// ([`Counter::SessionsOpened`]), every overlay it hands out
+    /// ([`Counter::OverlaysCreated`]) and every engine pass it runs
+    /// ([`Counter::CriticalWorksPasses`], with `critical_works_pass` timing
+    /// spans parented under `parent`). Instrumentation is strictly
+    /// observational: the schedules built are bit-identical to an
+    /// uninstrumented session's.
+    #[must_use]
+    pub fn open_instrumented(
+        pool: &'p ResourcePool,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Self {
+        telemetry.incr(Counter::SessionsOpened);
+        let span = telemetry.span_under("session_open", parent);
+        let snapshot = pool.snapshot();
+        drop(span);
         PlanningSession {
             pool,
-            snapshot: pool.snapshot(),
+            snapshot,
+            telemetry: telemetry.clone(),
+            span_parent: parent,
+        }
+    }
+
+    /// A view of this session whose engine-pass spans are parented under
+    /// `parent` instead — same pool, same shared snapshot (the
+    /// `Arc`-backed windows are shared, not recopied), same recorder.
+    ///
+    /// This is how a scenario sweep nests each scenario's
+    /// `critical_works_pass` spans under that scenario's own span while
+    /// all scenarios keep planning against one snapshot.
+    #[must_use]
+    pub fn scoped_under(&self, parent: Option<SpanId>) -> PlanningSession<'p> {
+        PlanningSession {
+            pool: self.pool,
+            snapshot: self.snapshot.clone(),
+            telemetry: self.telemetry.clone(),
+            span_parent: parent,
         }
     }
 
@@ -104,6 +148,7 @@ impl<'p> PlanningSession<'p> {
     /// A fresh copy-on-write view over the session's snapshot.
     #[must_use]
     pub fn overlay(&self) -> TimetableOverlay {
+        self.telemetry.incr(Counter::OverlaysCreated);
         TimetableOverlay::new(self.snapshot.clone())
     }
 
@@ -123,9 +168,13 @@ impl<'p> PlanningSession<'p> {
             std::ptr::eq(self.pool, req.pool),
             "request pool must be the session's pool"
         );
+        let _pass = self
+            .telemetry
+            .span_under("critical_works_pass", self.span_parent);
+        self.telemetry.incr(Counter::CriticalWorksPasses);
         let background = self.overlay();
         let mut with_job = self.overlay();
-        run_method_chains(
+        let result = run_method_chains(
             req,
             fixed,
             deadline,
@@ -135,7 +184,16 @@ impl<'p> PlanningSession<'p> {
             singleton_chains,
             &background,
             &mut with_job,
-        )
+        );
+        // Plan conflicts are observed either way: a successful pass records
+        // the collisions it routed around, a failed pass the ones that
+        // stranded it.
+        let conflicts = match &result {
+            Ok(d) => d.collisions().len(),
+            Err(e) => e.collisions.len(),
+        };
+        self.telemetry.add(Counter::PlanConflicts, conflicts as u64);
+        result
     }
 
     /// Session form of [`crate::method::build_distribution`].
@@ -197,7 +255,10 @@ impl<'p> PlanningSession<'p> {
         match self.run(req, fixed, deadline, true, None, objective, false) {
             Ok(d) => Ok(d),
             Err(e) if objective == Objective::MinCost => Err(e),
-            Err(_) => self.run(req, fixed, deadline, true, None, Objective::MinCost, false),
+            Err(_) => {
+                self.telemetry.incr(Counter::ObjectiveFallbacks);
+                self.run(req, fixed, deadline, true, None, Objective::MinCost, false)
+            }
         }
     }
 
@@ -269,15 +330,7 @@ impl<'p> PlanningSession<'p> {
         objective: Objective,
     ) -> Result<Distribution, ScheduleError> {
         let deadline = req.release.saturating_add(req.job.deadline());
-        let aggressive = self.run(
-            req,
-            &HashMap::new(),
-            deadline,
-            true,
-            None,
-            objective,
-            false,
-        );
+        let aggressive = self.run(req, &HashMap::new(), deadline, true, None, objective, false);
         match (aggressive, objective) {
             (Ok(d), _) => Ok(d),
             (Err(e), Objective::MinCost) => Err(e),
@@ -285,15 +338,18 @@ impl<'p> PlanningSession<'p> {
             // works when earlier ones are packed with zero slack; degrade
             // gracefully to the conservative criterion rather than fail
             // the scenario.
-            (Err(_), _) => self.run(
-                req,
-                &HashMap::new(),
-                deadline,
-                true,
-                None,
-                Objective::MinCost,
-                false,
-            ),
+            (Err(_), _) => {
+                self.telemetry.incr(Counter::ObjectiveFallbacks);
+                self.run(
+                    req,
+                    &HashMap::new(),
+                    deadline,
+                    true,
+                    None,
+                    Objective::MinCost,
+                    false,
+                )
+            }
         }
     }
 
@@ -418,7 +474,9 @@ mod tests {
             release: SimTime::ZERO,
         };
         // A fresh session sees the new load.
-        let fresh = PlanningSession::open(&pool).build_distribution(&req).unwrap();
+        let fresh = PlanningSession::open(&pool)
+            .build_distribution(&req)
+            .unwrap();
         assert!(fresh.placements()[0].window.start() >= SimTime::from_ticks(10));
     }
 

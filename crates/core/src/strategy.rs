@@ -18,6 +18,7 @@ use std::fmt;
 use gridsched_sim::time::SimTime;
 
 use gridsched_data::policy::DataPolicy;
+use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
 use gridsched_model::estimate::ScenarioSweep;
 use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
@@ -91,7 +92,10 @@ impl StrategyConfig {
     /// Panics if the pool is empty.
     #[must_use]
     pub fn for_kind(kind: StrategyKind, pool: &ResourcePool) -> Self {
-        assert!(!pool.is_empty(), "cannot configure a strategy for an empty pool");
+        assert!(
+            !pool.is_empty(),
+            "cannot configure a strategy for an empty pool"
+        );
         match kind {
             StrategyKind::S1 => StrategyConfig {
                 kind,
@@ -108,11 +112,7 @@ impl StrategyConfig {
             StrategyKind::S3 => {
                 let storage = pool
                     .nodes()
-                    .max_by(|a, b| {
-                        a.perf()
-                            .cmp(&b.perf())
-                            .then(b.id().cmp(&a.id()))
-                    })
+                    .max_by(|a, b| a.perf().cmp(&b.perf()).then(b.id().cmp(&a.id())))
                     .expect("non-empty pool")
                     .id();
                 StrategyConfig {
@@ -203,7 +203,41 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        Strategy::generate_prepared(Self::planning_job(job, config), pool, config, release, true)
+        Strategy::generate_prepared(
+            Self::planning_job(job, config),
+            pool,
+            config,
+            release,
+            true,
+            &Telemetry::disabled(),
+            None,
+        )
+    }
+
+    /// [`Strategy::generate`] with a telemetry recorder attached: the whole
+    /// sweep runs under a `strategy_generation` span (parented under
+    /// `parent`), each scenario under its own `scenario` span, and
+    /// [`Counter::ScenariosPlanned`] / [`Counter::ScenariosFailed`] tally
+    /// the sweep outcome. Schedules are bit-identical to
+    /// [`Strategy::generate`].
+    #[must_use]
+    pub fn generate_instrumented(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Strategy {
+        Strategy::generate_prepared(
+            Self::planning_job(job, config),
+            pool,
+            config,
+            release,
+            true,
+            telemetry,
+            parent,
+        )
     }
 
     /// [`Strategy::generate`] taking the job by value — the metascheduler
@@ -216,7 +250,32 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        Strategy::generate_owned_inner(job, pool, config, release, true)
+        Strategy::generate_owned_inner(
+            job,
+            pool,
+            config,
+            release,
+            true,
+            &Telemetry::disabled(),
+            None,
+        )
+    }
+
+    /// [`Strategy::generate_owned`] with a telemetry recorder attached;
+    /// `parallel` selects between the scoped-thread sweep and the
+    /// sequential baseline (both bit-identical). This is the job-flow
+    /// campaign's hand-off path.
+    #[must_use]
+    pub fn generate_owned_instrumented(
+        job: Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        parallel: bool,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Strategy {
+        Strategy::generate_owned_inner(job, pool, config, release, parallel, telemetry, parent)
     }
 
     /// [`Strategy::generate_owned`] with the scenario sweep forced
@@ -229,22 +288,41 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        Strategy::generate_owned_inner(job, pool, config, release, false)
+        Strategy::generate_owned_inner(
+            job,
+            pool,
+            config,
+            release,
+            false,
+            &Telemetry::disabled(),
+            None,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn generate_owned_inner(
         job: Job,
         pool: &ResourcePool,
         config: &StrategyConfig,
         release: SimTime,
         parallel: bool,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
     ) -> Strategy {
         let planning_job = if config.coarse_grain {
             Cow::Owned(coarsen(&job).job)
         } else {
             Cow::Owned(job)
         };
-        Strategy::generate_prepared(planning_job, pool, config, release, parallel)
+        Strategy::generate_prepared(
+            planning_job,
+            pool,
+            config,
+            release,
+            parallel,
+            telemetry,
+            parent,
+        )
     }
 
     /// [`Strategy::generate`] with the scenario sweep forced sequential —
@@ -256,7 +334,15 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        Strategy::generate_prepared(Self::planning_job(job, config), pool, config, release, false)
+        Strategy::generate_prepared(
+            Self::planning_job(job, config),
+            pool,
+            config,
+            release,
+            false,
+            &Telemetry::disabled(),
+            None,
+        )
     }
 
     /// The pre-refactor baseline sweep: sequential, with every scenario
@@ -315,46 +401,58 @@ impl Strategy {
     /// job without re-coarsening. With `parallel`, scenarios run on scoped
     /// threads reading the shared snapshot; results are collected in sweep
     /// order, so output is bit-identical either way.
+    #[allow(clippy::too_many_arguments)]
     fn generate_prepared(
         planning_job: Cow<'_, Job>,
         pool: &ResourcePool,
         config: &StrategyConfig,
         release: SimTime,
         parallel: bool,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
     ) -> Strategy {
-        let session = PlanningSession::open(pool);
+        let sweep_span = telemetry.span_under("strategy_generation", parent);
+        let sweep_id = sweep_span.id();
+        let session = PlanningSession::open_instrumented(pool, telemetry, sweep_id);
         let job: &Job = &planning_job;
         let plan = |scenario| {
-            session.build_distribution(&ScheduleRequest {
-                job,
-                pool,
-                policy: &config.policy,
-                scenario,
-                release,
-            })
+            // Each scenario gets its own span; its critical-works passes
+            // nest under it via the scoped session view. The view shares
+            // the snapshot by reference, so parallel determinism holds.
+            let scenario_span = telemetry.span_under("scenario", sweep_id);
+            session
+                .scoped_under(scenario_span.id())
+                .build_distribution(&ScheduleRequest {
+                    job,
+                    pool,
+                    policy: &config.policy,
+                    scenario,
+                    release,
+                })
         };
         let scenarios = config.sweep.scenarios();
-        let results: Vec<Result<Distribution, ScheduleError>> =
-            if parallel && scenarios.len() > 1 {
-                // First scenario on the current thread, the rest on scoped
-                // threads; collection order is the sweep order regardless
-                // of completion order.
-                std::thread::scope(|s| {
-                    let plan = &plan;
-                    let handles: Vec<_> = scenarios[1..]
-                        .iter()
-                        .map(|&scenario| s.spawn(move || plan(scenario)))
-                        .collect();
-                    let first = plan(scenarios[0]);
-                    std::iter::once(first)
-                        .chain(handles.into_iter().map(|h| {
-                            h.join().expect("scenario planning never panics")
-                        }))
-                        .collect()
-                })
-            } else {
-                scenarios.iter().map(|&scenario| plan(scenario)).collect()
-            };
+        let results: Vec<Result<Distribution, ScheduleError>> = if parallel && scenarios.len() > 1 {
+            // First scenario on the current thread, the rest on scoped
+            // threads; collection order is the sweep order regardless
+            // of completion order.
+            std::thread::scope(|s| {
+                let plan = &plan;
+                let handles: Vec<_> = scenarios[1..]
+                    .iter()
+                    .map(|&scenario| s.spawn(move || plan(scenario)))
+                    .collect();
+                let first = plan(scenarios[0]);
+                std::iter::once(first)
+                    .chain(
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("scenario planning never panics")),
+                    )
+                    .collect()
+            })
+        } else {
+            scenarios.iter().map(|&scenario| plan(scenario)).collect()
+        };
         let mut distributions = Vec::new();
         let mut failures = Vec::new();
         for result in results {
@@ -363,6 +461,8 @@ impl Strategy {
                 Err(e) => failures.push(e),
             }
         }
+        telemetry.add(Counter::ScenariosPlanned, distributions.len() as u64);
+        telemetry.add(Counter::ScenariosFailed, failures.len() as u64);
         Strategy {
             kind: config.kind,
             config: config.clone(),
@@ -385,7 +485,28 @@ impl Strategy {
     /// equivalence with a freshly generated strategy.
     #[must_use]
     pub fn refresh(&self, pool: &ResourcePool, now: SimTime) -> Strategy {
-        Strategy::generate_prepared(Cow::Borrowed(&self.job), pool, &self.config, now, true)
+        self.refresh_instrumented(pool, now, &Telemetry::disabled(), None)
+    }
+
+    /// [`Strategy::refresh`] with a telemetry recorder attached — the
+    /// fault-driven replan path of the job-flow layer.
+    #[must_use]
+    pub fn refresh_instrumented(
+        &self,
+        pool: &ResourcePool,
+        now: SimTime,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Strategy {
+        Strategy::generate_prepared(
+            Cow::Borrowed(&self.job),
+            pool,
+            &self.config,
+            now,
+            true,
+            telemetry,
+            parent,
+        )
     }
 
     /// The configuration this strategy was generated with.
@@ -705,6 +826,58 @@ mod tests {
         // The planning job is passed through untouched — same task count,
         // no re-coarsening artifacts.
         assert_eq!(refreshed.job().task_count(), original.job().task_count());
+    }
+
+    #[test]
+    fn instrumented_sweep_is_bit_identical_and_tallies_counters() {
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(100));
+        let pool = pool();
+        let cfg = StrategyConfig::for_kind(StrategyKind::S2, &pool);
+        let plain = Strategy::generate(&job, &pool, &cfg, SimTime::ZERO);
+        let telemetry = Telemetry::new();
+        let instrumented =
+            Strategy::generate_instrumented(&job, &pool, &cfg, SimTime::ZERO, &telemetry, None);
+        assert_eq!(fingerprint(&plain), fingerprint(&instrumented));
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("scenarios_planned"),
+            plain.distributions().len() as u64
+        );
+        assert_eq!(
+            snap.counter("scenarios_failed"),
+            plain.failures().len() as u64
+        );
+        assert_eq!(snap.counter("sessions_opened"), 1);
+        assert_eq!(
+            snap.counter("critical_works_passes"),
+            FULL_SWEEP_SCENARIOS as u64
+        );
+        // The sweep's span tree covers the full planning hierarchy even
+        // though scenarios ran on scoped threads.
+        for phase in [
+            "strategy_generation",
+            "session_open",
+            "scenario",
+            "critical_works_pass",
+        ] {
+            assert!(snap.phases().contains(&phase), "missing phase {phase}");
+        }
+        let spans = snap.spans();
+        let sweep = spans
+            .iter()
+            .find(|s| s.name == "strategy_generation")
+            .unwrap();
+        for scenario in spans.iter().filter(|s| s.name == "scenario") {
+            assert_eq!(scenario.parent, Some(sweep.id));
+        }
+        let scenario_ids: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "scenario")
+            .map(|s| s.id)
+            .collect();
+        for pass in spans.iter().filter(|s| s.name == "critical_works_pass") {
+            assert!(pass.parent.is_some_and(|p| scenario_ids.contains(&p)));
+        }
     }
 
     #[test]

@@ -19,7 +19,12 @@ fn coarsening_invariants() {
     check(64, |g: &mut Gen| {
         let seed = g.u64_in(0, 9_999);
         let mut rng = SimRng::seed_from(seed);
-        let job = generate_job(&JobConfig::default(), JobId::new(seed), SimTime::ZERO, &mut rng);
+        let job = generate_job(
+            &JobConfig::default(),
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
         let once = coarsen(&job);
         assert_eq!(once.job.total_volume(), job.total_volume());
         assert!(once.job.task_count() <= job.task_count());
@@ -46,7 +51,12 @@ fn coarsening_preserves_cross_group_edges() {
     check(64, |g: &mut Gen| {
         let seed = g.u64_in(0, 4_999);
         let mut rng = SimRng::seed_from(seed);
-        let job = generate_job(&JobConfig::default(), JobId::new(seed), SimTime::ZERO, &mut rng);
+        let job = generate_job(
+            &JobConfig::default(),
+            JobId::new(seed),
+            SimTime::ZERO,
+            &mut rng,
+        );
         let coarse = coarsen(&job);
         for e in job.edges() {
             let gf = coarse.mapping[e.from().index()];
@@ -99,7 +109,10 @@ fn gantt_paints_exactly_the_wall_time() {
             .map(|l| {
                 // Strip the "  N12 |" label prefix before counting cells.
                 let bar = l.find('|').expect("row has bars");
-                l[bar + 1..l.len() - 1].chars().filter(|c| *c != ' ').count()
+                l[bar + 1..l.len() - 1]
+                    .chars()
+                    .filter(|c| *c != ' ')
+                    .count()
             })
             .sum();
         let expected: u64 = dist

@@ -16,11 +16,7 @@ use gridsched_workload::pool::{generate_pool, PoolConfig};
 
 /// (seed, deadline factor, background load)
 fn gen_inputs(g: &mut Gen) -> (u64, f64, f64) {
-    (
-        g.u64_in(0, 9_999),
-        g.f64_in(1.5, 8.0),
-        g.f64_in(0.0, 0.7),
-    )
+    (g.u64_in(0, 9_999), g.f64_in(1.5, 8.0), g.f64_in(0.0, 0.7))
 }
 
 /// Any schedule built on a randomly loaded pool validates, meets the

@@ -162,17 +162,23 @@ mod tests {
         let d = DataId::new(1);
         let v = Volume::new(5.0);
         cat.register(d, NodeId::new(2)); // other domain
-        let (src, t) = cat.best_source(d, v, NodeId::new(0), &pool, &model).unwrap();
+        let (src, t) = cat
+            .best_source(d, v, NodeId::new(0), &pool, &model)
+            .unwrap();
         assert_eq!(src, NodeId::new(2));
         assert_eq!(t.ticks(), 3);
         // A same-domain replica beats the cross-domain one.
         cat.register(d, NodeId::new(1));
-        let (src, t) = cat.best_source(d, v, NodeId::new(0), &pool, &model).unwrap();
+        let (src, t) = cat
+            .best_source(d, v, NodeId::new(0), &pool, &model)
+            .unwrap();
         assert_eq!(src, NodeId::new(1));
         assert_eq!(t.ticks(), 1);
         // A same-node replica is free.
         cat.register(d, NodeId::new(0));
-        let (src, t) = cat.best_source(d, v, NodeId::new(0), &pool, &model).unwrap();
+        let (src, t) = cat
+            .best_source(d, v, NodeId::new(0), &pool, &model)
+            .unwrap();
         assert_eq!(src, NodeId::new(0));
         assert_eq!(t, SimDuration::ZERO);
     }

@@ -258,7 +258,10 @@ mod tests {
             DataPolicy::remote_access(),
             DataPolicy::static_storage(n(1)),
         ] {
-            assert_eq!(policy.consumer_delay(v, n(0), n(0), &pool), SimDuration::ZERO);
+            assert_eq!(
+                policy.consumer_delay(v, n(0), n(0), &pool),
+                SimDuration::ZERO
+            );
         }
         // On-demand policies also move no data; active replication still
         // pays its eager push into the other domain.
@@ -348,7 +351,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "storage node")]
     fn static_storage_requires_node() {
-        let _ = DataPolicy::new(DataPolicyKind::StaticStorage, TransferModel::default(), None);
+        let _ = DataPolicy::new(
+            DataPolicyKind::StaticStorage,
+            TransferModel::default(),
+            None,
+        );
     }
 
     #[test]

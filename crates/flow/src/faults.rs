@@ -21,6 +21,7 @@
 
 use std::fmt;
 
+use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
 use gridsched_model::ids::NodeId;
 use gridsched_sim::rng::SimRng;
 use gridsched_sim::time::{SimDuration, SimTime};
@@ -148,9 +149,8 @@ impl FaultPlan {
         if node_count == 0 || horizon.is_zero() {
             return FaultPlan::default();
         }
-        let mut faults = Vec::with_capacity(
-            config.outages + config.degradations + config.transfer_faults,
-        );
+        let mut faults =
+            Vec::with_capacity(config.outages + config.degradations + config.transfer_faults);
         let last_node = node_count as u64 - 1;
         let last_tick = horizon.ticks().saturating_sub(1);
         let draw_site = |rng: &mut SimRng| {
@@ -160,9 +160,8 @@ impl FaultPlan {
         };
         for _ in 0..config.outages {
             let (at, node) = draw_site(rng);
-            let len = SimDuration::from_ticks(
-                rng.uniform_u64(config.outage_len.0, config.outage_len.1),
-            );
+            let len =
+                SimDuration::from_ticks(rng.uniform_u64(config.outage_len.0, config.outage_len.1));
             faults.push(Fault {
                 at,
                 node,
@@ -194,6 +193,26 @@ impl FaultPlan {
         }
         faults.sort_by_key(|f| f.at);
         FaultPlan { faults }
+    }
+
+    /// [`FaultPlan::generate`] with a telemetry recorder attached: the
+    /// draw runs under a `fault_plan` span (parented under `parent`) and
+    /// the number of scheduled faults lands in
+    /// [`Counter::FaultsPlanned`]. The plan itself is bit-identical to
+    /// [`FaultPlan::generate`] on the same inputs.
+    #[must_use]
+    pub fn generate_instrumented(
+        config: &FaultConfig,
+        node_count: usize,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Self {
+        let _span = telemetry.span_under("fault_plan", parent);
+        let plan = FaultPlan::generate(config, node_count, horizon, rng);
+        telemetry.add(Counter::FaultsPlanned, plan.faults.len() as u64);
+        plan
     }
 
     /// The scheduled faults, in time order.

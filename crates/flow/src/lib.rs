@@ -54,5 +54,5 @@ pub use faults::{Fault, FaultConfig, FaultKind, FaultPlan, FaultSummary};
 pub use metascheduler::{FlowAssignment, Metascheduler};
 pub use oracle::{audit, audit_final_state, FinalJobState, OracleViolation};
 pub use report::{JobRecord, VoReport};
-pub use simulation::{run_campaign, CampaignConfig};
+pub use simulation::{run_campaign, run_campaign_instrumented, CampaignConfig};
 pub use trace::{BreakKind, CampaignEvent, CampaignTrace};

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use gridsched_core::strategy::StrategyKind;
+use gridsched_metrics::telemetry::{Counter, Telemetry};
 use gridsched_model::job::Job;
 
 /// How the metascheduler assigns incoming jobs to strategy flows.
@@ -51,6 +52,7 @@ pub struct Metascheduler {
     assignment: FlowAssignment,
     next_flow: usize,
     counts: HashMap<StrategyKind, usize>,
+    telemetry: Telemetry,
 }
 
 impl Metascheduler {
@@ -61,6 +63,17 @@ impl Metascheduler {
     /// Panics if a round-robin assignment lists no flows.
     #[must_use]
     pub fn new(assignment: FlowAssignment) -> Self {
+        Metascheduler::with_telemetry(assignment, &Telemetry::disabled())
+    }
+
+    /// [`Metascheduler::new`] with a telemetry recorder attached: every
+    /// [`Metascheduler::assign`] call bumps [`Counter::FlowAssignments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round-robin assignment lists no flows.
+    #[must_use]
+    pub fn with_telemetry(assignment: FlowAssignment, telemetry: &Telemetry) -> Self {
         if let FlowAssignment::RoundRobin(kinds) = &assignment {
             assert!(!kinds.is_empty(), "round-robin needs at least one flow");
         }
@@ -68,11 +81,13 @@ impl Metascheduler {
             assignment,
             next_flow: 0,
             counts: HashMap::new(),
+            telemetry: telemetry.clone(),
         }
     }
 
     /// Assigns `job` to a flow and returns the flow's strategy kind.
     pub fn assign(&mut self, job: &Job) -> StrategyKind {
+        self.telemetry.incr(Counter::FlowAssignments);
         let kind = match &self.assignment {
             FlowAssignment::Single(kind) => *kind,
             FlowAssignment::RoundRobin(kinds) => {

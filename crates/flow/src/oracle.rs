@@ -140,7 +140,9 @@ impl fmt::Display for OracleViolation {
             OracleViolation::UnresolvedActivation(j) => {
                 write!(f, "{j} activated but never completed nor dropped")
             }
-            OracleViolation::UnknownJob(j) => write!(f, "{j} appears in the trace without a record"),
+            OracleViolation::UnknownJob(j) => {
+                write!(f, "{j} appears in the trace without a record")
+            }
             OracleViolation::RecordMismatch { job, field } => {
                 write!(f, "{job}: record field `{field}` disagrees with the trace")
             }
@@ -337,7 +339,10 @@ fn check_records(
                 field: "released",
             });
         };
-        let mismatch = |field| OracleViolation::RecordMismatch { job: r.job_id, field };
+        let mismatch = |field| OracleViolation::RecordMismatch {
+            job: r.job_id,
+            field,
+        };
         if state.admissible != r.admissible {
             return Err(mismatch("admissible"));
         }
@@ -373,10 +378,7 @@ fn check_records(
 }
 
 /// Cross-checks the report's fault summary against the trace.
-fn check_fault_accounting(
-    report: &VoReport,
-    trace: &CampaignTrace,
-) -> Result<(), OracleViolation> {
+fn check_fault_accounting(report: &VoReport, trace: &CampaignTrace) -> Result<(), OracleViolation> {
     use crate::trace::BreakKind;
     let count = |pred: &dyn Fn(&CampaignEvent) -> bool| trace.count(pred);
     let f = &report.faults;

@@ -126,7 +126,10 @@ impl VoReport {
     /// Summary of mean task wall-window lengths.
     #[must_use]
     pub fn task_window_summary(&self) -> Summary {
-        self.records.iter().filter_map(|r| r.mean_task_window).collect()
+        self.records
+            .iter()
+            .filter_map(|r| r.mean_task_window)
+            .collect()
     }
 
     /// Summary of per-job network traffic volumes.
@@ -247,7 +250,10 @@ mod tests {
 
     #[test]
     fn collision_share() {
-        let r = report(vec![record(true, 3, 1, Some(1)), record(true, 1, 3, Some(1))]);
+        let r = report(vec![
+            record(true, 3, 1, Some(1)),
+            record(true, 1, 3, Some(1)),
+        ]);
         assert_eq!(r.fast_collision_share(), Some(0.5));
         assert_eq!(r.total_collisions(), 8);
         let empty = report(vec![record(true, 0, 0, Some(1))]);
@@ -256,7 +262,10 @@ mod tests {
 
     #[test]
     fn summaries_skip_unactivated_jobs() {
-        let r = report(vec![record(true, 0, 0, Some(10)), record(false, 0, 0, None)]);
+        let r = report(vec![
+            record(true, 0, 0, Some(10)),
+            record(false, 0, 0, None),
+        ]);
         assert_eq!(r.cost_summary().count(), 1);
         assert_eq!(r.ttl_summary().count(), 1);
         assert_eq!(r.deviation_summary().count(), 1);

@@ -20,6 +20,7 @@ use gridsched_core::session::PlanningSession;
 use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
 use gridsched_data::policy::{DataPolicy, DataPolicyKind};
 use gridsched_metrics::load::GroupLoad;
+use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
 use gridsched_model::estimate::EstimateScenario;
 use gridsched_model::ids::{GlobalTaskId, JobId, NodeId, TaskId};
 use gridsched_model::job::Job;
@@ -146,7 +147,27 @@ struct ActiveJob {
 /// same report.
 #[must_use]
 pub fn run_campaign(config: &CampaignConfig) -> VoReport {
-    Campaign::new(config).run()
+    run_campaign_instrumented(config, &Telemetry::disabled())
+}
+
+/// [`run_campaign`] with a telemetry recorder attached.
+///
+/// The whole run executes under a `campaign` root span with `setup`,
+/// `fault_plan`, per-job `release` (nesting the strategy sweep's own
+/// spans), `replan` and `finalize` children; every QoS event of the
+/// campaign — releases, activations, breaks, switches, replans,
+/// migrations, drops, fault injections and absorptions — lands in the
+/// matching [`Counter`]. Instrumentation is strictly observational: the
+/// report is bit-identical to [`run_campaign`] on the same config (the
+/// determinism suite pins this).
+#[must_use]
+pub fn run_campaign_instrumented(config: &CampaignConfig, telemetry: &Telemetry) -> VoReport {
+    let campaign_span = telemetry.span("campaign");
+    let root = campaign_span.id();
+    let setup = telemetry.span_under("setup", root);
+    let campaign = Campaign::new(config, telemetry, root);
+    drop(setup);
+    campaign.run()
 }
 
 struct Campaign<'a> {
@@ -160,6 +181,9 @@ struct Campaign<'a> {
     next_background_tag: u64,
     faults: FaultSummary,
     trace: Option<crate::trace::CampaignTrace>,
+    telemetry: Telemetry,
+    /// The `campaign` root span every top-level phase parents under.
+    root: Option<SpanId>,
 }
 
 enum Event {
@@ -183,7 +207,7 @@ impl Event {
 }
 
 impl<'a> Campaign<'a> {
-    fn new(config: &'a CampaignConfig) -> Self {
+    fn new(config: &'a CampaignConfig, telemetry: &Telemetry, root: Option<SpanId>) -> Self {
         let mut master = SimRng::seed_from(config.seed);
         let mut pool_rng = master.fork(1);
         let mut bg_rng = master.fork(2);
@@ -201,16 +225,16 @@ impl<'a> Campaign<'a> {
         Campaign {
             config,
             pool,
-            meta: Metascheduler::new(config.assignment.clone()),
+            meta: Metascheduler::with_telemetry(config.assignment.clone(), telemetry),
             records: Vec::with_capacity(config.jobs),
             active: Vec::new(),
             horizon_end: SimTime::ZERO + config.horizon,
             activation_rng,
             next_background_tag: 1 << 32,
             faults: FaultSummary::default(),
-            trace: config
-                .collect_trace
-                .then(crate::trace::CampaignTrace::new),
+            trace: config.collect_trace.then(crate::trace::CampaignTrace::new),
+            telemetry: telemetry.clone(),
+            root,
         }
     }
 
@@ -237,16 +261,19 @@ impl<'a> Campaign<'a> {
         for _ in 0..self.config.perturbations {
             let at = SimTime::from_ticks(pert_rng.uniform_u64(0, self.config.horizon.ticks()));
             let node = NodeId::new(pert_rng.uniform_u64(0, node_count as u64 - 1) as u32);
-            let len = SimDuration::from_ticks(
-                pert_rng.uniform_u64(self.config.perturbation_len.0, self.config.perturbation_len.1),
-            );
+            let len = SimDuration::from_ticks(pert_rng.uniform_u64(
+                self.config.perturbation_len.0,
+                self.config.perturbation_len.1,
+            ));
             events.push(Event::Perturbation { at, node, len });
         }
-        let plan = FaultPlan::generate(
+        let plan = FaultPlan::generate_instrumented(
             &self.config.faults,
             node_count,
             self.config.horizon,
             &mut fault_rng,
+            &self.telemetry,
+            self.root,
         );
         events.extend(plan.faults().iter().copied().map(Event::Fault));
         events.sort_by_key(Event::time);
@@ -261,10 +288,15 @@ impl<'a> Campaign<'a> {
             }
         }
         self.settle_overruns(self.horizon_end);
-        self.finalize()
+        let finalize_span = self.telemetry.span_under("finalize", self.root);
+        let report = self.finalize();
+        drop(finalize_span);
+        report
     }
 
     fn handle_release(&mut self, job: Job) {
+        let release_span = self.telemetry.span_under("release", self.root);
+        self.telemetry.incr(Counter::JobsReleased);
         let kind = self.meta.assign(&job);
         let config = StrategyConfig::for_kind(kind, &self.pool);
         let policy = config
@@ -276,11 +308,15 @@ impl<'a> Campaign<'a> {
         // avoids the planning clone for fine-grain strategies.
         let job_id = job.id();
         let release = job.release();
-        let strategy = if self.config.sequential_planning {
-            Strategy::generate_owned_sequential(job, &self.pool, &config, release)
-        } else {
-            Strategy::generate_owned(job, &self.pool, &config, release)
-        };
+        let strategy = Strategy::generate_owned_instrumented(
+            job,
+            &self.pool,
+            &config,
+            release,
+            !self.config.sequential_planning,
+            &self.telemetry,
+            release_span.id(),
+        );
         let mut fast = 0;
         let mut slow = 0;
         for c in strategy.collisions() {
@@ -324,7 +360,7 @@ impl<'a> Campaign<'a> {
         if !admissible {
             return;
         }
-        self.activate(strategy, config, record_idx, release);
+        self.activate(strategy, config, record_idx, release, release_span.id());
     }
 
     /// Activates the supporting schedule matching the observed conditions:
@@ -335,7 +371,10 @@ impl<'a> Campaign<'a> {
         config: StrategyConfig,
         record_idx: usize,
         release: SimTime,
+        parent: Option<SpanId>,
     ) {
+        let _span = self.telemetry.span_under("activate", parent);
+        self.telemetry.incr(Counter::JobsActivated);
         let planning_job = strategy.job().clone();
         let (lo, hi) = self.config.slowdown_range;
         let job_factor = if hi > lo {
@@ -359,12 +398,7 @@ impl<'a> Campaign<'a> {
             .iter()
             .filter(|d| d.scenario().multiplier() + 1e-9 >= job_factor)
             .min_by_key(|d| (d.scenario(), d.cost()))
-            .or_else(|| {
-                strategy
-                    .distributions()
-                    .iter()
-                    .max_by_key(|d| d.scenario())
-            })
+            .or_else(|| strategy.distributions().iter().max_by_key(|d| d.scenario()))
             .expect("admissible strategy has a distribution")
             .clone();
         let alternatives: Vec<_> = strategy
@@ -383,12 +417,12 @@ impl<'a> Campaign<'a> {
             .iter()
             .map(|p| p.window.start())
             .collect();
-        let reference_runtime =
-            reference.makespan().saturating_since(release).ticks() as f64;
+        let reference_runtime = reference.makespan().saturating_since(release).ticks() as f64;
 
         let mut reservations = HashMap::new();
         for p in chosen.placements() {
-            let id = self.pool
+            let id = self
+                .pool
                 .timetable_mut(p.node)
                 .reserve(
                     p.window,
@@ -406,11 +440,8 @@ impl<'a> Campaign<'a> {
         record.scenario_multiplier = Some(chosen.scenario().multiplier());
 
         let deadline_abs = release.saturating_add(planning_job.deadline());
-        let current: HashMap<TaskId, Placement> = chosen
-            .placements()
-            .iter()
-            .map(|p| (p.task, *p))
-            .collect();
+        let current: HashMap<TaskId, Placement> =
+            chosen.placements().iter().map(|p| (p.task, *p)).collect();
         self.record_event(
             release,
             crate::trace::CampaignEvent::Activated {
@@ -465,6 +496,7 @@ impl<'a> Campaign<'a> {
                     .timetable_mut(node)
                     .reserve(window, ReservationOwner::Background(tag))
                     .expect("checked free");
+                self.telemetry.incr(Counter::Perturbations);
             }
             return;
         }
@@ -486,6 +518,7 @@ impl<'a> Campaign<'a> {
                 .timetable_mut(node)
                 .reserve(window, ReservationOwner::Background(tag))
                 .expect("checked free");
+            self.telemetry.incr(Counter::Perturbations);
             self.record_event(at, crate::trace::CampaignEvent::Perturbation { node });
         }
     }
@@ -518,6 +551,7 @@ impl<'a> Campaign<'a> {
         let window = TimeWindow::starting_at(at, len).expect("non-empty outage");
         let voided = self.pool.timetable_mut(node).void_tasks_within(window);
         self.faults.outages_injected += 1;
+        self.telemetry.incr(Counter::OutagesInjected);
         self.record_event(
             at,
             crate::trace::CampaignEvent::Outage {
@@ -579,10 +613,11 @@ impl<'a> Campaign<'a> {
     /// feel as overruns.
     fn handle_degradation(&mut self, at: SimTime, node: NodeId, factor: f64) {
         let old = self.pool.node(node).perf().value();
-        let degraded = Perf::new((old * factor).clamp(0.05, 1.0))
-            .expect("clamped into a valid performance");
+        let degraded =
+            Perf::new((old * factor).clamp(0.05, 1.0)).expect("clamped into a valid performance");
         self.pool.set_perf(node, degraded);
         self.faults.degradations_injected += 1;
+        self.telemetry.incr(Counter::DegradationsInjected);
         self.record_event(at, crate::trace::CampaignEvent::Degraded { node });
         // Remaining runtimes on the node just grew: refresh the earliest
         // pending overrun of every job with a future placement there.
@@ -607,6 +642,7 @@ impl<'a> Campaign<'a> {
     /// replication, which reads a nearby replica and absorbs the fault.
     fn handle_transfer_fault(&mut self, at: SimTime, node: NodeId, retry: SimDuration) {
         self.faults.transfer_faults_injected += 1;
+        self.telemetry.incr(Counter::TransferFaultsInjected);
         self.record_event(
             at,
             crate::trace::CampaignEvent::TransferFaultInjected { node },
@@ -650,6 +686,7 @@ impl<'a> Campaign<'a> {
         for i in absorbed {
             let job = self.active[i].job.id();
             self.faults.transfer_faults_absorbed += 1;
+            self.telemetry.incr(Counter::TransferFaultsAbsorbed);
             self.record_event(at, crate::trace::CampaignEvent::TransferAbsorbed { job });
         }
         for i in victims {
@@ -720,7 +757,8 @@ impl<'a> Campaign<'a> {
             // alternative is probed against the same captured availability
             // (the planning-session discipline; bit-identical to reading
             // the live timetables since nothing mutates during the probe).
-            let probe = PlanningSession::open(&self.pool).overlay();
+            let probe = PlanningSession::open_instrumented(&self.pool, &self.telemetry, self.root)
+                .overlay();
             a.alternatives.iter().enumerate().find_map(|(pos, d)| {
                 let first = d.placements().iter().map(|p| p.window.start()).min()?;
                 let delta = earliest.saturating_since(first);
@@ -783,9 +821,13 @@ impl<'a> Campaign<'a> {
     ) {
         let record_idx = self.active[idx].record;
         self.records[record_idx].breaks += 1;
+        self.telemetry.incr(Counter::ScheduleBreaks);
         self.active[idx].first_break.get_or_insert(tau);
         let job_id = self.active[idx].job.id();
-        self.record_event(tau, crate::trace::CampaignEvent::Broken { job: job_id, kind });
+        self.record_event(
+            tau,
+            crate::trace::CampaignEvent::Broken { job: job_id, kind },
+        );
         match kind {
             BreakKind::Perturbation => self.faults.breaks_by_perturbation += 1,
             BreakKind::Overrun => self.faults.breaks_by_overrun += 1,
@@ -832,16 +874,19 @@ impl<'a> Campaign<'a> {
         // nothing was killed mid-execution.
         if fixed.is_empty() && forced.is_empty() && self.try_switch(idx, tau, earliest) {
             self.faults.switches += 1;
+            self.telemetry.incr(Counter::ScheduleSwitches);
             self.record_event(tau, crate::trace::CampaignEvent::Switched { job: job_id });
             return;
         }
 
+        let replan_span = self.telemetry.span_under("replan", self.root);
         let result = {
             let a = &self.active[idx];
             // One planning session per replan: the snapshot is taken after
             // the pending reservations were released above, so overlay
             // views see exactly the availability the replan may use.
-            let session = PlanningSession::open(&self.pool);
+            let session =
+                PlanningSession::open_instrumented(&self.pool, &self.telemetry, replan_span.id());
             let req = ScheduleRequest {
                 job: &a.job,
                 pool: &self.pool,
@@ -900,9 +945,11 @@ impl<'a> Campaign<'a> {
                 self.active[idx].pending_overrun = next;
                 if forced.is_empty() {
                     self.faults.replans += 1;
+                    self.telemetry.incr(Counter::Replans);
                     self.record_event(tau, crate::trace::CampaignEvent::Replanned { job: job_id });
                 } else {
                     self.faults.migrations += 1;
+                    self.telemetry.incr(Counter::Migrations);
                     self.records[record_idx].migrations += 1;
                     self.record_event(tau, crate::trace::CampaignEvent::Migrated { job: job_id });
                 }
@@ -913,6 +960,7 @@ impl<'a> Campaign<'a> {
                 a.pending_overrun = None;
                 self.records[record_idx].dropped = true;
                 self.faults.drops += 1;
+                self.telemetry.incr(Counter::Drops);
                 self.record_event(tau, crate::trace::CampaignEvent::Dropped { job: job_id });
             }
         }
@@ -1010,6 +1058,10 @@ impl<'a> Campaign<'a> {
             faults: self.faults,
             trace: self.trace.take(),
         };
+        // Terminal QoS gauges for the exporters; strictly observational.
+        self.telemetry
+            .set_gauge("admissible_share", report.admissible_share());
+        self.telemetry.set_gauge("drop_share", report.drop_share());
         #[cfg(debug_assertions)]
         self.audit(&report);
         report
@@ -1103,10 +1155,7 @@ fn measure_task_load(pool: &ResourcePool, horizon: SimTime) -> GroupLoad {
         entry.0 += level;
         entry.1 += 1;
     }
-    GroupLoad::from_levels(
-        sums.into_iter()
-            .map(|(g, (sum, n))| (g, sum / n as f64)),
-    )
+    GroupLoad::from_levels(sums.into_iter().map(|(g, (sum, n))| (g, sum / n as f64)))
 }
 
 #[cfg(test)]

@@ -272,20 +272,35 @@ mod tests {
         let mut tr = CampaignTrace::new();
         let j0 = JobId::new(0);
         let j1 = JobId::new(1);
-        tr.push(SimTime::from_ticks(1), CampaignEvent::Released { job: j0, admissible: true });
-        tr.push(SimTime::from_ticks(1), CampaignEvent::Activated { job: j0, cost: 12 });
-        tr.push(SimTime::from_ticks(3), CampaignEvent::Released { job: j1, admissible: false });
+        tr.push(
+            SimTime::from_ticks(1),
+            CampaignEvent::Released {
+                job: j0,
+                admissible: true,
+            },
+        );
+        tr.push(
+            SimTime::from_ticks(1),
+            CampaignEvent::Activated { job: j0, cost: 12 },
+        );
+        tr.push(
+            SimTime::from_ticks(3),
+            CampaignEvent::Released {
+                job: j1,
+                admissible: false,
+            },
+        );
         tr.push(
             SimTime::from_ticks(5),
-            CampaignEvent::Broken { job: j0, kind: BreakKind::Overrun },
+            CampaignEvent::Broken {
+                job: j0,
+                kind: BreakKind::Overrun,
+            },
         );
         assert_eq!(tr.len(), 4);
         assert_eq!(tr.for_job(j0).count(), 3);
         assert_eq!(tr.for_job(j1).count(), 1);
-        assert_eq!(
-            tr.count(|e| matches!(e, CampaignEvent::Broken { .. })),
-            1
-        );
+        assert_eq!(tr.count(|e| matches!(e, CampaignEvent::Broken { .. })), 1);
     }
 
     #[test]
@@ -293,9 +308,14 @@ mod tests {
         let mut tr = CampaignTrace::new();
         tr.push(
             SimTime::from_ticks(2),
-            CampaignEvent::Perturbation { node: NodeId::new(3) },
+            CampaignEvent::Perturbation {
+                node: NodeId::new(3),
+            },
         );
-        tr.push(SimTime::from_ticks(4), CampaignEvent::Dropped { job: JobId::new(9) });
+        tr.push(
+            SimTime::from_ticks(4),
+            CampaignEvent::Dropped { job: JobId::new(9) },
+        );
         let text = tr.to_string();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("N3"));
@@ -307,7 +327,17 @@ mod tests {
     #[should_panic(expected = "chronological")]
     fn non_chronological_push_is_caught() {
         let mut tr = CampaignTrace::new();
-        tr.push(SimTime::from_ticks(5), CampaignEvent::Perturbation { node: NodeId::new(0) });
-        tr.push(SimTime::from_ticks(4), CampaignEvent::Perturbation { node: NodeId::new(0) });
+        tr.push(
+            SimTime::from_ticks(5),
+            CampaignEvent::Perturbation {
+                node: NodeId::new(0),
+            },
+        );
+        tr.push(
+            SimTime::from_ticks(4),
+            CampaignEvent::Perturbation {
+                node: NodeId::new(0),
+            },
+        );
     }
 }

@@ -99,12 +99,20 @@ fn mutation_time_reversal_is_rejected() {
 fn mutation_phantom_break_is_rejected() {
     check(32, |g| {
         rejects(g, |g, report| {
-            let Some(job) = report.records.iter().find(|r| r.cost.is_some()).map(|r| r.job_id)
+            let Some(job) = report
+                .records
+                .iter()
+                .find(|r| r.cost.is_some())
+                .map(|r| r.job_id)
             else {
                 return false;
             };
             let trace = report.trace.as_mut().expect("trace collected");
-            let at = trace.events().last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
+            let at = trace
+                .events()
+                .last()
+                .map(|(t, _)| *t)
+                .unwrap_or(SimTime::ZERO);
             let kind = *g.pick(&BreakKind::ALL);
             trace
                 .events_mut()
@@ -127,7 +135,11 @@ fn mutation_duplicate_release_is_rejected() {
             else {
                 return false;
             };
-            let at = trace.events().last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO);
+            let at = trace
+                .events()
+                .last()
+                .map(|(t, _)| *t)
+                .unwrap_or(SimTime::ZERO);
             trace.events_mut().push((at, release.1));
             true
         });
@@ -242,7 +254,10 @@ fn violations_are_classified() {
     // No trace at all.
     let mut r = clean.clone();
     r.trace = None;
-    assert!(matches!(oracle::audit(&r), Err(OracleViolation::MissingTrace)));
+    assert!(matches!(
+        oracle::audit(&r),
+        Err(OracleViolation::MissingTrace)
+    ));
 
     // Chronology violation.
     let mut r = clean.clone();

@@ -201,11 +201,8 @@ mod tests {
         let order = rank_domains_by_forecast(&pool, SimTime::ZERO, SimDuration::from_ticks(20));
         assert_eq!(order, vec![DomainId::new(0), DomainId::new(1)]);
         // Tie (no load anywhere from t100): smaller id first.
-        let tie = rank_domains_by_forecast(
-            &pool,
-            SimTime::from_ticks(100),
-            SimDuration::from_ticks(20),
-        );
+        let tie =
+            rank_domains_by_forecast(&pool, SimTime::from_ticks(100), SimDuration::from_ticks(20));
         assert_eq!(tie, vec![DomainId::new(0), DomainId::new(1)]);
     }
 

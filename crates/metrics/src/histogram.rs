@@ -113,7 +113,11 @@ impl Histogram {
         if in_range == 0 {
             return None;
         }
-        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        // Clamp the float-derived rank into [1, in_range]: for large counts
+        // `q * n` can round *above* n (and `ceil` never rounds below 1), in
+        // which case the scan would fall off the end and report `None` for
+        // a perfectly populated histogram.
+        let target = ((q * in_range as f64).ceil() as u64).clamp(1, in_range);
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -185,5 +189,79 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_buckets_rejected() {
         let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(h.total(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_agree() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(4.2);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(5.0), "q={q} (bucket midpoint)");
+        }
+    }
+
+    #[test]
+    fn quantile_rank_is_clamped_into_range() {
+        // Regression guard for the float-rank overshoot: every q in [0, 1]
+        // must land inside the populated buckets, never fall off the end.
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        for _ in 0..7 {
+            h.record(0.99);
+        }
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            assert!(h.quantile(q).is_some(), "q={q} fell off the histogram");
+        }
+    }
+
+    #[test]
+    fn saturating_observations_land_in_overflow_not_panic() {
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.record(f64::MAX);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(-f64::MAX);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.total(), 4);
+        // In-range quantiles stay `None`: nothing landed in a bucket.
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn boundary_observations_split_consistently() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0); // inclusive low edge → first bucket
+        h.record(10.0); // exclusive high edge → overflow
+        h.record(10.0 - 1e-12); // just inside → last bucket
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 0);
+    }
+
+    #[test]
+    fn tiny_range_histograms_stay_in_bounds() {
+        // A denormal-width range: the bucket index math must clamp rather
+        // than index out of bounds.
+        let lo = 0.0;
+        let hi = f64::MIN_POSITIVE;
+        let mut h = Histogram::new(lo, hi, 3);
+        h.record(0.0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(
+            (0..h.bucket_count()).map(|i| h.bucket(i)).sum::<u64>(),
+            1,
+            "the observation must land in exactly one bucket"
+        );
     }
 }

@@ -8,7 +8,11 @@
 //! - [`load::GroupLoad`]: per-performance-group node load (Fig. 4a);
 //! - [`table::Table`]: aligned text tables for experiment output;
 //! - [`forecast`]: node load-level forecasting (§5 future work) — the
-//!   metascheduler's domain-ranking signal.
+//!   metascheduler's domain-ranking signal;
+//! - [`telemetry`]: hierarchical timing spans, monotonic QoS-event
+//!   counters/gauges, and JSON / Prometheus / table exporters — the
+//!   observability layer threaded through the planner, the job-flow
+//!   campaign and the batch systems.
 //!
 //! # Examples
 //!
@@ -27,9 +31,11 @@ pub mod histogram;
 pub mod load;
 pub mod summary;
 pub mod table;
+pub mod telemetry;
 
 pub use forecast::{booked_load, rank_domains_by_forecast, LoadForecaster};
 pub use histogram::Histogram;
 pub use load::GroupLoad;
 pub use summary::Summary;
 pub use table::Table;
+pub use telemetry::{Counter, Span, SpanId, Telemetry, TelemetrySnapshot};

@@ -32,6 +32,11 @@ impl Summary {
 
     /// Records one observation.
     ///
+    /// Saturating inputs are handled without poisoning: when the running
+    /// delta overflows `f64` (e.g. mixing `f64::MAX` and `-f64::MAX`), the
+    /// mean falls back to an overflow-free scaled update and the variance
+    /// saturates to `f64::INFINITY` instead of turning NaN.
+    ///
     /// # Panics
     ///
     /// Panics if `value` is NaN — a NaN observation would silently poison
@@ -46,12 +51,25 @@ impl Summary {
             self.max = self.max.max(value);
         }
         self.count += 1;
+        let n = self.count as f64;
         let delta = value - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (value - self.mean);
+        if delta.is_finite() {
+            self.mean += delta / n;
+            self.m2 += delta * (value - self.mean);
+        } else {
+            // `value - mean` overflowed: update the mean in the scaled
+            // form `mean·(n−1)/n + value/n`, whose terms cannot overflow,
+            // and saturate the (genuinely astronomically large) variance.
+            self.mean = self.mean / n * (n - 1.0) + value / n;
+            self.m2 = f64::INFINITY;
+        }
     }
 
     /// Merges another summary into this one.
+    ///
+    /// Like [`Summary::record`], a mean delta that overflows `f64` falls
+    /// back to a scaled, overflow-free mean update and saturates the
+    /// variance to `f64::INFINITY` instead of producing NaN.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
             return;
@@ -64,8 +82,13 @@ impl Summary {
         let n2 = other.count as f64;
         let delta = other.mean - self.mean;
         let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        if delta.is_finite() {
+            self.mean += delta * n2 / total;
+            self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        } else {
+            self.mean = self.mean * (n1 / total) + other.mean * (n2 / total);
+            self.m2 = f64::INFINITY;
+        }
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -178,7 +201,9 @@ mod tests {
 
     #[test]
     fn basic_statistics() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
@@ -216,6 +241,56 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_rejected() {
         Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let s: Summary = [42.0].into_iter().collect();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.sum(), 42.0);
+    }
+
+    #[test]
+    fn saturating_inputs_do_not_poison_the_mean() {
+        // Regression: `f64::MAX` followed by `-f64::MAX` used to overflow
+        // the Welford delta to -inf, dragging the mean itself to -inf (and
+        // a subsequent m2 update to NaN). The true mean is 0.
+        let mut s = Summary::new();
+        s.record(f64::MAX);
+        s.record(-f64::MAX);
+        assert!(s.mean().is_finite(), "mean poisoned: {}", s.mean());
+        assert!(s.mean().abs() < 1e294, "mean should be ~0: {}", s.mean());
+        // The variance genuinely exceeds f64 range: it saturates, never NaN.
+        assert_eq!(s.variance(), f64::INFINITY);
+        assert!(!s.std_dev().is_nan());
+        assert_eq!(s.min(), -f64::MAX);
+        assert_eq!(s.max(), f64::MAX);
+    }
+
+    #[test]
+    fn repeated_extreme_values_stay_exact() {
+        let mut s = Summary::new();
+        s.record(f64::MAX);
+        s.record(f64::MAX);
+        assert_eq!(s.mean(), f64::MAX);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_of_saturating_halves_does_not_poison() {
+        let lo: Summary = [-f64::MAX, -f64::MAX].into_iter().collect();
+        let hi: Summary = [f64::MAX, f64::MAX].into_iter().collect();
+        let mut merged = lo;
+        merged.merge(&hi);
+        assert_eq!(merged.count(), 4);
+        assert!(merged.mean().is_finite());
+        assert!(!merged.variance().is_nan());
+        assert_eq!(merged.variance(), f64::INFINITY);
     }
 
     #[test]

@@ -173,12 +173,7 @@ impl AvailabilitySnapshot {
     pub fn capture(pool: &ResourcePool) -> Self {
         let nodes: Vec<Box<[TimeWindow]>> = pool
             .nodes()
-            .map(|n| {
-                pool.timetable(n.id())
-                    .iter()
-                    .map(|r| r.window())
-                    .collect()
-            })
+            .map(|n| pool.timetable(n.id()).iter().map(|r| r.window()).collect())
             .collect();
         AvailabilitySnapshot {
             nodes: nodes.into(),
@@ -386,11 +381,7 @@ impl TimetableOverlay {
     ///
     /// Returns [`PlanConflict`] naming the earliest colliding window if
     /// `window` is not free.
-    pub fn reserve_window(
-        &mut self,
-        node: NodeId,
-        window: TimeWindow,
-    ) -> Result<(), PlanConflict> {
+    pub fn reserve_window(&mut self, node: NodeId, window: TimeWindow) -> Result<(), PlanConflict> {
         if let Some(existing) = self.first_conflict(node, window) {
             return Err(PlanConflict {
                 requested: window,
@@ -474,7 +465,10 @@ mod tests {
         let pool = pool_with_windows(&[w(5, 10), w(0, 3), w(12, 14)]);
         let snap = pool.snapshot();
         assert_eq!(snap.node_count(), 1);
-        assert_eq!(snap.windows(NodeId::new(0)), &[w(0, 3), w(5, 10), w(12, 14)]);
+        assert_eq!(
+            snap.windows(NodeId::new(0)),
+            &[w(0, 3), w(5, 10), w(12, 14)]
+        );
     }
 
     #[test]
@@ -510,10 +504,19 @@ mod tests {
         let mut overlay = TimetableOverlay::new(pool.snapshot());
         overlay.reserve_window(node, w(5, 9)).unwrap();
         // Gaps: [4,5) too small, [9,10) too small — first 2-tick slot is 12.
-        assert_eq!(overlay.earliest_fit(node, t(0), d(2), SimTime::MAX), Some(t(12)));
-        assert_eq!(overlay.earliest_fit(node, t(0), d(1), SimTime::MAX), Some(t(4)));
+        assert_eq!(
+            overlay.earliest_fit(node, t(0), d(2), SimTime::MAX),
+            Some(t(12))
+        );
+        assert_eq!(
+            overlay.earliest_fit(node, t(0), d(1), SimTime::MAX),
+            Some(t(4))
+        );
         assert_eq!(overlay.earliest_fit(node, t(0), d(2), t(13)), None);
-        assert_eq!(overlay.earliest_fit(node, t(3), SimDuration::ZERO, t(0)), Some(t(3)));
+        assert_eq!(
+            overlay.earliest_fit(node, t(3), SimDuration::ZERO, t(0)),
+            Some(t(3))
+        );
     }
 
     #[test]

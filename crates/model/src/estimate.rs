@@ -164,20 +164,14 @@ mod tests {
     #[test]
     fn best_scenario_is_nominal() {
         let t = task(20.0);
-        assert_eq!(
-            EstimateScenario::BEST.duration(&t, Perf::FULL).ticks(),
-            2
-        );
+        assert_eq!(EstimateScenario::BEST.duration(&t, Perf::FULL).ticks(), 2);
     }
 
     #[test]
     fn worst_scenario_scales_up_with_ceil() {
         let t = task(20.0);
         // 2 * 2.5 = 5
-        assert_eq!(
-            EstimateScenario::WORST.duration(&t, Perf::FULL).ticks(),
-            5
-        );
+        assert_eq!(EstimateScenario::WORST.duration(&t, Perf::FULL).ticks(), 5);
         // 3 * 1.5 = 4.5 -> 5
         assert_eq!(
             EstimateScenario::new(1.5)

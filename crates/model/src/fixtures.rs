@@ -67,7 +67,10 @@ pub fn fig2_job_with_deadline(deadline: SimDuration) -> Job {
 pub fn pipeline_job(id: JobId, volumes: &[f64], deadline: SimDuration) -> Job {
     assert!(!volumes.is_empty(), "pipeline_job needs at least one task");
     let mut b = JobBuilder::new();
-    let ids: Vec<_> = volumes.iter().map(|&v| b.add_task(Volume::new(v))).collect();
+    let ids: Vec<_> = volumes
+        .iter()
+        .map(|&v| b.add_task(Volume::new(v)))
+        .collect();
     for pair in ids.windows(2) {
         b.add_edge(pair[0], pair[1], Volume::new(FIG2_EDGE_VOLUME));
     }
@@ -90,7 +93,11 @@ mod tests {
 
     #[test]
     fn pipeline_shape() {
-        let job = pipeline_job(JobId::new(1), &[10.0, 20.0, 30.0], SimDuration::from_ticks(50));
+        let job = pipeline_job(
+            JobId::new(1),
+            &[10.0, 20.0, 30.0],
+            SimDuration::from_ticks(50),
+        );
         assert_eq!(job.task_count(), 3);
         assert_eq!(job.edges().len(), 2);
         assert_eq!(job.parallelism_degree(), 1);

@@ -505,7 +505,12 @@ mod tests {
         let chain = lp.critical_chain();
         assert_eq!(
             chain,
-            vec![TaskId::new(0), TaskId::new(1), TaskId::new(3), TaskId::new(5)]
+            vec![
+                TaskId::new(0),
+                TaskId::new(1),
+                TaskId::new(3),
+                TaskId::new(5)
+            ]
         );
     }
 

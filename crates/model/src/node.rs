@@ -45,7 +45,14 @@ impl Node {
 
 impl fmt::Display for Node {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({}, {} @{})", self.id, self.group(), self.perf, self.domain)
+        write!(
+            f,
+            "{}({}, {} @{})",
+            self.id,
+            self.group(),
+            self.perf,
+            self.domain
+        )
     }
 }
 
@@ -81,9 +88,7 @@ impl ResourcePool {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, domain: DomainId, perf: Perf) -> NodeId {
-        let id = NodeId::new(
-            u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes"),
-        );
+        let id = NodeId::new(u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes"));
         self.nodes.push(Node { id, domain, perf });
         self.timetables.push(Timetable::new());
         id

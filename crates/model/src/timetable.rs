@@ -214,7 +214,8 @@ impl Timetable {
         let idx = self
             .reservations
             .partition_point(|r| r.window.start() < window.start());
-        self.reservations.insert(idx, Reservation { id, window, owner });
+        self.reservations
+            .insert(idx, Reservation { id, window, owner });
         debug_assert!(self.invariants_hold());
         Ok(id)
     }
@@ -244,8 +245,7 @@ impl Timetable {
     pub fn void_tasks_within(&mut self, window: TimeWindow) -> Vec<Reservation> {
         let mut voided = Vec::new();
         self.reservations.retain(|r| {
-            let hit =
-                matches!(r.owner, ReservationOwner::Task(_)) && r.window.overlaps(window);
+            let hit = matches!(r.owner, ReservationOwner::Task(_)) && r.window.overlaps(window);
             if hit {
                 voided.push(*r);
             }
@@ -465,7 +465,11 @@ mod tests {
         );
         // Two-tick job fits in [10, 12).
         assert_eq!(
-            tt.earliest_fit(SimTime::from_ticks(4), SimDuration::from_ticks(2), SimTime::MAX),
+            tt.earliest_fit(
+                SimTime::from_ticks(4),
+                SimDuration::from_ticks(2),
+                SimTime::MAX
+            ),
             Some(SimTime::from_ticks(10))
         );
         // Deadline rules out the post-reservation start.
@@ -480,11 +484,19 @@ mod tests {
         let mut tt = Timetable::new();
         tt.reserve(w(0, 4), bg(0)).unwrap();
         assert_eq!(
-            tt.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(6), SimTime::from_ticks(10)),
+            tt.earliest_fit(
+                SimTime::ZERO,
+                SimDuration::from_ticks(6),
+                SimTime::from_ticks(10)
+            ),
             Some(SimTime::from_ticks(4))
         );
         assert_eq!(
-            tt.earliest_fit(SimTime::ZERO, SimDuration::from_ticks(7), SimTime::from_ticks(10)),
+            tt.earliest_fit(
+                SimTime::ZERO,
+                SimDuration::from_ticks(7),
+                SimTime::from_ticks(10)
+            ),
             None
         );
     }

@@ -86,7 +86,11 @@ impl TimeWindow {
     #[must_use]
     pub fn intersect(self, other: TimeWindow) -> Option<TimeWindow> {
         let start = self.start.max_of(other.start);
-        let end = if self.end <= other.end { self.end } else { other.end };
+        let end = if self.end <= other.end {
+            self.end
+        } else {
+            other.end
+        };
         TimeWindow::new(start, end).ok()
     }
 
@@ -155,7 +159,10 @@ mod tests {
         assert!(w(0, 10).overlaps(w(5, 15)));
         assert!(w(5, 15).overlaps(w(0, 10)));
         assert!(w(0, 10).overlaps(w(2, 3)));
-        assert!(!w(0, 10).overlaps(w(10, 20)), "touching windows do not overlap");
+        assert!(
+            !w(0, 10).overlaps(w(10, 20)),
+            "touching windows do not overlap"
+        );
         assert!(!w(0, 10).overlaps(w(11, 20)));
     }
 

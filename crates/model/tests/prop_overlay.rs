@@ -19,8 +19,7 @@ use gridsched_sim::time::{SimDuration, SimTime};
 fn gen_window(g: &mut Gen) -> TimeWindow {
     let start = g.u64_in(0, 199);
     let len = g.u64_in(1, 19);
-    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
-        .expect("len >= 1")
+    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len)).expect("len >= 1")
 }
 
 /// A random pool state plus an overlay/clone pair driven by the same

@@ -8,8 +8,7 @@ use gridsched_sim::time::{SimDuration, SimTime};
 fn gen_window(g: &mut Gen) -> TimeWindow {
     let start = g.u64_in(0, 199);
     let len = g.u64_in(1, 19);
-    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
-        .expect("len >= 1")
+    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len)).expect("len >= 1")
 }
 
 fn gen_windows(g: &mut Gen, min: usize, max: usize) -> Vec<TimeWindow> {
@@ -24,7 +23,10 @@ fn reservations_never_overlap() {
         let mut tt = Timetable::new();
         let mut accepted: Vec<TimeWindow> = Vec::new();
         for (i, w) in windows.into_iter().enumerate() {
-            if tt.reserve(w, ReservationOwner::Background(i as u64)).is_ok() {
+            if tt
+                .reserve(w, ReservationOwner::Background(i as u64))
+                .is_ok()
+            {
                 accepted.push(w);
             }
         }
@@ -96,8 +98,8 @@ fn release_restores_and_busy_accounts() {
                 ids.push((id, w));
             }
         }
-        let range = TimeWindow::new(SimTime::from_ticks(0), SimTime::from_ticks(250))
-            .expect("valid range");
+        let range =
+            TimeWindow::new(SimTime::from_ticks(0), SimTime::from_ticks(250)).expect("valid range");
         let expected: u64 = ids
             .iter()
             .filter_map(|(_, w)| w.intersect(range))
@@ -160,7 +162,10 @@ fn void_window_releases_only_overlapping_tasks() {
                 if tt.reserve(w, owner).is_ok() {
                     task_windows.push(w);
                 }
-            } else if tt.reserve(w, ReservationOwner::Background(i as u64)).is_ok() {
+            } else if tt
+                .reserve(w, ReservationOwner::Background(i as u64))
+                .is_ok()
+            {
                 bg_windows.push(w);
             }
         }

@@ -12,7 +12,12 @@ pub trait World {
     type Event;
 
     /// Handles one event at simulated time `now`.
-    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<'_, Self::Event>);
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        scheduler: &mut Scheduler<'_, Self::Event>,
+    );
 }
 
 /// Handle given to [`World::handle`] for scheduling follow-up events.
@@ -183,7 +188,10 @@ impl<E> Engine<E> {
                 Some(_) => {}
             }
             let (at, event) = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(at >= self.now, "event queue delivered an event from the past");
+            debug_assert!(
+                at >= self.now,
+                "event queue delivered an event from the past"
+            );
             self.now = at;
             let mut scheduler = Scheduler {
                 now: self.now,

@@ -86,7 +86,8 @@ impl<E> EventQueue<E> {
         let id = EventId(self.next_id);
         self.next_id += 1;
         self.scheduled_count += 1;
-        self.heap.push(Reverse(HeapEntry(Scheduled { at, id, payload })));
+        self.heap
+            .push(Reverse(HeapEntry(Scheduled { at, id, payload })));
         id
     }
 

@@ -85,11 +85,9 @@ pub fn apply_background_load(
                 break;
             }
             let start = rng.uniform_u64(0, latest_start);
-            let window = TimeWindow::new(
-                SimTime::from_ticks(start),
-                SimTime::from_ticks(start + len),
-            )
-            .expect("len >= 1");
+            let window =
+                TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len))
+                    .expect("len >= 1");
             if pool
                 .timetable_mut(id)
                 .reserve(window, ReservationOwner::Background(tag))

@@ -78,12 +78,7 @@ impl JobConfig {
 ///
 /// Panics if the configuration is invalid.
 #[must_use]
-pub fn generate_job(
-    config: &JobConfig,
-    id: JobId,
-    release: SimTime,
-    rng: &mut SimRng,
-) -> Job {
+pub fn generate_job(config: &JobConfig, id: JobId, release: SimTime, rng: &mut SimRng) -> Job {
     config.validate();
     let layers = rng.uniform_u64(config.layers_min as u64, config.layers_max as u64) as usize;
     let mut builder = JobBuilder::new();
@@ -208,8 +203,18 @@ mod tests {
             deadline_factor: 6.0,
             ..JobConfig::default()
         };
-        let a = generate_job(&tight, JobId::new(0), SimTime::ZERO, &mut SimRng::seed_from(5));
-        let b = generate_job(&loose, JobId::new(0), SimTime::ZERO, &mut SimRng::seed_from(5));
+        let a = generate_job(
+            &tight,
+            JobId::new(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(5),
+        );
+        let b = generate_job(
+            &loose,
+            JobId::new(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(5),
+        );
         // Same seed -> same DAG, different deadline.
         assert_eq!(a.task_count(), b.task_count());
         assert!(b.deadline() > a.deadline());
@@ -260,8 +265,18 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let cfg = JobConfig::default();
-        let a = generate_job(&cfg, JobId::new(0), SimTime::ZERO, &mut SimRng::seed_from(11));
-        let b = generate_job(&cfg, JobId::new(0), SimTime::ZERO, &mut SimRng::seed_from(11));
+        let a = generate_job(
+            &cfg,
+            JobId::new(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(11),
+        );
+        let b = generate_job(
+            &cfg,
+            JobId::new(0),
+            SimTime::ZERO,
+            &mut SimRng::seed_from(11),
+        );
         assert_eq!(a.task_count(), b.task_count());
         assert_eq!(a.edges().len(), b.edges().len());
         assert_eq!(a.total_volume(), b.total_volume());

@@ -68,7 +68,9 @@ pub fn generate_pool(config: &PoolConfig, rng: &mut SimRng) -> ResourcePool {
     let n = rng.uniform_u64(config.nodes_min as u64, config.nodes_max as u64) as usize;
     let fast = ((n as f64) * config.group_shares.0).round() as usize;
     let medium = ((n as f64) * config.group_shares.1).round() as usize;
-    let slow = n.saturating_sub(fast + medium).max(if fast + medium < n { 1 } else { 0 });
+    let slow = n
+        .saturating_sub(fast + medium)
+        .max(if fast + medium < n { 1 } else { 0 });
 
     let mut perfs: Vec<Perf> = Vec::with_capacity(n);
     for _ in 0..fast {

@@ -61,7 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strategy = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
     println!("\nstrategy fragment (deadline 20, as in Fig. 2b):");
     for (i, dist) in strategy.distributions().iter().enumerate() {
-        println!("  Distribution {}: CF{} = {}, makespan {}", i + 1, i + 1, dist.cost(), dist.makespan());
+        println!(
+            "  Distribution {}: CF{} = {}, makespan {}",
+            i + 1,
+            i + 1,
+            dist.cost(),
+            dist.makespan()
+        );
         for p in dist.placements() {
             println!("    {}/{} {}", p.task, p.node, p.window);
         }
@@ -70,7 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let cheapest = strategy.best_by_cost().expect("fig2 strategy is admissible");
+    let cheapest = strategy
+        .best_by_cost()
+        .expect("fig2 strategy is admissible");
     println!(
         "\ncheapest schedule costs CF = {} — like the paper's Distribution 2, \
          it trades fast nodes for cheaper, slower ones within the deadline.",

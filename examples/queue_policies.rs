@@ -71,11 +71,8 @@ fn main() {
         ),
         &jobs,
     );
-    let gang_wait: f64 = gang
-        .iter()
-        .map(|o| o.wait().ticks() as f64)
-        .sum::<f64>()
-        / gang.len() as f64;
+    let gang_wait: f64 =
+        gang.iter().map(|o| o.wait().ticks() as f64).sum::<f64>() / gang.len() as f64;
     println!("GANG (quantum 5): mean wait until first quantum = {gang_wait:.2}");
     println!(
         "\nobservations: backfilling cuts waiting versus FCFS; advance\n\

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario: EstimateScenario::BEST,
         release: SimTime::ZERO,
     })?;
-    println!("activated schedule (CF = {}, makespan {}):", plan.cost(), plan.makespan());
+    println!(
+        "activated schedule (CF = {}, makespan {}):",
+        plan.cost(),
+        plan.makespan()
+    );
     print!("{}", render_gantt(&plan, &pool));
     for p in plan.placements() {
         pool.timetable_mut(p.node).reserve(

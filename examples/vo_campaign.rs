@@ -6,14 +6,24 @@
 //! independent local load. Prints per-flow QoS factors.
 //!
 //! Run with: `cargo run --release --example vo_campaign`
+//!
+//! Pass `--telemetry` to additionally record the hierarchical span tree
+//! and QoS event counters of the run, print the phase-breakdown table and
+//! write `TELEMETRY_vo_campaign.json` / `TELEMETRY_vo_campaign.prom`.
 
 use gridsched::core::strategy::StrategyKind;
 use gridsched::flow::metascheduler::FlowAssignment;
-use gridsched::flow::simulation::{run_campaign, CampaignConfig};
+use gridsched::flow::simulation::{run_campaign_instrumented, CampaignConfig};
 use gridsched::metrics::table::{pct, ratio, Table};
+use gridsched::metrics::telemetry::Telemetry;
 use gridsched::model::perf::PerfGroup;
 
 fn main() {
+    let telemetry = if std::env::args().any(|a| a == "--telemetry") {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
     let config = CampaignConfig {
         assignment: FlowAssignment::BySize {
             threshold: 7,
@@ -28,11 +38,9 @@ fn main() {
     };
     println!(
         "campaign: {} jobs, horizon {}, seed {}",
-        config.jobs,
-        config.horizon,
-        config.seed
+        config.jobs, config.horizon, config.seed
     );
-    let report = run_campaign(&config);
+    let report = run_campaign_instrumented(&config, &telemetry);
 
     let mut per_flow = Table::new(vec![
         "flow",
@@ -94,5 +102,21 @@ fn main() {
             println!("  {t:>6} {e}");
         }
         println!("  … {} events total", trace.len());
+    }
+
+    if telemetry.is_enabled() {
+        let snapshot = telemetry.snapshot();
+        println!("\ntelemetry phase breakdown:\n{}", snapshot.phase_table());
+        println!("QoS event counters:");
+        for (name, value) in snapshot.counters() {
+            if *value > 0 {
+                println!("  {name:<28} {value}");
+            }
+        }
+        std::fs::write("TELEMETRY_vo_campaign.json", snapshot.to_json())
+            .expect("write TELEMETRY_vo_campaign.json");
+        std::fs::write("TELEMETRY_vo_campaign.prom", snapshot.to_prometheus())
+            .expect("write TELEMETRY_vo_campaign.prom");
+        println!("\nwrote TELEMETRY_vo_campaign.json and TELEMETRY_vo_campaign.prom");
     }
 }

@@ -15,7 +15,12 @@ fn strategy_generation_is_deterministic() {
     let run = || {
         let mut rng = SimRng::seed_from(77);
         let pool = generate_pool(&PoolConfig::default(), &mut rng);
-        let job = generate_job(&JobConfig::default(), JobId::new(0), SimTime::ZERO, &mut rng);
+        let job = generate_job(
+            &JobConfig::default(),
+            JobId::new(0),
+            SimTime::ZERO,
+            &mut rng,
+        );
         let s = Strategy::generate(
             &job,
             &pool,
@@ -216,6 +221,157 @@ fn fault_plans_are_deterministic_per_seed_and_differ_across_seeds() {
     assert_ne!(plan_for(1, 0), plan_for(2, 0));
     // Sibling-stream independence: the job mix never moves the faults.
     assert_eq!(plan_for(9, 0), plan_for(9, 500));
+}
+
+/// Telemetry is strictly observational: a fully instrumented faulted,
+/// traced campaign must be bit-identical to the uninstrumented run —
+/// records, fault accounting and the event trace. The span tree the
+/// recorder collects on the side must cover the campaign's phases.
+#[test]
+fn instrumented_campaign_is_behavior_neutral() {
+    use gridsched::flow::faults::FaultConfig;
+    use gridsched::flow::simulation::run_campaign_instrumented;
+    use gridsched::metrics::telemetry::Telemetry;
+
+    let cfg = CampaignConfig {
+        jobs: 25,
+        perturbations: 30,
+        faults: FaultConfig {
+            outages: 6,
+            degradations: 4,
+            transfer_faults: 6,
+            ..FaultConfig::none()
+        },
+        collect_trace: true,
+        seed: 777,
+        ..CampaignConfig::default()
+    };
+    let plain = run_campaign(&cfg);
+    let telemetry = Telemetry::new();
+    let instrumented = run_campaign_instrumented(&cfg, &telemetry);
+    assert_eq!(plain.records, instrumented.records);
+    assert_eq!(plain.faults, instrumented.faults);
+    assert_eq!(
+        plain.trace, instrumented.trace,
+        "instrumented campaign trace must be bit-identical to the plain run"
+    );
+
+    let snapshot = telemetry.snapshot();
+    let phases = snapshot.phases();
+    for expected in [
+        "campaign",
+        "setup",
+        "fault_plan",
+        "release",
+        "strategy_generation",
+        "scenario",
+        "critical_works_pass",
+        "finalize",
+    ] {
+        assert!(phases.contains(&expected), "missing phase {expected:?}");
+    }
+    assert!(
+        phases.len() >= 5,
+        "span tree must cover at least five phases, got {phases:?}"
+    );
+    // Structural integrity: every recorded parent id is itself recorded,
+    // and exactly one root span (the campaign) has no parent... apart from
+    // the probe sessions which hang directly under the campaign root too.
+    let spans = snapshot.spans();
+    let ids: std::collections::HashSet<_> = spans.iter().map(|s| s.id).collect();
+    for span in spans {
+        if let Some(parent) = span.parent {
+            assert!(ids.contains(&parent), "dangling parent for {}", span.name);
+        }
+        assert!(span.end_ns >= span.start_ns);
+    }
+    assert_eq!(
+        spans.iter().filter(|s| s.parent.is_none()).count(),
+        1,
+        "exactly one root span"
+    );
+}
+
+/// Prop-style reconciliation over random seeds: the QoS counters the
+/// recorder accumulates must agree *exactly* with the campaign report
+/// and fault summary — no double counting, no missed events.
+#[test]
+fn telemetry_counters_reconcile_with_campaign_reports() {
+    use gridsched::flow::faults::FaultConfig;
+    use gridsched::flow::simulation::run_campaign_instrumented;
+    use gridsched::metrics::telemetry::Telemetry;
+
+    for seed in [11u64, 87, 2009, 31_415] {
+        let cfg = CampaignConfig {
+            jobs: 20,
+            perturbations: 25,
+            faults: FaultConfig {
+                outages: 5,
+                degradations: 3,
+                transfer_faults: 5,
+                ..FaultConfig::none()
+            },
+            collect_trace: true,
+            seed,
+            ..CampaignConfig::default()
+        };
+        let telemetry = Telemetry::new();
+        let report = run_campaign_instrumented(&cfg, &telemetry);
+        let snapshot = telemetry.snapshot();
+        let count = |name: &str| snapshot.counter(name) as usize;
+
+        assert_eq!(count("jobs_released"), report.records.len(), "seed {seed}");
+        assert_eq!(count("flow_assignments"), report.records.len());
+        assert_eq!(
+            count("jobs_activated"),
+            report.records.iter().filter(|r| r.admissible).count(),
+            "seed {seed}: one activation per admissible job"
+        );
+        assert_eq!(
+            count("schedule_breaks"),
+            report.faults.breaks(),
+            "seed {seed}"
+        );
+        assert_eq!(count("schedule_switches"), report.faults.switches);
+        assert_eq!(count("replans"), report.faults.replans);
+        assert_eq!(count("migrations"), report.faults.migrations);
+        assert_eq!(count("drops"), report.faults.drops);
+        assert_eq!(count("outages_injected"), report.faults.outages_injected);
+        assert_eq!(
+            count("degradations_injected"),
+            report.faults.degradations_injected
+        );
+        assert_eq!(
+            count("transfer_faults_injected"),
+            report.faults.transfer_faults_injected
+        );
+        assert_eq!(
+            count("transfer_faults_absorbed"),
+            report.faults.transfer_faults_absorbed
+        );
+        assert_eq!(
+            count("faults_planned"),
+            cfg.faults.outages + cfg.faults.degradations + cfg.faults.transfer_faults,
+            "seed {seed}: the plan materializes every configured fault"
+        );
+        // The per-record tallies are the same events, grouped by job.
+        assert_eq!(
+            count("schedule_breaks"),
+            report.records.iter().map(|r| r.breaks).sum::<usize>()
+        );
+        assert_eq!(
+            count("schedule_switches"),
+            report.records.iter().map(|r| r.switches).sum::<usize>()
+        );
+        assert_eq!(
+            count("drops"),
+            report.records.iter().filter(|r| r.dropped).count()
+        );
+        // Finalize publishes the headline QoS shares as gauges.
+        let gauges = snapshot.gauges();
+        assert_eq!(gauges["admissible_share"], report.admissible_share());
+        assert_eq!(gauges["drop_share"], report.drop_share());
+    }
 }
 
 #[test]

@@ -98,7 +98,10 @@ fn service_quality_degrades_with_fault_pressure() {
         (survived, activated)
     };
     let (s0, a0) = survival(0);
-    assert_eq!(s0, a0, "no fault, no perturbation: every activated job survives");
+    assert_eq!(
+        s0, a0,
+        "no fault, no perturbation: every activated job survives"
+    );
     let clean = s0 as f64 / a0 as f64;
     let (sh, ah) = survival(20);
     let heavy = sh as f64 / ah as f64;

@@ -44,7 +44,12 @@ fn ms1_schedules_are_a_subset_shape_of_s1() {
     // must be the extremes of S1's sweep.
     let mut rng = SimRng::seed_from(42);
     let pool = generate_pool(&PoolConfig::default(), &mut rng);
-    let job = generate_job(&JobConfig::default(), JobId::new(0), SimTime::ZERO, &mut rng);
+    let job = generate_job(
+        &JobConfig::default(),
+        JobId::new(0),
+        SimTime::ZERO,
+        &mut rng,
+    );
 
     let s1 = Strategy::generate(
         &job,
@@ -60,9 +65,7 @@ fn ms1_schedules_are_a_subset_shape_of_s1() {
     );
     assert!(ms1.distributions().len() <= 2);
     for d in ms1.distributions() {
-        assert!(
-            d.scenario() == EstimateScenario::BEST || d.scenario() == EstimateScenario::WORST
-        );
+        assert!(d.scenario() == EstimateScenario::BEST || d.scenario() == EstimateScenario::WORST);
     }
     // Same policy + same scenario => identical schedule cost.
     for md in ms1.distributions() {
@@ -82,7 +85,12 @@ fn coarse_s3_never_has_more_tasks_than_the_original() {
     let mut rng = SimRng::seed_from(9);
     let pool = generate_pool(&PoolConfig::default(), &mut rng);
     for i in 0..10u64 {
-        let job = generate_job(&JobConfig::default(), JobId::new(i), SimTime::ZERO, &mut rng);
+        let job = generate_job(
+            &JobConfig::default(),
+            JobId::new(i),
+            SimTime::ZERO,
+            &mut rng,
+        );
         let s3 = Strategy::generate(
             &job,
             &pool,
@@ -130,8 +138,10 @@ fn tighter_deadlines_reduce_admissibility() {
     for seed in 0..20u64 {
         let mut rng = SimRng::seed_from(seed);
         let pool = generate_pool(&PoolConfig::default(), &mut rng);
-        for (factor, counter) in [(1.1, &mut inadmissible_tight), (6.0, &mut inadmissible_loose)]
-        {
+        for (factor, counter) in [
+            (1.1, &mut inadmissible_tight),
+            (6.0, &mut inadmissible_loose),
+        ] {
             let mut jrng = SimRng::seed_from(seed + 1000);
             let job = generate_job(
                 &JobConfig {
