@@ -7,6 +7,13 @@
 //! performance claim (planning sessions ≥ 2× faster, see ROADMAP.md and
 //! `BENCH_strategy_sweep.json`).
 //!
+//! On machines with ≥ 2 cores (or when `--require-pooled true` is forced)
+//! an extra line gates the persistent-pool sweep against the sequential
+//! sweep: `overall_speedup_pooled` must be at least
+//! `overall_speedup_sequential`, the tripwire for pool hand-off overhead.
+//! On single-core runners the pooled sweep falls back to the sequential
+//! one, so the comparison is skipped unless forced.
+//!
 //! Run with:
 //! `cargo run --release -p gridsched-bench --bin bench_check -- \
 //!    --fresh BENCH_fresh.json --baseline BENCH_strategy_sweep.json --min-speedup 2.0`
@@ -22,12 +29,17 @@ fn main() {
     let fresh_path: String = args.get("fresh", "BENCH_fresh.json".to_owned());
     let baseline_path: String = args.get("baseline", "BENCH_strategy_sweep.json".to_owned());
     let min_speedup: f64 = args.get("min-speedup", 2.0);
+    let multi_core = std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2);
+    let require_pooled: bool = args.get("require-pooled", multi_core);
 
     let fresh = read(&fresh_path);
     let baseline = read(&baseline_path);
-    let (lines, pass) = bench_gate(&fresh, &baseline, min_speedup);
+    let (lines, pass) = bench_gate(&fresh, &baseline, min_speedup, require_pooled);
 
-    println!("bench_check: {fresh_path} vs {baseline_path} (floor {min_speedup:.2}x)");
+    println!(
+        "bench_check: {fresh_path} vs {baseline_path} (floor {min_speedup:.2}x, pooled gate {})",
+        if require_pooled { "on" } else { "off" }
+    );
     for line in &lines {
         let fmt = |v: Option<f64>| v.map_or("missing".to_owned(), |v| format!("{v:.2}x"));
         println!(

@@ -6,7 +6,7 @@
 //! the situation a VO metascheduler actually faces, where per-node
 //! timetables hold thousands of reservations but any single job only
 //! scans the slice below its deadline — and then times full S1/S2/S3/MS1
-//! strategy generation three ways:
+//! strategy generation four ways:
 //!
 //! * `cloning`    — the pre-refactor baseline: every scenario of the sweep
 //!   materializes two full `Vec<Timetable>` copies of the pool
@@ -14,14 +14,20 @@
 //! * `sequential` — one shared [`AvailabilitySnapshot`] per generation,
 //!   copy-on-write overlays per scenario, scenarios swept in order
 //!   ([`Strategy::generate_sequential`]).
-//! * `parallel`   — same session, scenarios on scoped threads
-//!   ([`Strategy::generate`]).
+//! * `parallel`   — same session, scenarios on freshly spawned scoped
+//!   threads — the legacy spawn-per-sweep path
+//!   ([`Strategy::generate_scoped`]), kept as the historical "parallel"
+//!   column.
+//! * `pooled`     — same session, scenarios drained by the process-wide
+//!   persistent [`WorkerPool`] ([`Strategy::generate`], the production
+//!   path; falls back to the sequential sweep on single-core machines).
 //!
-//! All three must produce bit-identical strategies (checked here cheaply,
-//! and rigorously in `tests/determinism.rs`). The acceptance criterion is
-//! a ≥ 2× mean speedup of the session sweep over the cloning sweep; the
-//! results are written to `BENCH_strategy_sweep.json` in the working
-//! directory.
+//! All four must produce bit-identical strategies (checked here cheaply,
+//! and rigorously in `tests/determinism.rs` and
+//! `crates/core/tests/prop_sweep_determinism.rs`). The acceptance
+//! criterion is a ≥ 2× mean speedup of the session sweep over the cloning
+//! sweep; the results are written to `BENCH_strategy_sweep.json` in the
+//! working directory.
 //!
 //! Run with: `cargo run --release -p gridsched-bench --bin strategy_sweep`
 //! Knobs: `--seed N --load F --horizon TICKS --budget-ms N --out PATH`
@@ -31,9 +37,11 @@
 //! `TELEMETRY_strategy_sweep.json` / `TELEMETRY_strategy_sweep.prom`.
 //!
 //! [`AvailabilitySnapshot`]: gridsched::model::availability::AvailabilitySnapshot
+//! [`WorkerPool`]: gridsched::core::pool::WorkerPool
 
 use std::time::Duration;
 
+use gridsched::core::pool::WorkerPool;
 use gridsched::core::strategy::{Strategy, StrategyConfig, StrategyKind};
 use gridsched::metrics::telemetry::Telemetry;
 use gridsched::model::ids::JobId;
@@ -68,6 +76,7 @@ struct KindResult {
     cloning: Stats,
     sequential: Stats,
     parallel: Stats,
+    pooled: Stats,
 }
 
 fn json_line(r: &KindResult) -> String {
@@ -77,7 +86,9 @@ fn json_line(r: &KindResult) -> String {
             "\"cloning_mean_ns\": {}, \"cloning_min_ns\": {}, ",
             "\"sequential_mean_ns\": {}, \"sequential_min_ns\": {}, ",
             "\"parallel_mean_ns\": {}, \"parallel_min_ns\": {}, ",
-            "\"speedup_sequential\": {:.3}, \"speedup_parallel\": {:.3}}}"
+            "\"pooled_mean_ns\": {}, \"pooled_min_ns\": {}, ",
+            "\"speedup_sequential\": {:.3}, \"speedup_parallel\": {:.3}, ",
+            "\"speedup_pooled\": {:.3}}}"
         ),
         r.kind,
         r.cloning.mean.as_nanos(),
@@ -86,8 +97,11 @@ fn json_line(r: &KindResult) -> String {
         r.sequential.min.as_nanos(),
         r.parallel.mean.as_nanos(),
         r.parallel.min.as_nanos(),
+        r.pooled.mean.as_nanos(),
+        r.pooled.min.as_nanos(),
         r.cloning.speedup_over(&r.sequential),
         r.cloning.speedup_over(&r.parallel),
+        r.cloning.speedup_over(&r.pooled),
     )
 }
 
@@ -128,8 +142,11 @@ fn main() {
         SimTime::ZERO,
         &mut master.fork(3),
     );
+    // Spin the persistent workers up before timing so the pooled column
+    // measures steady-state hand-off, not one-off thread spawn.
+    let pool_workers = WorkerPool::global().workers();
     println!(
-        "strategy_sweep: {} nodes, {reservations} background reservations over {horizon} ticks, seed {seed}\n",
+        "strategy_sweep: {} nodes, {reservations} background reservations over {horizon} ticks, seed {seed}, {pool_workers} persistent sweep workers\n",
         pool.len()
     );
 
@@ -139,10 +156,11 @@ fn main() {
     for kind in StrategyKind::ALL {
         let config = StrategyConfig::for_kind(kind, &pool);
 
-        // The three sweeps must agree before their timings mean anything.
+        // The four sweeps must agree before their timings mean anything.
         let via_cloning = Strategy::generate_cloning(&job, &pool, &config, SimTime::ZERO);
         let via_sequential = Strategy::generate_sequential(&job, &pool, &config, SimTime::ZERO);
-        let via_parallel = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
+        let via_parallel = Strategy::generate_scoped(&job, &pool, &config, SimTime::ZERO);
+        let via_pooled = Strategy::generate(&job, &pool, &config, SimTime::ZERO);
         assert_eq!(
             fingerprint(&via_cloning),
             fingerprint(&via_sequential),
@@ -151,7 +169,12 @@ fn main() {
         assert_eq!(
             fingerprint(&via_sequential),
             fingerprint(&via_parallel),
-            "{kind}: parallel sweep diverged from sequential sweep"
+            "{kind}: scoped-parallel sweep diverged from sequential sweep"
+        );
+        assert_eq!(
+            fingerprint(&via_sequential),
+            fingerprint(&via_pooled),
+            "{kind}: pooled sweep diverged from sequential sweep"
         );
         if telemetry.is_enabled() {
             let via_instrumented = Strategy::generate_instrumented(
@@ -163,7 +186,7 @@ fn main() {
                 None,
             );
             assert_eq!(
-                fingerprint(&via_parallel),
+                fingerprint(&via_pooled),
                 fingerprint(&via_instrumented),
                 "{kind}: instrumented sweep diverged from uninstrumented sweep"
             );
@@ -175,7 +198,10 @@ fn main() {
         let sequential = group.bench(&format!("{kind} session, sequential"), || {
             Strategy::generate_sequential(&job, &pool, &config, SimTime::ZERO)
         });
-        let parallel = group.bench(&format!("{kind} session, parallel"), || {
+        let parallel = group.bench(&format!("{kind} session, scoped threads"), || {
+            Strategy::generate_scoped(&job, &pool, &config, SimTime::ZERO)
+        });
+        let pooled = group.bench(&format!("{kind} session, pooled workers"), || {
             Strategy::generate(&job, &pool, &config, SimTime::ZERO)
         });
         results.push(KindResult {
@@ -183,6 +209,7 @@ fn main() {
             cloning,
             sequential,
             parallel,
+            pooled,
         });
     }
 
@@ -192,13 +219,16 @@ fn main() {
     let cloning_total = total(|r| r.cloning.mean);
     let sequential_total = total(|r| r.sequential.mean);
     let parallel_total = total(|r| r.parallel.mean);
+    let pooled_total = total(|r| r.pooled.mean);
     let speedup_sequential = cloning_total / sequential_total.max(f64::EPSILON);
     let speedup_parallel = cloning_total / parallel_total.max(f64::EPSILON);
+    let speedup_pooled = cloning_total / pooled_total.max(f64::EPSILON);
     println!(
-        "\noverall mean per generation: cloning {:.3} ms, session sequential {:.3} ms ({speedup_sequential:.2}x), session parallel {:.3} ms ({speedup_parallel:.2}x)",
+        "\noverall mean per generation: cloning {:.3} ms, session sequential {:.3} ms ({speedup_sequential:.2}x), session scoped {:.3} ms ({speedup_parallel:.2}x), session pooled {:.3} ms ({speedup_pooled:.2}x)",
         cloning_total * 1e3 / results.len() as f64,
         sequential_total * 1e3 / results.len() as f64,
         parallel_total * 1e3 / results.len() as f64,
+        pooled_total * 1e3 / results.len() as f64,
     );
 
     let kinds_json = results
@@ -216,9 +246,11 @@ fn main() {
             "  \"background_horizon_ticks\": {horizon},\n",
             "  \"background_load\": {load},\n",
             "  \"budget_ms\": {budget_ms},\n",
+            "  \"pool_workers\": {workers},\n",
             "  \"kinds\": [\n{kinds}\n  ],\n",
             "  \"overall_speedup_sequential\": {ss:.3},\n",
-            "  \"overall_speedup_parallel\": {sp:.3}\n",
+            "  \"overall_speedup_parallel\": {sp:.3},\n",
+            "  \"overall_speedup_pooled\": {spool:.3}\n",
             "}}\n"
         ),
         seed = seed,
@@ -227,9 +259,11 @@ fn main() {
         horizon = horizon,
         load = load,
         budget_ms = budget_ms,
+        workers = pool_workers,
         kinds = kinds_json,
         ss = speedup_sequential,
         sp = speedup_parallel,
+        spool = speedup_pooled,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("wrote {out}");
@@ -246,11 +280,19 @@ fn main() {
     }
 
     verdict(
-        "all three sweeps produce bit-identical strategies",
+        "all four sweeps produce bit-identical strategies",
         true, // asserted above, per kind
     );
     verdict(
         "planning sessions are >= 2x faster than clone-per-scenario sweeps",
-        speedup_parallel >= 2.0,
+        speedup_pooled >= 2.0,
     );
+    // Only meaningful with real parallel hardware: with zero persistent
+    // workers the pooled sweep *is* the sequential sweep.
+    if pool_workers >= 1 {
+        verdict(
+            "pooled sweep is no slower than the sequential sweep",
+            speedup_pooled >= speedup_sequential,
+        );
+    }
 }

@@ -172,15 +172,30 @@ pub struct GateLine {
 }
 
 /// Compares a fresh `strategy_sweep` result against the committed
-/// baseline: both overall speedups must be present and at or above
+/// baseline: all overall speedups must be present and at or above
 /// `min_speedup` (the paper-claim floor — absolute, not relative to the
 /// baseline, because CI machines are slower and noisier than the one
 /// that produced the committed numbers). Returns the per-metric lines
 /// and the overall verdict.
+///
+/// When `require_pooled_ge_sequential` is set (CI passes it on runners
+/// with ≥ 2 cores; meaningless on single-core machines where the pooled
+/// sweep falls back to the sequential one), an extra line checks that the
+/// persistent-pool sweep's overall speedup is at least the sequential
+/// sweep's — the regression tripwire for pool hand-off overhead.
 #[must_use]
-pub fn bench_gate(fresh: &str, baseline: &str, min_speedup: f64) -> (Vec<GateLine>, bool) {
-    let keys = ["overall_speedup_sequential", "overall_speedup_parallel"];
-    let lines: Vec<GateLine> = keys
+pub fn bench_gate(
+    fresh: &str,
+    baseline: &str,
+    min_speedup: f64,
+    require_pooled_ge_sequential: bool,
+) -> (Vec<GateLine>, bool) {
+    let keys = [
+        "overall_speedup_sequential",
+        "overall_speedup_parallel",
+        "overall_speedup_pooled",
+    ];
+    let mut lines: Vec<GateLine> = keys
         .iter()
         .map(|key| {
             let fresh_value = json_number(fresh, key);
@@ -192,6 +207,19 @@ pub fn bench_gate(fresh: &str, baseline: &str, min_speedup: f64) -> (Vec<GateLin
             }
         })
         .collect();
+    if require_pooled_ge_sequential {
+        let sequential = json_number(fresh, "overall_speedup_sequential");
+        let pooled = json_number(fresh, "overall_speedup_pooled");
+        lines.push(GateLine {
+            key: "pooled_ge_sequential",
+            fresh: pooled,
+            baseline: sequential,
+            pass: match (pooled, sequential) {
+                (Some(p), Some(s)) => p >= s,
+                _ => false,
+            },
+        });
+    }
     let pass = lines.iter().all(|l| l.pass);
     (lines, pass)
 }
@@ -263,24 +291,49 @@ mod tests {
 
     #[test]
     fn bench_gate_passes_and_fails_on_threshold() {
-        let fresh = "{\"overall_speedup_sequential\": 5.0, \"overall_speedup_parallel\": 4.0}";
-        let baseline = "{\"overall_speedup_sequential\": 34.1, \"overall_speedup_parallel\": 28.9}";
-        let (lines, pass) = bench_gate(fresh, baseline, 2.0);
+        let fresh = "{\"overall_speedup_sequential\": 5.0, \"overall_speedup_parallel\": 4.0, \
+                     \"overall_speedup_pooled\": 6.0}";
+        let baseline =
+            "{\"overall_speedup_sequential\": 34.1, \"overall_speedup_parallel\": 28.9, \
+                        \"overall_speedup_pooled\": 35.2}";
+        let (lines, pass) = bench_gate(fresh, baseline, 2.0, false);
         assert!(pass);
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert_eq!(lines[0].fresh, Some(5.0));
         assert_eq!(lines[0].baseline, Some(34.1));
 
-        let (lines, pass) = bench_gate(fresh, baseline, 4.5);
+        let (lines, pass) = bench_gate(fresh, baseline, 4.5, false);
         assert!(!pass, "parallel speedup 4.0 is below 4.5");
         assert!(lines[0].pass);
         assert!(!lines[1].pass);
+        assert!(lines[2].pass);
+    }
+
+    #[test]
+    fn bench_gate_pooled_vs_sequential_line() {
+        let ahead = "{\"overall_speedup_sequential\": 5.0, \"overall_speedup_parallel\": 4.0, \
+                     \"overall_speedup_pooled\": 6.0}";
+        let (lines, pass) = bench_gate(ahead, ahead, 2.0, true);
+        assert!(pass);
+        assert_eq!(lines.len(), 4);
+        let gate = &lines[3];
+        assert_eq!(gate.key, "pooled_ge_sequential");
+        assert_eq!(gate.fresh, Some(6.0));
+        assert_eq!(gate.baseline, Some(5.0));
+        assert!(gate.pass);
+
+        let behind = "{\"overall_speedup_sequential\": 5.0, \"overall_speedup_parallel\": 4.0, \
+                      \"overall_speedup_pooled\": 4.9}";
+        let (lines, pass) = bench_gate(behind, behind, 2.0, true);
+        assert!(!pass, "pooled 4.9 is behind sequential 5.0");
+        assert!(!lines[3].pass);
     }
 
     #[test]
     fn bench_gate_fails_on_missing_keys() {
-        let (lines, pass) = bench_gate("{}", "{}", 2.0);
+        let (lines, pass) = bench_gate("{}", "{}", 2.0, true);
         assert!(!pass);
+        assert_eq!(lines.len(), 4);
         assert!(lines.iter().all(|l| l.fresh.is_none() && !l.pass));
     }
 

@@ -59,11 +59,25 @@ impl AllocationContext<'_> {
     /// Optimistic remaining work downstream of each task: longest path of
     /// scenario-scaled durations on the fastest node class, zero transfer.
     /// Used to tighten per-task finish bounds under the job deadline.
+    ///
+    /// Hot paths should prefer [`Self::remaining_optimistic_into`] (or the
+    /// [`AllocScratch`] pass machinery, which computes this once per pass);
+    /// this wrapper allocates a fresh vector per call and is kept for tests
+    /// and one-shot callers.
     #[must_use]
     pub fn remaining_optimistic(&self) -> Vec<SimDuration> {
+        let mut rem = Vec::new();
+        self.remaining_optimistic_into(&mut rem);
+        rem
+    }
+
+    /// Allocation-free variant of [`Self::remaining_optimistic`]: fills
+    /// `rem` (cleared first) in place, reusing its capacity.
+    pub fn remaining_optimistic_into(&self, rem: &mut Vec<SimDuration>) {
         let fastest = self.pool.fastest_perf();
         let n = self.job.task_count();
-        let mut rem = vec![SimDuration::ZERO; n];
+        rem.clear();
+        rem.resize(n, SimDuration::ZERO);
         for &t in self.job.topo_order().iter().rev() {
             let mut best = SimDuration::ZERO;
             for e in self.job.outgoing(t) {
@@ -76,7 +90,6 @@ impl AllocationContext<'_> {
             }
             rem[t.index()] = best;
         }
-        rem
     }
 }
 
@@ -105,6 +118,38 @@ struct State {
     parent: Option<(usize, usize)>,
 }
 
+/// Reusable buffers for the co-allocation dynamic program.
+///
+/// One scheduling pass allocates several chains against the same
+/// [`AllocationContext`]; the downstream-slack table (`rem`) and the node
+/// list are invariant across those chains, and the Pareto `frontiers`
+/// triple-nested vector is by far the hottest allocation in the whole
+/// planner. An `AllocScratch` computes the invariants once per pass
+/// ([`Self::begin_pass`]) and recycles the frontier levels across chains
+/// so steady-state planning performs no per-chain heap allocation.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    rem: Vec<SimDuration>,
+    nodes: Vec<NodeId>,
+    /// `frontiers[position][node index] -> Pareto states`. Levels beyond
+    /// the current chain length are stale leftovers from longer chains and
+    /// are ignored.
+    frontiers: Vec<Vec<Vec<State>>>,
+}
+
+impl AllocScratch {
+    /// Prepares the pass-invariant tables (`rem`, `nodes`) for `ctx`.
+    ///
+    /// Must be called once before the first [`allocate_chain_into`] of a
+    /// pass and again whenever the context changes (different scenario,
+    /// deadline, pool, ...).
+    pub fn begin_pass(&mut self, ctx: &AllocationContext<'_>) {
+        ctx.remaining_optimistic_into(&mut self.rem);
+        self.nodes.clear();
+        self.nodes.extend(ctx.pool.nodes().map(|n| n.id()));
+    }
+}
+
 /// Allocates `chain` onto `availability` (any [`Availability`] view —
 /// a planning-session [`gridsched_model::availability::TimetableOverlay`]
 /// or materialized `Vec<Timetable>` clones), minimizing accumulated cost
@@ -121,26 +166,80 @@ struct State {
 /// # Panics
 ///
 /// Panics if `chain` is empty or `availability.node_count() != pool.len()`.
+///
+/// Hot paths should prefer [`allocate_chain_into`], which reuses a
+/// caller-owned [`AllocScratch`] and output vector; this wrapper allocates
+/// fresh ones per call and is kept for tests and one-shot callers.
 pub fn allocate_chain<A: Availability>(
     ctx: &AllocationContext<'_>,
     chain: &[TaskId],
     placed: &HashMap<TaskId, Placement>,
     availability: &A,
 ) -> Result<Vec<Placement>, AllocateError> {
+    let mut scratch = AllocScratch::default();
+    scratch.begin_pass(ctx);
+    let mut out = Vec::new();
+    allocate_chain_into(ctx, chain, placed, availability, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free variant of [`allocate_chain`].
+///
+/// Fills `out` (cleared first) with the chain's placements, reusing the DP
+/// buffers in `scratch`. [`AllocScratch::begin_pass`] must have been called
+/// for this `ctx` beforehand. Produces bit-identical results to the
+/// allocating wrapper.
+///
+/// # Errors
+///
+/// Returns [`AllocateError`] naming the first chain task that cannot be
+/// placed feasibly.
+///
+/// # Panics
+///
+/// Panics if `chain` is empty or `availability.node_count() != pool.len()`.
+pub fn allocate_chain_into<A: Availability>(
+    ctx: &AllocationContext<'_>,
+    chain: &[TaskId],
+    placed: &HashMap<TaskId, Placement>,
+    availability: &A,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<Placement>,
+) -> Result<(), AllocateError> {
     assert!(!chain.is_empty(), "cannot allocate an empty chain");
     assert_eq!(
         availability.node_count(),
         ctx.pool.len(),
         "availability view must cover every node"
     );
-    let rem = ctx.remaining_optimistic();
-    let nodes: Vec<NodeId> = ctx.pool.nodes().map(|n| n.id()).collect();
-    // frontiers[position][node index] -> Pareto states.
-    let mut frontiers: Vec<Vec<Vec<State>>> = Vec::with_capacity(chain.len());
+    out.clear();
+    let AllocScratch {
+        rem,
+        nodes,
+        frontiers,
+    } = scratch;
+    let rem: &[SimDuration] = rem;
+    let nodes: &[NodeId] = nodes;
+    // Recycle frontier levels: make sure there are enough, clear the ones
+    // this chain will use (keeping inner capacity), leave the rest stale.
+    if frontiers.len() < chain.len() {
+        frontiers.resize_with(chain.len(), Vec::new);
+    }
+    for level in frontiers.iter_mut().take(chain.len()) {
+        for states in level.iter_mut() {
+            states.clear();
+        }
+        if level.len() != nodes.len() {
+            level.resize_with(nodes.len(), Vec::new);
+        }
+    }
 
     for (pos, &task_id) in chain.iter().enumerate() {
         let task = ctx.job.task(task_id);
-        let mut level: Vec<Vec<State>> = vec![Vec::new(); nodes.len()];
+        // Split so the previous level stays readable while this one fills.
+        let (done, rest) = frontiers.split_at_mut(pos);
+        let level = &mut rest[0];
+        let prev_level = done.last();
         for (ni, &node_id) in nodes.iter().enumerate() {
             if let Some(domain) = ctx.domain {
                 if ctx.pool.node(node_id).domain() != domain {
@@ -201,7 +300,8 @@ pub fn allocate_chain<A: Availability>(
                     .incoming(task_id)
                     .find(|e| e.from() == prev_task)
                     .expect("consecutive chain tasks are connected");
-                for (pni, prev_states) in frontiers[pos - 1].iter().enumerate() {
+                let prev_frontier = prev_level.expect("pos > 0 has a previous level");
+                for (pni, prev_states) in prev_frontier.iter().enumerate() {
                     let prev_node = nodes[pni];
                     let chain_stall = ctx.policy.consumer_delay(
                         chain_edge.volume(),
@@ -230,19 +330,18 @@ pub fn allocate_chain<A: Availability>(
                 }
             }
         }
-        for states in &mut level {
+        for states in level.iter_mut() {
             prune_pareto(states);
         }
         if level.iter().all(Vec::is_empty) {
             return Err(AllocateError { task: task_id });
         }
-        frontiers.push(level);
     }
 
     // Pick the best final state under the objective (ties: smaller node
     // index, for determinism). A MinTime budget filters the frontier; if
     // nothing fits the budget the cheapest state is the fallback.
-    let last = frontiers.last().expect("chain is non-empty");
+    let last = &frontiers[chain.len() - 1];
     let mut best: Option<(usize, usize)> = None;
     let mut cheapest: Option<(usize, usize)> = None;
     for (ni, states) in last.iter().enumerate() {
@@ -275,15 +374,14 @@ pub fn allocate_chain<A: Availability>(
     }
     let (mut ni, mut si) = best.or(cheapest).expect("non-empty final frontier");
 
-    // Backtrack.
-    let mut placements = Vec::with_capacity(chain.len());
+    // Backtrack into the caller's buffer.
     for pos in (0..chain.len()).rev() {
         let state = frontiers[pos][ni][si];
         let prev_cost = state
             .parent
             .map(|(pni, psi)| frontiers[pos - 1][pni][psi].cost)
             .unwrap_or(0);
-        placements.push(Placement {
+        out.push(Placement {
             task: chain[pos],
             node: nodes[ni],
             window: TimeWindow::new(state.start, state.finish)
@@ -296,8 +394,8 @@ pub fn allocate_chain<A: Availability>(
             si = psi;
         }
     }
-    placements.reverse();
-    Ok(placements)
+    out.reverse();
+    Ok(())
 }
 
 /// `deadline - slack`, clamped at the epoch.

@@ -22,24 +22,73 @@ pub struct CriticalWork {
     pub length: SimDuration,
 }
 
+/// Reusable per-task buffers for [`next_critical_work_into`].
+///
+/// The longest-chain DP needs a `finish` duration and a `pred` back-pointer
+/// per task. Allocating them anew for every extraction dominated the
+/// allocation profile of a scheduling pass (one extraction per critical
+/// work, several works per job, one pass per scenario). A `ChainScratch`
+/// keeps both buffers alive across extractions so steady-state planning
+/// reuses their capacity instead of round-tripping the allocator.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    finish: Vec<SimDuration>,
+    pred: Vec<Option<TaskId>>,
+}
+
 /// Finds the longest chain among `unassigned` tasks only — the next
 /// critical work. Edges are considered only when both endpoints are
 /// unassigned.
 ///
 /// Returns `None` when `unassigned` is empty. Ties break deterministically
 /// towards smaller task ids.
+///
+/// Hot paths should prefer [`next_critical_work_into`], which reuses
+/// caller-owned buffers; this wrapper allocates fresh ones per call and is
+/// kept for tests and one-shot callers.
 pub fn next_critical_work(
+    job: &Job,
+    unassigned: &HashSet<TaskId>,
+    task_weight: impl FnMut(TaskId) -> SimDuration,
+    edge_weight: impl FnMut(&DataEdge) -> SimDuration,
+) -> Option<CriticalWork> {
+    let mut scratch = ChainScratch::default();
+    let mut tasks = Vec::new();
+    let length = next_critical_work_into(
+        job,
+        unassigned,
+        task_weight,
+        edge_weight,
+        &mut scratch,
+        &mut tasks,
+    )?;
+    Some(CriticalWork { tasks, length })
+}
+
+/// Allocation-free variant of [`next_critical_work`].
+///
+/// Fills `tasks` (cleared first) with the chain in precedence order and
+/// returns its length, reusing the DP buffers in `scratch`. Produces
+/// bit-identical results to the allocating wrapper.
+pub fn next_critical_work_into(
     job: &Job,
     unassigned: &HashSet<TaskId>,
     mut task_weight: impl FnMut(TaskId) -> SimDuration,
     mut edge_weight: impl FnMut(&DataEdge) -> SimDuration,
-) -> Option<CriticalWork> {
+    scratch: &mut ChainScratch,
+    tasks: &mut Vec<TaskId>,
+) -> Option<SimDuration> {
+    tasks.clear();
     if unassigned.is_empty() {
         return None;
     }
     let n = job.task_count();
-    let mut finish = vec![SimDuration::ZERO; n];
-    let mut pred: Vec<Option<TaskId>> = vec![None; n];
+    scratch.finish.clear();
+    scratch.finish.resize(n, SimDuration::ZERO);
+    scratch.pred.clear();
+    scratch.pred.resize(n, None);
+    let finish = &mut scratch.finish;
+    let pred = &mut scratch.pred;
     let mut best_end: Option<TaskId> = None;
     let mut best_len = SimDuration::ZERO;
     for &t in job.topo_order() {
@@ -71,15 +120,12 @@ pub fn next_critical_work(
         }
     }
     let end = best_end?;
-    let mut tasks = vec![end];
+    tasks.push(end);
     while let Some(p) = pred[tasks.last().expect("non-empty chain").index()] {
         tasks.push(p);
     }
     tasks.reverse();
-    Some(CriticalWork {
-        tasks,
-        length: best_len,
-    })
+    Some(best_len)
 }
 
 /// Decomposes the whole job into vertex-disjoint critical works, longest

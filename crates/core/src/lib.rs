@@ -55,6 +55,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Persistent worker pool for scenario sweeps.
+///
+/// The implementation is vendored in the (tiny, dependency-free)
+/// `gridsched-exec` crate because the pool needs two narrow `unsafe`
+/// ingredients and every other workspace crate — this one included —
+/// carries `#![forbid(unsafe_code)]`. Re-exported here so planning code
+/// and tests can simply say `gridsched_core::pool::WorkerPool`.
+pub mod pool {
+    pub use gridsched_exec::WorkerPool;
+}
+
 pub mod allocate;
 pub mod chains;
 pub mod cost;
@@ -63,6 +74,7 @@ pub mod gantt;
 pub mod granularity;
 pub mod method;
 pub mod objective;
+pub mod scratch;
 pub mod session;
 pub mod strategy;
 
@@ -79,5 +91,6 @@ pub use method::{
     ScheduleRequest,
 };
 pub use objective::Objective;
+pub use scratch::{EngineScratch, Scratch};
 pub use session::PlanningSession;
-pub use strategy::{Strategy, StrategyConfig, StrategyKind, FULL_SWEEP_SCENARIOS};
+pub use strategy::{Strategy, StrategyConfig, StrategyKind, SweepExecutor, FULL_SWEEP_SCENARIOS};

@@ -39,31 +39,44 @@ use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
 use gridsched_model::timetable::{ReservationOwner, Timetable};
 
-use crate::allocate::{allocate_chain, AllocationContext};
-use crate::chains::{next_critical_work, CriticalWork};
+use crate::allocate::{allocate_chain_into, AllocationContext};
+use crate::chains::{next_critical_work_into, CriticalWork};
 use crate::distribution::{CollisionRecord, Distribution, Placement};
+use crate::scratch::EngineScratch;
 use crate::session::PlanningSession;
 
-/// Vertex-disjoint critical works over the not-yet-placed tasks only.
+/// Vertex-disjoint critical works over the not-yet-placed tasks only,
+/// written into `scratch.works` (task vectors recycled from
+/// `scratch.spare_tasks`).
 fn decompose_remaining(
     req: &ScheduleRequest<'_>,
-    unassigned: &std::collections::HashSet<TaskId>,
     fastest: gridsched_model::perf::Perf,
-) -> Vec<CriticalWork> {
-    let mut remaining = unassigned.clone();
-    let mut works = Vec::new();
-    while let Some(work) = next_critical_work(
-        req.job,
-        &remaining,
-        |t| req.scenario.duration(req.job.task(t), fastest),
-        |e| req.policy.transfer_model().intra_domain_time(e.volume()),
-    ) {
-        for t in &work.tasks {
-            remaining.remove(t);
+    scratch: &mut EngineScratch,
+) {
+    scratch.remaining.clone_from(&scratch.unassigned);
+    loop {
+        let mut tasks = scratch.spare_tasks.pop().unwrap_or_default();
+        let length = next_critical_work_into(
+            req.job,
+            &scratch.remaining,
+            |t| req.scenario.duration(req.job.task(t), fastest),
+            |e| req.policy.transfer_model().intra_domain_time(e.volume()),
+            &mut scratch.chain,
+            &mut tasks,
+        );
+        match length {
+            Some(length) => {
+                for t in &tasks {
+                    scratch.remaining.remove(t);
+                }
+                scratch.works.push(CriticalWork { tasks, length });
+            }
+            None => {
+                scratch.spare_tasks.push(tasks);
+                break;
+            }
         }
-        works.push(work);
     }
-    works
 }
 
 /// Inputs of one critical-works scheduling run.
@@ -157,6 +170,9 @@ pub fn build_distribution_cloning(
         false,
         &background,
         &mut with_job,
+        // The baseline deliberately pays for a fresh working set per run,
+        // like the pre-refactor code did.
+        &mut EngineScratch::default(),
     )
 }
 
@@ -295,6 +311,10 @@ pub fn build_distribution_recovering(
 /// passes two fresh [`gridsched_model::availability::TimetableOverlay`]s
 /// over one shared snapshot; [`build_distribution_cloning`] passes two
 /// materialized `Vec<Timetable>` clones.
+///
+/// All working buffers live in `scratch` and are reused across passes
+/// (cleared before use, so a fresh [`EngineScratch`] behaves identically
+/// to a recycled one); only the returned [`Distribution`] is allocated.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_method_chains<A: Availability>(
     req: &ScheduleRequest<'_>,
@@ -306,6 +326,7 @@ pub(crate) fn run_method_chains<A: Availability>(
     singleton_chains: bool,
     background: &A,
     with_job: &mut A,
+    scratch: &mut EngineScratch,
 ) -> Result<Distribution, ScheduleError> {
     let ctx = AllocationContext {
         job: req.job,
@@ -320,56 +341,90 @@ pub(crate) fn run_method_chains<A: Availability>(
     // Chain ranking weights: scenario-scaled durations on the fastest node
     // class; transfers at the cheapest (intra-domain) price.
     let fastest = req.pool.fastest_perf();
-    let unassigned: std::collections::HashSet<TaskId> = req
-        .job
-        .tasks()
-        .iter()
-        .map(|t| t.id())
-        .filter(|t| !fixed.contains_key(t))
-        .collect();
-    let works = if singleton_chains {
+    scratch.unassigned.clear();
+    scratch.unassigned.extend(
         req.job
-            .topo_order()
+            .tasks()
             .iter()
-            .filter(|t| unassigned.contains(t))
-            .map(|&t| CriticalWork {
-                tasks: vec![t],
+            .map(|t| t.id())
+            .filter(|t| !fixed.contains_key(t)),
+    );
+    // Retire the previous pass's critical works, keeping their task
+    // vectors' capacity for this pass.
+    for work in scratch.works.drain(..) {
+        let mut tasks = work.tasks;
+        tasks.clear();
+        scratch.spare_tasks.push(tasks);
+    }
+    if singleton_chains {
+        for &t in req.job.topo_order() {
+            if !scratch.unassigned.contains(&t) {
+                continue;
+            }
+            let mut tasks = scratch.spare_tasks.pop().unwrap_or_default();
+            tasks.push(t);
+            scratch.works.push(CriticalWork {
+                tasks,
                 length: req.scenario.duration(req.job.task(t), fastest),
-            })
-            .collect()
+            });
+        }
     } else {
-        decompose_remaining(req, &unassigned, fastest)
-    };
+        decompose_remaining(req, fastest, scratch);
+    }
 
-    let mut placed: HashMap<TaskId, Placement> = fixed.clone();
+    scratch.placed.clear();
+    scratch.placed.extend(fixed.iter().map(|(&t, &p)| (t, p)));
+    scratch.alloc.begin_pass(&ctx);
     let mut collisions: Vec<CollisionRecord> = Vec::new();
 
-    for work in &works {
+    for work in &scratch.works {
         // Phase 1: ideal allocation against the background only (the
         // single-phase ablation skips straight to the true availability).
         let ideal = if two_phase {
-            allocate_chain(&ctx, &work.tasks, &placed, background)
+            allocate_chain_into(
+                &ctx,
+                &work.tasks,
+                &scratch.placed,
+                background,
+                &mut scratch.alloc,
+                &mut scratch.ideal,
+            )
         } else {
-            allocate_chain(&ctx, &work.tasks, &placed, &*with_job)
+            allocate_chain_into(
+                &ctx,
+                &work.tasks,
+                &scratch.placed,
+                &*with_job,
+                &mut scratch.alloc,
+                &mut scratch.ideal,
+            )
         };
-        let chosen = match ideal {
-            Ok(placements) => {
-                let conflicting: Vec<&Placement> = placements
-                    .iter()
-                    .filter(|p| !with_job.is_free(p.node, p.window))
-                    .collect();
-                if conflicting.is_empty() {
-                    Ok(placements)
-                } else {
-                    // Phase 2: collisions with sibling critical works.
-                    for p in &conflicting {
+        let chosen: Result<&[Placement], crate::allocate::AllocateError> = match ideal {
+            Ok(()) => {
+                let mut any_conflict = false;
+                for p in &scratch.ideal {
+                    if !with_job.is_free(p.node, p.window) {
+                        // Phase 2: collision with a sibling critical work.
+                        any_conflict = true;
                         collisions.push(CollisionRecord {
                             task: p.task,
                             node: p.node,
                             group: req.pool.node(p.node).group(),
                         });
                     }
-                    allocate_chain(&ctx, &work.tasks, &placed, &*with_job)
+                }
+                if !any_conflict {
+                    Ok(&scratch.ideal)
+                } else {
+                    allocate_chain_into(
+                        &ctx,
+                        &work.tasks,
+                        &scratch.placed,
+                        &*with_job,
+                        &mut scratch.alloc,
+                        &mut scratch.resolved,
+                    )
+                    .map(|()| scratch.resolved.as_slice())
                 }
             }
             Err(e) => Err(e),
@@ -379,7 +434,7 @@ pub(crate) fn run_method_chains<A: Availability>(
             scenario: req.scenario,
             collisions: collisions.clone(),
         })?;
-        for p in placements {
+        for &p in placements {
             with_job
                 .reserve(
                     p.node,
@@ -390,11 +445,11 @@ pub(crate) fn run_method_chains<A: Availability>(
                     }),
                 )
                 .expect("allocation chose a free window");
-            placed.insert(p.task, p);
+            scratch.placed.insert(p.task, p);
         }
     }
 
-    let mut placements: Vec<Placement> = placed.into_values().collect();
+    let mut placements: Vec<Placement> = scratch.placed.drain().map(|(_, p)| p).collect();
     placements.sort_by_key(|p| p.task);
     Ok(Distribution::new(req.scenario, placements, collisions))
 }

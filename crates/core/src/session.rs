@@ -31,6 +31,7 @@ use gridsched_model::node::ResourcePool;
 use crate::distribution::{Distribution, Placement};
 use crate::method::{run_method_chains, ScheduleError, ScheduleRequest};
 use crate::objective::Objective;
+use crate::scratch::Scratch;
 
 /// A planning session: a pool reference plus one shared availability
 /// snapshot that every what-if view of the session reads through.
@@ -172,19 +173,30 @@ impl<'p> PlanningSession<'p> {
             .telemetry
             .span_under("critical_works_pass", self.span_parent);
         self.telemetry.incr(Counter::CriticalWorksPasses);
-        let background = self.overlay();
-        let mut with_job = self.overlay();
-        let result = run_method_chains(
-            req,
-            fixed,
-            deadline,
-            two_phase,
-            domain,
-            objective,
-            singleton_chains,
-            &background,
-            &mut with_job,
-        );
+        let result = Scratch::with(|scratch| {
+            // Overlays come from the thread's arena (rebased on this
+            // session's snapshot); the counter keeps its pre-arena meaning
+            // of "overlay views handed out".
+            self.telemetry.incr(Counter::OverlaysCreated);
+            self.telemetry.incr(Counter::OverlaysCreated);
+            let background = scratch.take_overlay(&self.snapshot);
+            let mut with_job = scratch.take_overlay(&self.snapshot);
+            let result = run_method_chains(
+                req,
+                fixed,
+                deadline,
+                two_phase,
+                domain,
+                objective,
+                singleton_chains,
+                &background,
+                &mut with_job,
+                &mut scratch.engine,
+            );
+            scratch.recycle_overlay(background);
+            scratch.recycle_overlay(with_job);
+            result
+        });
         // Plan conflicts are observed either way: a successful pass records
         // the collisions it routed around, a failed pass the ones that
         // stranded it.

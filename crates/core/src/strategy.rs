@@ -15,6 +15,7 @@
 use std::borrow::Cow;
 use std::fmt;
 
+use gridsched_exec::WorkerPool;
 use gridsched_sim::time::SimTime;
 
 use gridsched_data::policy::DataPolicy;
@@ -30,6 +31,63 @@ use crate::session::PlanningSession;
 
 /// Number of scenarios in the full sweeps of S1/S2/S3.
 pub const FULL_SWEEP_SCENARIOS: usize = 4;
+
+/// How a scenario sweep is executed.
+///
+/// All three executors are **bit-identical** in output: each scenario's
+/// schedule depends only on the immutable session snapshot, and results are
+/// always collected in sweep order regardless of completion order (the
+/// determinism suite pins this three ways). They differ only in cost:
+///
+/// * [`Sequential`](SweepExecutor::Sequential) — one scenario after another
+///   on the calling thread. The baseline, and what small sweeps resolve to.
+/// * [`Scoped`](SweepExecutor::Scoped) — the legacy one-OS-thread-per-
+///   scenario `std::thread::scope` sweep. Kept as a differential reference;
+///   spawn/join churn makes it *slower* than sequential for ~500µs
+///   scenarios.
+/// * [`Pooled`](SweepExecutor::Pooled) — scenarios drained by a persistent
+///   [`WorkerPool`] (see [`crate::pool`]), reused across sweeps and across
+///   the whole campaign.
+///
+/// Small sweeps are not worth fanning out: `Pooled` resolves to
+/// `Sequential` when the sweep has ≤ 2 scenarios or the machine offers no
+/// parallelism (a zero-worker pool — [`WorkerPool::global`] has zero
+/// workers exactly when `available_parallelism() == 1`). This fixes the
+/// old regression where `Strategy::generate` spawned threads
+/// unconditionally, even for MS1's two scenarios on a single core.
+/// `Scoped` deliberately keeps spawning — it exists as a faithful
+/// differential reference for what the pool replaced.
+#[derive(Clone, Copy)]
+pub enum SweepExecutor<'e> {
+    /// Plan scenarios one after another on the calling thread.
+    Sequential,
+    /// Spawn one scoped OS thread per scenario (legacy reference path).
+    Scoped,
+    /// Drain scenarios through a persistent worker pool.
+    Pooled(&'e WorkerPool),
+}
+
+impl SweepExecutor<'static> {
+    /// The default executor: the process-wide persistent pool
+    /// ([`WorkerPool::global`]), which resolves to a sequential sweep on
+    /// single-core machines and for ≤ 2-scenario sweeps.
+    #[must_use]
+    pub fn auto() -> Self {
+        SweepExecutor::Pooled(WorkerPool::global())
+    }
+}
+
+impl<'e> SweepExecutor<'e> {
+    /// Applies the small-sweep / no-parallelism fallback.
+    fn resolve(self, scenario_count: usize) -> SweepExecutor<'e> {
+        match self {
+            SweepExecutor::Pooled(pool) if scenario_count <= 2 || pool.workers() == 0 => {
+                SweepExecutor::Sequential
+            }
+            other => other,
+        }
+    }
+}
 
 /// The four strategy types of §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -191,11 +249,14 @@ impl Strategy {
     /// collisions still count).
     ///
     /// All scenarios plan inside **one** [`PlanningSession`] (a single
-    /// availability snapshot shared by reference) and run concurrently on
-    /// scoped threads; the result is bit-identical to the sequential sweep
+    /// availability snapshot shared by reference) and are drained by the
+    /// process-wide persistent [`WorkerPool`] ([`SweepExecutor::auto`]);
+    /// the result is bit-identical to the sequential sweep
     /// ([`Strategy::generate_sequential`]) because each scenario's
     /// schedule depends only on the immutable snapshot and the results are
-    /// collected in sweep order.
+    /// collected in sweep order. Sweeps with ≤ 2 scenarios, and any sweep
+    /// on a machine without parallelism, fall back to the sequential path
+    /// instead of paying thread hand-off for sub-millisecond work.
     #[must_use]
     pub fn generate(
         job: &Job,
@@ -203,15 +264,67 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
+        Strategy::generate_with(job, pool, config, release, SweepExecutor::auto())
+    }
+
+    /// [`Strategy::generate`] with an explicit [`SweepExecutor`] — how the
+    /// determinism suite cross-checks the pooled, scoped and sequential
+    /// sweeps against each other (optionally on a caller-built
+    /// [`WorkerPool`], so multi-worker pooling is exercised even on
+    /// single-core machines).
+    #[must_use]
+    pub fn generate_with(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        executor: SweepExecutor<'_>,
+    ) -> Strategy {
         Strategy::generate_prepared(
             Self::planning_job(job, config),
             pool,
             config,
             release,
-            true,
+            executor,
             &Telemetry::disabled(),
             None,
         )
+    }
+
+    /// [`Strategy::generate_with`] with a telemetry recorder attached.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn generate_with_instrumented(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        executor: SweepExecutor<'_>,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Strategy {
+        Strategy::generate_prepared(
+            Self::planning_job(job, config),
+            pool,
+            config,
+            release,
+            executor,
+            telemetry,
+            parent,
+        )
+    }
+
+    /// The legacy spawn-per-scenario sweep on scoped OS threads, kept as a
+    /// differential reference for the persistent-pool path (and for the
+    /// `strategy_sweep` bench's historical "parallel" column).
+    #[must_use]
+    pub fn generate_scoped(
+        job: &Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+    ) -> Strategy {
+        Strategy::generate_with(job, pool, config, release, SweepExecutor::Scoped)
     }
 
     /// [`Strategy::generate`] with a telemetry recorder attached: the whole
@@ -229,12 +342,12 @@ impl Strategy {
         telemetry: &Telemetry,
         parent: Option<SpanId>,
     ) -> Strategy {
-        Strategy::generate_prepared(
-            Self::planning_job(job, config),
+        Strategy::generate_with_instrumented(
+            job,
             pool,
             config,
             release,
-            true,
+            SweepExecutor::auto(),
             telemetry,
             parent,
         )
@@ -255,16 +368,16 @@ impl Strategy {
             pool,
             config,
             release,
-            true,
+            SweepExecutor::auto(),
             &Telemetry::disabled(),
             None,
         )
     }
 
     /// [`Strategy::generate_owned`] with a telemetry recorder attached;
-    /// `parallel` selects between the scoped-thread sweep and the
-    /// sequential baseline (both bit-identical). This is the job-flow
-    /// campaign's hand-off path.
+    /// `parallel` selects between the pooled sweep ([`SweepExecutor::auto`])
+    /// and the sequential baseline (both bit-identical). This is the
+    /// job-flow campaign's hand-off path.
     #[must_use]
     pub fn generate_owned_instrumented(
         job: Job,
@@ -275,7 +388,12 @@ impl Strategy {
         telemetry: &Telemetry,
         parent: Option<SpanId>,
     ) -> Strategy {
-        Strategy::generate_owned_inner(job, pool, config, release, parallel, telemetry, parent)
+        let executor = if parallel {
+            SweepExecutor::auto()
+        } else {
+            SweepExecutor::Sequential
+        };
+        Strategy::generate_owned_inner(job, pool, config, release, executor, telemetry, parent)
     }
 
     /// [`Strategy::generate_owned`] with the scenario sweep forced
@@ -293,7 +411,7 @@ impl Strategy {
             pool,
             config,
             release,
-            false,
+            SweepExecutor::Sequential,
             &Telemetry::disabled(),
             None,
         )
@@ -305,7 +423,7 @@ impl Strategy {
         pool: &ResourcePool,
         config: &StrategyConfig,
         release: SimTime,
-        parallel: bool,
+        executor: SweepExecutor<'_>,
         telemetry: &Telemetry,
         parent: Option<SpanId>,
     ) -> Strategy {
@@ -319,7 +437,7 @@ impl Strategy {
             pool,
             config,
             release,
-            parallel,
+            executor,
             telemetry,
             parent,
         )
@@ -334,15 +452,7 @@ impl Strategy {
         config: &StrategyConfig,
         release: SimTime,
     ) -> Strategy {
-        Strategy::generate_prepared(
-            Self::planning_job(job, config),
-            pool,
-            config,
-            release,
-            false,
-            &Telemetry::disabled(),
-            None,
-        )
+        Strategy::generate_with(job, pool, config, release, SweepExecutor::Sequential)
     }
 
     /// The pre-refactor baseline sweep: sequential, with every scenario
@@ -398,16 +508,16 @@ impl Strategy {
     ///
     /// `planning_job` must already be in planning granularity (coarsened
     /// for S3) — this is what lets [`Strategy::refresh`] reuse its stored
-    /// job without re-coarsening. With `parallel`, scenarios run on scoped
-    /// threads reading the shared snapshot; results are collected in sweep
-    /// order, so output is bit-identical either way.
+    /// job without re-coarsening. Whatever the executor, results are
+    /// collected in sweep order, so output is bit-identical across all of
+    /// them.
     #[allow(clippy::too_many_arguments)]
     fn generate_prepared(
         planning_job: Cow<'_, Job>,
         pool: &ResourcePool,
         config: &StrategyConfig,
         release: SimTime,
-        parallel: bool,
+        executor: SweepExecutor<'_>,
         telemetry: &Telemetry,
         parent: Option<SpanId>,
     ) -> Strategy {
@@ -431,27 +541,37 @@ impl Strategy {
                 })
         };
         let scenarios = config.sweep.scenarios();
-        let results: Vec<Result<Distribution, ScheduleError>> = if parallel && scenarios.len() > 1 {
-            // First scenario on the current thread, the rest on scoped
-            // threads; collection order is the sweep order regardless
-            // of completion order.
-            std::thread::scope(|s| {
-                let plan = &plan;
-                let handles: Vec<_> = scenarios[1..]
-                    .iter()
-                    .map(|&scenario| s.spawn(move || plan(scenario)))
-                    .collect();
-                let first = plan(scenarios[0]);
-                std::iter::once(first)
-                    .chain(
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("scenario planning never panics")),
-                    )
-                    .collect()
-            })
-        } else {
-            scenarios.iter().map(|&scenario| plan(scenario)).collect()
+        let results: Vec<Result<Distribution, ScheduleError>> = match executor
+            .resolve(scenarios.len())
+        {
+            SweepExecutor::Sequential => scenarios.iter().map(|&scenario| plan(scenario)).collect(),
+            SweepExecutor::Pooled(worker_pool) => {
+                // Persistent workers drain the sweep (the calling
+                // thread participates); results land in slots addressed
+                // by sweep index, so collection order is sweep order
+                // regardless of completion order.
+                telemetry.incr(Counter::PooledSweeps);
+                worker_pool.scatter(scenarios.len(), |i| plan(scenarios[i]))
+            }
+            SweepExecutor::Scoped => {
+                // Legacy path: first scenario on the current thread,
+                // the rest on freshly spawned scoped threads.
+                std::thread::scope(|s| {
+                    let plan = &plan;
+                    let handles: Vec<_> = scenarios[1..]
+                        .iter()
+                        .map(|&scenario| s.spawn(move || plan(scenario)))
+                        .collect();
+                    let first = plan(scenarios[0]);
+                    std::iter::once(first)
+                        .chain(
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("scenario planning never panics")),
+                        )
+                        .collect()
+                })
+            }
         };
         let mut distributions = Vec::new();
         let mut failures = Vec::new();
@@ -503,7 +623,7 @@ impl Strategy {
             pool,
             &self.config,
             now,
-            true,
+            SweepExecutor::auto(),
             telemetry,
             parent,
         )

@@ -184,6 +184,8 @@ struct Campaign<'a> {
     telemetry: Telemetry,
     /// The `campaign` root span every top-level phase parents under.
     root: Option<SpanId>,
+    /// Reused buffer for outage gap-blocking (`free_windows_into`).
+    gap_scratch: Vec<TimeWindow>,
 }
 
 enum Event {
@@ -222,6 +224,10 @@ impl<'a> Campaign<'a> {
         if config.background_load > 0.0 {
             apply_background_load(&mut pool, &bg, &mut bg_rng);
         }
+        // Spin the persistent sweep workers up front so the first strategy
+        // sweep of the campaign doesn't pay the one-off thread spawn; every
+        // later sweep reuses the same pool.
+        let _ = gridsched_core::pool::WorkerPool::global();
         Campaign {
             config,
             pool,
@@ -235,6 +241,7 @@ impl<'a> Campaign<'a> {
             trace: config.collect_trace.then(crate::trace::CampaignTrace::new),
             telemetry: telemetry.clone(),
             root,
+            gap_scratch: Vec::new(),
         }
     }
 
@@ -561,8 +568,12 @@ impl<'a> Campaign<'a> {
         );
         // Block every remaining free gap of the outage window (background
         // reservations already occupying parts of it need no blocking).
-        let gaps = self.pool.timetable(node).free_windows(window);
-        for gap in gaps {
+        // The gap buffer is campaign-owned and reused across outages.
+        let mut gaps = std::mem::take(&mut self.gap_scratch);
+        self.pool
+            .timetable(node)
+            .free_windows_into(window, &mut gaps);
+        for &gap in &gaps {
             let tag = self.next_background_tag;
             self.next_background_tag += 1;
             self.pool
@@ -570,6 +581,8 @@ impl<'a> Campaign<'a> {
                 .reserve(gap, ReservationOwner::Background(tag))
                 .expect("free_windows returned a free gap");
         }
+        gaps.clear();
+        self.gap_scratch = gaps;
         // Group victims by job; tasks already running at `at` are forced
         // migrations (their reservation is gone mid-execution).
         let mut victims: Vec<(JobId, Vec<TaskId>)> = Vec::new();

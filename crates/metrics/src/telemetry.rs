@@ -118,11 +118,15 @@ pub enum Counter {
     ProfileOverlays,
     /// Start-time forecasts computed for newly arrived batch jobs.
     StartPredictions,
+    /// Scenario sweeps actually executed on the persistent worker pool
+    /// (sweeps that fell back to sequential — small sweeps, single-core
+    /// machines — do not count).
+    PooledSweeps,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 26] = [
         Counter::JobsReleased,
         Counter::JobsActivated,
         Counter::FlowAssignments,
@@ -148,6 +152,7 @@ impl Counter {
         Counter::ConservativeTrials,
         Counter::ProfileOverlays,
         Counter::StartPredictions,
+        Counter::PooledSweeps,
     ];
 
     const COUNT: usize = Counter::ALL.len();
@@ -181,6 +186,7 @@ impl Counter {
             Counter::ConservativeTrials => "conservative_trials",
             Counter::ProfileOverlays => "profile_overlays",
             Counter::StartPredictions => "start_predictions",
+            Counter::PooledSweeps => "pooled_sweeps",
         }
     }
 }

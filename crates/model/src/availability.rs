@@ -16,7 +16,28 @@
 //! the union of base and tentative reservations would — the differential
 //! property suite (`crates/model/tests/prop_overlay.rs`) pins this
 //! equivalence on random reservation sets.
+//!
+//! # Query caching
+//!
+//! `earliest_fit` dominates the planning hot path: the Pareto allocator
+//! asks it once per (task position, node, predecessor state), and the
+//! probes within one pass are mostly monotone in time. The overlay
+//! therefore keeps a tiny per-node cache (interior-mutable, so reads stay
+//! `&self`): a **merged cursor** remembering where in the base/tentative
+//! lists the last query stood, advanced by galloping instead of
+//! re-bisecting from scratch, and an **epoch-tagged fit memo** that can
+//! answer repeat `earliest_fit` probes outright. Every tentative mutation
+//! (`reserve_window` / `release_window`) bumps the node's epoch, which
+//! invalidates its memos wholesale; a differential property test pins that
+//! cached answers equal a cold recompute after arbitrary reserve/release
+//! interleavings.
+//!
+//! The cache makes [`TimetableOverlay`] deliberately **not `Sync`**:
+//! overlays are per-scenario scratch, owned and queried by a single
+//! planning thread, while the shared state ([`AvailabilitySnapshot`])
+//! stays immutable and freely shareable.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::Arc;
 
@@ -208,8 +229,80 @@ impl AvailabilitySnapshot {
 pub struct TimetableOverlay {
     base: AvailabilitySnapshot,
     /// `tentative[NodeId::index]` = this view's own reservations, sorted
-    /// by start, non-overlapping with each other and with the base.
+    /// by start, non-overlapping with each other and with the base. Kept
+    /// sorted **incrementally** on insert (binary-searched position), so
+    /// queries never re-sort or re-merge.
     tentative: Vec<Vec<TimeWindow>>,
+    /// `cache[NodeId::index]` = that node's query cache (cursor + fit
+    /// memo), epoch-tagged against tentative mutations. `Cell` keeps query
+    /// methods `&self`; see the module docs for the `!Sync` trade.
+    cache: Vec<Cell<NodeCache>>,
+}
+
+/// Per-node query cache of a [`TimetableOverlay`].
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeCache {
+    /// Epoch of the node's tentative list; bumped on every mutation.
+    /// Memos tagged with an older epoch are dead.
+    epoch: u64,
+    cursor: Option<CursorMemo>,
+    fit: Option<FitMemo>,
+}
+
+/// Where the last merged walk over a node stood: `i`/`j` are the first
+/// base/tentative indices whose windows end after `after`.
+#[derive(Debug, Clone, Copy)]
+struct CursorMemo {
+    epoch: u64,
+    after: SimTime,
+    i: usize,
+    j: usize,
+}
+
+/// The last `earliest_fit` probe on a node and its answer.
+///
+/// Reusable because a start's feasibility (`[s, s + duration)` free,
+/// `s + duration <= deadline`) does not depend on `not_before`:
+///
+/// * `result == Some(hit)`: for any `t` in `[not_before, hit]` the answer
+///   is still `hit` — no feasible start exists in `[not_before, hit)`, so
+///   none exists in `[t, hit)` either, and `hit` itself remains feasible.
+/// * `result == None`: for any `t >= not_before` the answer is still
+///   `None` — raising the lower bound only shrinks the feasible region.
+#[derive(Debug, Clone, Copy)]
+struct FitMemo {
+    epoch: u64,
+    not_before: SimTime,
+    duration: SimDuration,
+    deadline: SimTime,
+    result: Option<SimTime>,
+}
+
+/// First index at or after `from` whose window ends after `t`, given that
+/// every window before `from` ends at or before `t` (ends are strictly
+/// increasing in a sorted non-overlapping list).
+///
+/// Gallops from `from` before bisecting: within one planning pass the
+/// probes advance nearly monotonically, so the answer is usually within a
+/// step or two of the previous cursor and the whole-list
+/// `partition_point` is wasted work.
+fn first_ending_after_from(ws: &[TimeWindow], from: usize, t: SimTime) -> usize {
+    let tail = &ws[from..];
+    let n = tail.len();
+    if n == 0 || tail[0].end() > t {
+        return from;
+    }
+    // tail[prev] is known to end at or before `t`.
+    let mut prev = 0usize;
+    let mut step = 1usize;
+    while prev + step < n && tail[prev + step].end() <= t {
+        prev += step;
+        step *= 2;
+    }
+    // The answer is in (prev, min(prev + step, n)].
+    let upper = (prev + step).min(n);
+    let within = tail[prev + 1..upper].partition_point(|w| w.end() <= t);
+    from + prev + 1 + within
 }
 
 /// Two-pointer merge over a node's base and tentative windows.
@@ -226,17 +319,6 @@ struct MergedWindows<'a> {
 }
 
 impl<'a> MergedWindows<'a> {
-    /// Positions both cursors at the first window ending after `t`
-    /// (mirrors `Timetable::first_ending_after`).
-    fn ending_after(base: &'a [TimeWindow], extra: &'a [TimeWindow], t: SimTime) -> Self {
-        MergedWindows {
-            base,
-            extra,
-            i: base.partition_point(|w| w.end() <= t),
-            j: extra.partition_point(|w| w.end() <= t),
-        }
-    }
-
     fn peek(&self) -> Option<TimeWindow> {
         match (self.base.get(self.i), self.extra.get(self.j)) {
             (Some(&a), Some(&b)) => Some(if a.start() <= b.start() { a } else { b }),
@@ -276,6 +358,29 @@ impl TimetableOverlay {
         TimetableOverlay {
             base,
             tentative: vec![Vec::new(); n],
+            cache: vec![Cell::new(NodeCache::default()); n],
+        }
+    }
+
+    /// Rebinds this overlay to a (possibly different) snapshot, dropping
+    /// every tentative reservation but **keeping the allocated buffers** —
+    /// the scratch-arena recycling path: steady-state planning reuses one
+    /// overlay per role instead of allocating fresh per-node `Vec`s every
+    /// scenario.
+    pub fn reset_to(&mut self, base: AvailabilitySnapshot) {
+        let n = base.node_count();
+        self.base = base;
+        self.tentative.resize_with(n, Vec::new);
+        for list in &mut self.tentative {
+            list.clear();
+        }
+        self.cache.resize_with(n, Cell::default);
+        for cell in &self.cache {
+            let mut cache = cell.get();
+            cache.epoch += 1;
+            cache.cursor = None;
+            cache.fit = None;
+            cell.set(cache);
         }
     }
 
@@ -291,8 +396,44 @@ impl TimetableOverlay {
         self.tentative[node.index()].len()
     }
 
+    /// Merged base + tentative walk starting at the first windows ending
+    /// after `t`, resuming from the node's cached cursor when the query
+    /// moved forward in time (the common case inside a planning pass) and
+    /// re-bisecting from scratch otherwise. The refreshed cursor is stored
+    /// back for the next query.
     fn merged_after(&self, node: NodeId, t: SimTime) -> MergedWindows<'_> {
-        MergedWindows::ending_after(self.base.windows(node), &self.tentative[node.index()], t)
+        let idx = node.index();
+        let base = self.base.windows(node);
+        let extra = self.tentative[idx].as_slice();
+        let mut cache = self.cache[idx].get();
+        let (i, j) = match cache.cursor {
+            Some(c) if c.epoch == cache.epoch && t >= c.after => (
+                first_ending_after_from(base, c.i, t),
+                first_ending_after_from(extra, c.j, t),
+            ),
+            _ => (
+                base.partition_point(|w| w.end() <= t),
+                extra.partition_point(|w| w.end() <= t),
+            ),
+        };
+        cache.cursor = Some(CursorMemo {
+            epoch: cache.epoch,
+            after: t,
+            i,
+            j,
+        });
+        self.cache[idx].set(cache);
+        MergedWindows { base, extra, i, j }
+    }
+
+    /// Bumps the node's epoch, killing its cursor and fit memos.
+    fn invalidate(&mut self, idx: usize) {
+        let cell = &self.cache[idx];
+        let mut cache = cell.get();
+        cache.epoch += 1;
+        cache.cursor = None;
+        cache.fit = None;
+        cell.set(cache);
     }
 
     /// The first base or tentative window overlapping `window`, if any.
@@ -316,7 +457,13 @@ impl TimetableOverlay {
     /// `[s, s + duration)` is free and ends no later than `deadline`.
     ///
     /// Same candidate/jump algorithm as [`Timetable::earliest_fit`], run
-    /// over the merged base + tentative sequence.
+    /// over the merged base + tentative sequence — with an epoch-tagged
+    /// per-node memo in front: a repeat probe with the same duration and
+    /// deadline whose `not_before` falls in the window the last answer
+    /// covers (the internal `FitMemo`) is answered without touching the lists at
+    /// all. Any [`TimetableOverlay::reserve_window`] /
+    /// [`TimetableOverlay::release_window`] on the node invalidates the
+    /// memo.
     #[must_use]
     pub fn earliest_fit(
         &self,
@@ -328,6 +475,44 @@ impl TimetableOverlay {
         if duration.is_zero() {
             return Some(not_before);
         }
+        let idx = node.index();
+        let cache = self.cache[idx].get();
+        if let Some(memo) = cache.fit {
+            if memo.epoch == cache.epoch
+                && memo.duration == duration
+                && memo.deadline == deadline
+                && not_before >= memo.not_before
+            {
+                match memo.result {
+                    Some(hit) if not_before <= hit => return Some(hit),
+                    None => return None,
+                    _ => {}
+                }
+            }
+        }
+        let result = self.earliest_fit_uncached(node, not_before, duration, deadline);
+        // Re-read: the uncached walk refreshed the cursor memo through the
+        // same cell.
+        let mut cache = self.cache[idx].get();
+        cache.fit = Some(FitMemo {
+            epoch: cache.epoch,
+            not_before,
+            duration,
+            deadline,
+            result,
+        });
+        self.cache[idx].set(cache);
+        result
+    }
+
+    /// The cold-path merged walk behind [`TimetableOverlay::earliest_fit`].
+    fn earliest_fit_uncached(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
         let mut merged = self.merged_after(node, not_before);
         let mut candidate = not_before;
         loop {
@@ -348,9 +533,22 @@ impl TimetableOverlay {
 
     /// Free windows of `node` inside `range`, in time order — the cursor
     /// walk of [`Timetable::free_windows`] over the merged sequence.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should prefer
+    /// [`TimetableOverlay::free_windows_into`] with a reused buffer. This
+    /// signature is kept for tests and one-shot callers.
     #[must_use]
     pub fn free_windows(&self, node: NodeId, range: TimeWindow) -> Vec<TimeWindow> {
         let mut out = Vec::new();
+        self.free_windows_into(node, range, &mut out);
+        out
+    }
+
+    /// Writes the free windows of `node` inside `range`, in time order,
+    /// into `out` (clearing it first) — the allocation-free variant of
+    /// [`TimetableOverlay::free_windows`].
+    pub fn free_windows_into(&self, node: NodeId, range: TimeWindow, out: &mut Vec<TimeWindow>) {
+        out.clear();
         let mut cursor = range.start();
         let mut merged = self.merged_after(node, range.start());
         while let Some(w) = merged.next() {
@@ -369,7 +567,6 @@ impl TimetableOverlay {
                 out.push(free);
             }
         }
-        out
     }
 
     /// Tentatively reserves `window` on `node`.
@@ -388,14 +585,34 @@ impl TimetableOverlay {
                 existing,
             });
         }
-        let list = &mut self.tentative[node.index()];
+        let node_idx = node.index();
+        let list = &mut self.tentative[node_idx];
         let idx = list.partition_point(|w| w.start() < window.start());
         list.insert(idx, window);
         debug_assert!(
             list.windows(2).all(|p| p[0].end() <= p[1].start()),
             "tentative windows stay sorted and disjoint"
         );
+        self.invalidate(node_idx);
         Ok(())
+    }
+
+    /// Releases a tentative window previously granted by
+    /// [`TimetableOverlay::reserve_window`] — exact match only; base
+    /// windows belong to the snapshot and cannot be released. Returns
+    /// whether the window was found (and the node's query cache
+    /// invalidated).
+    pub fn release_window(&mut self, node: NodeId, window: TimeWindow) -> bool {
+        let node_idx = node.index();
+        let list = &mut self.tentative[node_idx];
+        match list.binary_search_by(|w| w.start().cmp(&window.start())) {
+            Ok(pos) if list[pos] == window => {
+                list.remove(pos);
+                self.invalidate(node_idx);
+                true
+            }
+            _ => false,
+        }
     }
 }
 

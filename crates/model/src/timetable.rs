@@ -301,9 +301,24 @@ impl Timetable {
     }
 
     /// Free windows inside `range`, in time order.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths (the job-flow outage
+    /// handler, planning loops) should prefer
+    /// [`Timetable::free_windows_into`] with a reused buffer. This
+    /// signature is kept for tests and one-shot callers.
     #[must_use]
     pub fn free_windows(&self, range: TimeWindow) -> Vec<TimeWindow> {
         let mut out = Vec::new();
+        self.free_windows_into(range, &mut out);
+        out
+    }
+
+    /// Writes the free windows inside `range`, in time order, into `out`
+    /// (clearing it first). The allocation-free variant of
+    /// [`Timetable::free_windows`]: steady-state callers reuse one buffer
+    /// across calls.
+    pub fn free_windows_into(&self, range: TimeWindow, out: &mut Vec<TimeWindow>) {
+        out.clear();
         let mut cursor = range.start();
         let i = self.first_ending_after(range.start());
         for r in &self.reservations[i..] {
@@ -322,7 +337,6 @@ impl Timetable {
                 out.push(w);
             }
         }
-        out
     }
 
     /// Total reserved time inside `range`.

@@ -100,6 +100,82 @@ fn earliest_fit_matches_materialized_clone() {
     });
 }
 
+/// The overlay's epoch-tagged query cache (merged-cursor memo + fit memo)
+/// must be invisible: a *warm* overlay — whose cache was populated by
+/// earlier queries — answers exactly like a freshly built overlay with the
+/// same tentative state and a stone-cold cache, across arbitrary
+/// interleavings of `reserve_window` / `release_window` and queries.
+#[test]
+fn cached_queries_match_cold_recompute_after_reserve_release_interleavings() {
+    check(128, |g| {
+        let mut pool = ResourcePool::new();
+        let node = pool.add_node(DomainId::new(0), Perf::FULL);
+        for (i, w) in g.vec_of(0, 10, gen_window).into_iter().enumerate() {
+            let _ = pool
+                .timetable_mut(node)
+                .reserve(w, ReservationOwner::Background(i as u64));
+        }
+        let snapshot = pool.snapshot();
+        let mut warm = TimetableOverlay::new(snapshot.clone());
+        let mut committed: Vec<TimeWindow> = Vec::new();
+        for _ in 0..25 {
+            // Mutate: a random reserve or release (releases pick one of the
+            // currently committed tentative windows, so the replay below
+            // stays conflict-free).
+            if committed.is_empty() || g.chance(0.7) {
+                let w = gen_window(g);
+                if warm.reserve_window(node, w).is_ok() {
+                    committed.push(w);
+                }
+            } else {
+                let i = g.usize_in(0, committed.len() - 1);
+                let w = committed.swap_remove(i);
+                assert!(warm.release_window(node, w), "release of a live window");
+                assert!(
+                    !warm.release_window(node, w),
+                    "double release must report false"
+                );
+            }
+            // Query with monotonically increasing `from` (the pattern the
+            // allocator's DP produces — what the cursor memo accelerates),
+            // then re-ask one query verbatim to exercise exact memo hits.
+            let mut cold = TimetableOverlay::new(snapshot.clone());
+            for &w in &committed {
+                cold.reserve_window(node, w)
+                    .expect("committed windows are mutually conflict-free");
+            }
+            let mut from = 0u64;
+            let mut last_query = None;
+            for _ in 0..6 {
+                from += g.u64_in(0, 45);
+                let f = SimTime::from_ticks(from);
+                let duration = SimDuration::from_ticks(g.u64_in(0, 25));
+                let deadline = SimTime::from_ticks(g.u64_in(0, 400));
+                assert_eq!(
+                    warm.earliest_fit(node, f, duration, deadline),
+                    cold.earliest_fit(node, f, duration, deadline),
+                    "warm earliest_fit diverged from cold recompute \
+                     (from={f} dur={duration} dl={deadline})"
+                );
+                let probe = gen_window(g);
+                assert_eq!(
+                    warm.is_free(node, probe),
+                    cold.is_free(node, probe),
+                    "warm is_free diverged on {probe}"
+                );
+                last_query = Some((f, duration, deadline));
+            }
+            if let Some((f, duration, deadline)) = last_query {
+                assert_eq!(
+                    warm.earliest_fit(node, f, duration, deadline),
+                    cold.earliest_fit(node, f, duration, deadline),
+                    "repeated query (exact memo hit) diverged"
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn free_windows_match_materialized_clone() {
     check(256, |g| {
