@@ -14,14 +14,61 @@
 //! On single-core runners the pooled sweep falls back to the sequential
 //! one, so the comparison is skipped unless forced.
 //!
+//! With `--online FILE` the gate additionally checks a fresh
+//! `online_throughput` result: sustained admitted-jobs/sec must be
+//! nonzero, the trace-invariant oracle must report zero violations, the
+//! QoS counters must reconcile, and every arrival must be accounted for
+//! (`jobs_arrived == jobs_admitted + jobs_rejected + jobs_deferred`).
+//!
 //! Run with:
 //! `cargo run --release -p gridsched-bench --bin bench_check -- \
 //!    --fresh BENCH_fresh.json --baseline BENCH_strategy_sweep.json --min-speedup 2.0`
 
-use gridsched_bench::{bench_gate, Args};
+use gridsched_bench::{bench_gate, json_number, Args};
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Sanity floor for a fresh `BENCH_online_throughput.json`; returns
+/// whether it passes, printing one line per check.
+fn online_gate(json: &str) -> bool {
+    let num = |key: &str| json_number(json, key);
+    let checks: [(&str, bool); 4] = [
+        (
+            "sustained_jobs_per_sec > 0",
+            num("sustained_jobs_per_sec").is_some_and(|v| v > 0.0),
+        ),
+        (
+            "oracle_violations == 0",
+            num("oracle_violations") == Some(0.0),
+        ),
+        (
+            "arrivals all accounted for",
+            match (
+                num("jobs_arrived"),
+                num("jobs_admitted"),
+                num("jobs_rejected"),
+                num("jobs_deferred"),
+            ) {
+                (Some(a), Some(ad), Some(r), Some(d)) => a == ad + r + d,
+                _ => false,
+            },
+        ),
+        (
+            "plan_p99_ns >= plan_p50_ns > 0",
+            match (num("plan_p50_ns"), num("plan_p99_ns")) {
+                (Some(p50), Some(p99)) => p50 > 0.0 && p99 >= p50,
+                _ => false,
+            },
+        ),
+    ];
+    let mut pass = true;
+    for (label, ok) in checks {
+        println!("  [{}] online: {label}", if ok { "OK  " } else { "FAIL" });
+        pass &= ok;
+    }
+    pass
 }
 
 fn main() {
@@ -32,9 +79,13 @@ fn main() {
     let multi_core = std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2);
     let require_pooled: bool = args.get("require-pooled", multi_core);
 
+    let online_path: Option<String> = args
+        .has("online")
+        .then(|| args.get("online", "BENCH_online_throughput.json".to_owned()));
+
     let fresh = read(&fresh_path);
     let baseline = read(&baseline_path);
-    let (lines, pass) = bench_gate(&fresh, &baseline, min_speedup, require_pooled);
+    let (lines, mut pass) = bench_gate(&fresh, &baseline, min_speedup, require_pooled);
 
     println!(
         "bench_check: {fresh_path} vs {baseline_path} (floor {min_speedup:.2}x, pooled gate {})",
@@ -50,10 +101,14 @@ fn main() {
             fmt(line.baseline),
         );
     }
+    if let Some(online_path) = online_path {
+        println!("bench_check: online serving floor ({online_path})");
+        pass &= online_gate(&read(&online_path));
+    }
     if pass {
         println!("bench_check: PASS");
     } else {
-        println!("bench_check: FAIL — speedup dropped below the committed {min_speedup:.2}x floor");
+        println!("bench_check: FAIL — a gated metric fell below its committed floor");
         std::process::exit(1);
     }
 }

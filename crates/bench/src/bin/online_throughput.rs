@@ -1,0 +1,181 @@
+//! Online serving throughput: streamed arrivals through the bounded
+//! admission queue, end to end.
+//!
+//! Runs one instrumented [`run_online_instrumented`] campaign — Poisson
+//! arrivals, deadline/budget admission probes, incremental replanning,
+//! the persistent sweep worker pool — and reports:
+//!
+//! * **sustained jobs/sec** — admitted jobs divided by the wall-clock time
+//!   of the whole serving loop (the rate the metascheduler actually kept
+//!   up with, not the offered rate);
+//! * **time-to-plan p50/p99** — wall-clock duration of the `admit` spans,
+//!   i.e. full strategy-sweep generation plus activation per admitted job;
+//! * **queue-wait p50/p99** — sim-time ticks between arrival and
+//!   admission (from the report's queue-wait histogram, so these two
+//!   quantiles are deterministic per seed);
+//! * the six online QoS counters, reconciled against the admission
+//!   summary, and the trace-invariant oracle verdict.
+//!
+//! Results land in `BENCH_online_throughput.json` (override with
+//! `--out`). CI runs a reduced version of this benchmark and gates it via
+//! `bench_check -- --online ...`: sustained throughput must be nonzero
+//! and the oracle must report zero violations.
+//!
+//! Run with: `cargo run --release -p gridsched-bench --bin online_throughput`
+//! Knobs: `--jobs N --seed N --rate F --queue N --perturbations N --out PATH`
+
+use std::time::Instant;
+
+use gridsched::flow::faults::FaultConfig;
+use gridsched::flow::online::{run_online_instrumented, OnlineConfig};
+use gridsched::flow::oracle::audit;
+use gridsched::flow::simulation::CampaignConfig;
+use gridsched::metrics::telemetry::Telemetry;
+use gridsched::workload::arrivals::ArrivalProcess;
+use gridsched_bench::Args;
+
+/// Quantile over a sorted slice (nearest-rank); 0 when empty.
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = Args::capture();
+    let jobs: usize = args.get("jobs", 60);
+    let seed: u64 = args.get("seed", 2009);
+    let rate: f64 = args.get("rate", 0.15);
+    let queue: usize = args.get("queue", 16);
+    let perturbations: usize = args.get("perturbations", 40);
+    let out: String = args.get("out", "BENCH_online_throughput.json".to_owned());
+
+    let cfg = OnlineConfig {
+        base: CampaignConfig {
+            jobs,
+            perturbations,
+            faults: FaultConfig {
+                outages: 3,
+                degradations: 2,
+                transfer_faults: 3,
+                ..FaultConfig::none()
+            },
+            collect_trace: true,
+            seed,
+            ..CampaignConfig::default()
+        },
+        arrivals: ArrivalProcess::Poisson { rate },
+        queue_capacity: queue,
+        ..OnlineConfig::default()
+    };
+
+    let telemetry = Telemetry::new();
+    let start = Instant::now();
+    let report = run_online_instrumented(&cfg, &telemetry);
+    let wall = start.elapsed();
+
+    let s = report.summary;
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    let sustained = s.admitted as f64 / wall_secs;
+
+    // Time-to-plan: every `admit` span is one full sweep + activation.
+    let snapshot = telemetry.snapshot();
+    let mut plan_ns: Vec<u64> = snapshot
+        .spans()
+        .iter()
+        .filter(|span| span.name == "admit")
+        .map(|span| span.end_ns.saturating_sub(span.start_ns))
+        .collect();
+    plan_ns.sort_unstable();
+    let plan_p50 = quantile_ns(&plan_ns, 0.50);
+    let plan_p99 = quantile_ns(&plan_ns, 0.99);
+
+    let wait_p50 = report.queue_wait.quantile(0.50).unwrap_or(0.0);
+    let wait_p99 = report.queue_wait.quantile(0.99).unwrap_or(0.0);
+
+    let oracle_violations = match audit(&report.report) {
+        Ok(()) => 0,
+        Err(v) => {
+            eprintln!("oracle violation: {v}");
+            1
+        }
+    };
+    let reconciled = report.counters_reconcile();
+
+    println!("online_throughput: seed {seed}, rate {rate}, queue {queue}, {jobs} offered jobs");
+    println!(
+        "  arrived {}  admitted {}  rejected {} (queue-full {}, unmeetable {})  deferred {}",
+        s.arrived, s.admitted, s.rejected, s.rejected_queue_full, s.rejected_unmeetable, s.deferred
+    );
+    println!(
+        "  probes {}  incremental replans {}  queue peak {}",
+        s.probes, s.incremental_replans, s.queue_peak
+    );
+    println!(
+        "  wall {:.1} ms  sustained {:.1} admitted jobs/sec",
+        wall.as_secs_f64() * 1e3,
+        sustained
+    );
+    println!(
+        "  time-to-plan p50 {:.2} ms  p99 {:.2} ms  ({} admissions timed)",
+        plan_p50 as f64 / 1e6,
+        plan_p99 as f64 / 1e6,
+        plan_ns.len()
+    );
+    println!("  queue wait p50 {wait_p50:.0} ticks  p99 {wait_p99:.0} ticks (sim time)");
+    println!("  counters reconcile: {reconciled}  oracle violations: {oracle_violations}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"online_throughput\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"rate\": {rate},\n",
+            "  \"queue_capacity\": {queue},\n",
+            "  \"jobs_offered\": {jobs},\n",
+            "  \"jobs_arrived\": {arrived},\n",
+            "  \"jobs_admitted\": {admitted},\n",
+            "  \"jobs_rejected\": {rejected},\n",
+            "  \"jobs_deferred\": {deferred},\n",
+            "  \"admission_probes\": {probes},\n",
+            "  \"incremental_replans\": {replans},\n",
+            "  \"queue_peak_depth\": {peak},\n",
+            "  \"wall_ms\": {wall_ms:.3},\n",
+            "  \"sustained_jobs_per_sec\": {sustained:.3},\n",
+            "  \"plan_p50_ns\": {p50},\n",
+            "  \"plan_p99_ns\": {p99},\n",
+            "  \"queue_wait_p50_ticks\": {wait50:.1},\n",
+            "  \"queue_wait_p99_ticks\": {wait99:.1},\n",
+            "  \"counters_reconcile\": {reconciled},\n",
+            "  \"oracle_violations\": {violations}\n",
+            "}}\n"
+        ),
+        seed = seed,
+        rate = rate,
+        queue = queue,
+        jobs = jobs,
+        arrived = s.arrived,
+        admitted = s.admitted,
+        rejected = s.rejected,
+        deferred = s.deferred,
+        probes = s.probes,
+        replans = s.incremental_replans,
+        peak = s.queue_peak,
+        wall_ms = wall.as_secs_f64() * 1e3,
+        sustained = sustained,
+        p50 = plan_p50,
+        p99 = plan_p99,
+        wait50 = wait_p50,
+        wait99 = wait_p99,
+        reconciled = reconciled,
+        violations = oracle_violations,
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("  wrote {out}");
+
+    if oracle_violations > 0 || !reconciled {
+        std::process::exit(1);
+    }
+}

@@ -274,6 +274,30 @@ impl<'p> PlanningSession<'p> {
         }
     }
 
+    /// A single-pass feasibility probe for online admission control: can
+    /// any supporting schedule meet `deadline` under `objective`?
+    ///
+    /// Unlike [`PlanningSession::build_distribution_with_objective`] this
+    /// never falls back to `MinCost` — an admission decision wants the
+    /// strict answer for the requested criterion (e.g.
+    /// `Objective::MinTime { budget }` for deadline/budget admission),
+    /// not a best-effort schedule. One critical-works pass, no overlays
+    /// retained; the session snapshot is untouched, so probes are free to
+    /// fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if no supporting schedule meets the
+    /// deadline under the requested objective.
+    pub fn probe(
+        &self,
+        req: &ScheduleRequest<'_>,
+        deadline: SimTime,
+        objective: Objective,
+    ) -> Result<Distribution, ScheduleError> {
+        self.run(req, &HashMap::new(), deadline, true, None, objective, false)
+    }
+
     /// Session form of [`crate::method::build_distribution_direct`] (the
     /// single-phase ablation).
     ///

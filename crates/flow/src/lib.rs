@@ -15,6 +15,10 @@
 //!   windows voided, running tasks migrate), node degradation (remaining
 //!   runtimes inflate) and data-transfer faults (retry penalty, absorbed
 //!   by active replication);
+//! - [`online`]: the online serving layer — streaming arrivals from a
+//!   seeded [`gridsched_workload::arrivals::ArrivalProcess`], a bounded
+//!   admission queue with deadline/budget probes, and incremental
+//!   replanning on arrival/completion/fault events;
 //! - [`trace`]: the chronological campaign event log;
 //! - [`oracle`]: the trace-invariant oracle that replays a trace against
 //!   its report and the final pool — run automatically on every traced
@@ -44,6 +48,7 @@
 pub mod bridge;
 pub mod faults;
 pub mod metascheduler;
+pub mod online;
 pub mod oracle;
 pub mod report;
 pub mod simulation;
@@ -52,7 +57,11 @@ pub mod trace;
 pub use bridge::{domain_reservations, domain_reserved_ticks};
 pub use faults::{Fault, FaultConfig, FaultKind, FaultPlan, FaultSummary};
 pub use metascheduler::{FlowAssignment, Metascheduler};
+pub use online::{
+    run_online, run_online_instrumented, AdmissionOutcome, AdmissionRecord, AdmissionSummary,
+    OnlineConfig, OnlineReport,
+};
 pub use oracle::{audit, audit_final_state, FinalJobState, OracleViolation};
 pub use report::{JobRecord, VoReport};
 pub use simulation::{run_campaign, run_campaign_instrumented, CampaignConfig};
-pub use trace::{BreakKind, CampaignEvent, CampaignTrace};
+pub use trace::{BreakKind, CampaignEvent, CampaignTrace, RejectReason};

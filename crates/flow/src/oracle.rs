@@ -6,7 +6,9 @@
 //! - event times are monotone;
 //! - every job walks a legal lifecycle (`Released` → `Activated` →
 //!   breaks/resolutions → exactly one terminal `Completed` xor `Dropped`,
-//!   with nothing after the terminal);
+//!   with nothing after the terminal); online campaigns prepend `Arrived`
+//!   and may end a lifecycle early with a terminal `Rejected` (a job that
+//!   only ever `Arrived` is a lawful deferral — still queued at horizon);
 //! - resolutions (`Switched`/`Replanned`/`Migrated`/`Dropped`) never
 //!   outnumber the breaks that caused them;
 //! - per-record counters (`breaks`, `switches`, `migrations`, `dropped`,
@@ -48,6 +50,12 @@ pub enum OracleViolation {
         /// Position of the offending event.
         index: usize,
     },
+    /// A job arrived more than once (or after its release).
+    DuplicateArrival(JobId),
+    /// An online rejection on a job that never arrived.
+    RejectionWithoutArrival(JobId),
+    /// An online rejection after the job was already admitted (released).
+    RejectionAfterAdmission(JobId),
     /// A job was released more than once.
     DuplicateRelease(JobId),
     /// A job event appeared before the job's release.
@@ -121,6 +129,13 @@ impl fmt::Display for OracleViolation {
             OracleViolation::NonMonotoneTime { index } => {
                 write!(f, "event {index} goes back in time")
             }
+            OracleViolation::DuplicateArrival(j) => write!(f, "{j} arrived twice"),
+            OracleViolation::RejectionWithoutArrival(j) => {
+                write!(f, "{j} rejected without ever arriving")
+            }
+            OracleViolation::RejectionAfterAdmission(j) => {
+                write!(f, "{j} rejected after it was already admitted")
+            }
             OracleViolation::DuplicateRelease(j) => write!(f, "{j} released twice"),
             OracleViolation::EventBeforeRelease(j) => {
                 write!(f, "{j} has an event before its release")
@@ -181,6 +196,8 @@ impl std::error::Error for OracleViolation {}
 /// Per-job lifecycle state while replaying the trace.
 #[derive(Debug, Default, Clone)]
 struct Lifecycle {
+    arrived: bool,
+    rejected: bool,
     released: bool,
     admissible: bool,
     activated: bool,
@@ -196,7 +213,7 @@ struct Lifecycle {
 
 impl Lifecycle {
     fn terminal(&self) -> bool {
-        self.dropped || self.completed
+        self.dropped || self.completed || self.rejected
     }
 }
 
@@ -230,9 +247,32 @@ fn replay(trace: &CampaignTrace) -> Result<HashMap<JobId, Lifecycle>, OracleViol
         };
         let state = jobs.entry(job).or_default();
         match event {
+            CampaignEvent::Arrived { .. } => {
+                // Arrival is the very first thing that can happen to an
+                // online job; batch campaigns skip it entirely.
+                if state.arrived || state.released {
+                    return Err(OracleViolation::DuplicateArrival(job));
+                }
+                state.arrived = true;
+            }
+            CampaignEvent::Rejected { .. } => {
+                if !state.arrived {
+                    return Err(OracleViolation::RejectionWithoutArrival(job));
+                }
+                if state.released {
+                    return Err(OracleViolation::RejectionAfterAdmission(job));
+                }
+                if state.terminal() {
+                    return Err(OracleViolation::EventAfterTerminal(job));
+                }
+                state.rejected = true;
+            }
             CampaignEvent::Released { admissible, .. } => {
                 if state.released {
                     return Err(OracleViolation::DuplicateRelease(job));
+                }
+                if state.rejected {
+                    return Err(OracleViolation::EventAfterTerminal(job));
                 }
                 state.released = true;
                 state.admissible = *admissible;

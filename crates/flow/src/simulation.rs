@@ -116,29 +116,37 @@ impl Default for CampaignConfig {
 }
 
 /// One job's live state inside the campaign.
+///
+/// `pub(crate)` (with its fields) so the [`crate::online`] serving loop can
+/// drive the same dynamics engine without re-implementing it.
 #[derive(Debug)]
-struct ActiveJob {
-    record: usize,
-    job: Job,
-    policy: DataPolicy,
-    scenario: EstimateScenario,
-    activation: SimTime,
-    deadline_abs: SimTime,
-    current: HashMap<TaskId, Placement>,
-    reservations: HashMap<TaskId, ReservationId>,
-    task_factors: Vec<f64>,
+pub(crate) struct ActiveJob {
+    pub(crate) record: usize,
+    pub(crate) job: Job,
+    pub(crate) policy: DataPolicy,
+    pub(crate) scenario: EstimateScenario,
+    pub(crate) activation: SimTime,
+    pub(crate) deadline_abs: SimTime,
+    pub(crate) current: HashMap<TaskId, Placement>,
+    pub(crate) reservations: HashMap<TaskId, ReservationId>,
+    pub(crate) task_factors: Vec<f64>,
     /// The strategy's other supporting schedules, available for switching
     /// while no task has started yet.
-    alternatives: Vec<gridsched_core::distribution::Distribution>,
+    pub(crate) alternatives: Vec<gridsched_core::distribution::Distribution>,
     /// Start times of the user's optimistic forecast (the best-case
     /// supporting schedule), per task.
-    reference_starts: Vec<SimTime>,
+    pub(crate) reference_starts: Vec<SimTime>,
     /// Planned runtime of that forecast, in ticks.
-    reference_runtime: f64,
+    pub(crate) reference_runtime: f64,
     /// `(break time, overrunning task)` of the earliest pending overrun.
-    pending_overrun: Option<(SimTime, TaskId)>,
-    first_break: Option<SimTime>,
-    dropped: bool,
+    pub(crate) pending_overrun: Option<(SimTime, TaskId)>,
+    pub(crate) first_break: Option<SimTime>,
+    pub(crate) dropped: bool,
+    /// Realized completion instant, once the online loop observes every
+    /// window closed. Batch campaigns never set it: completion facts are
+    /// only known at the horizon there, and [`Campaign::finalize`] stamps
+    /// them for every surviving job whose completion was not yet recorded.
+    pub(crate) completed: Option<SimTime>,
 }
 
 /// Runs one campaign and aggregates the paper's metrics.
@@ -170,25 +178,28 @@ pub fn run_campaign_instrumented(config: &CampaignConfig, telemetry: &Telemetry)
     campaign.run()
 }
 
-struct Campaign<'a> {
-    config: &'a CampaignConfig,
-    pool: ResourcePool,
-    meta: Metascheduler,
-    records: Vec<JobRecord>,
-    active: Vec<ActiveJob>,
-    horizon_end: SimTime,
-    activation_rng: SimRng,
-    next_background_tag: u64,
-    faults: FaultSummary,
-    trace: Option<crate::trace::CampaignTrace>,
-    telemetry: Telemetry,
+/// The campaign dynamics engine: pool state, active schedules, break
+/// handling and finalization. `pub(crate)` so [`crate::online`] can drive
+/// the exact same machinery from a streaming event loop.
+pub(crate) struct Campaign<'a> {
+    pub(crate) config: &'a CampaignConfig,
+    pub(crate) pool: ResourcePool,
+    pub(crate) meta: Metascheduler,
+    pub(crate) records: Vec<JobRecord>,
+    pub(crate) active: Vec<ActiveJob>,
+    pub(crate) horizon_end: SimTime,
+    pub(crate) activation_rng: SimRng,
+    pub(crate) next_background_tag: u64,
+    pub(crate) faults: FaultSummary,
+    pub(crate) trace: Option<crate::trace::CampaignTrace>,
+    pub(crate) telemetry: Telemetry,
     /// The `campaign` root span every top-level phase parents under.
-    root: Option<SpanId>,
+    pub(crate) root: Option<SpanId>,
     /// Reused buffer for outage gap-blocking (`free_windows_into`).
-    gap_scratch: Vec<TimeWindow>,
+    pub(crate) gap_scratch: Vec<TimeWindow>,
 }
 
-enum Event {
+pub(crate) enum Event {
     Release(Job),
     Perturbation {
         at: SimTime,
@@ -199,7 +210,7 @@ enum Event {
 }
 
 impl Event {
-    fn time(&self) -> SimTime {
+    pub(crate) fn time(&self) -> SimTime {
         match self {
             Event::Release(j) => j.release(),
             Event::Perturbation { at, .. } => *at,
@@ -209,7 +220,11 @@ impl Event {
 }
 
 impl<'a> Campaign<'a> {
-    fn new(config: &'a CampaignConfig, telemetry: &Telemetry, root: Option<SpanId>) -> Self {
+    pub(crate) fn new(
+        config: &'a CampaignConfig,
+        telemetry: &Telemetry,
+        root: Option<SpanId>,
+    ) -> Self {
         let mut master = SimRng::seed_from(config.seed);
         let mut pool_rng = master.fork(1);
         let mut bg_rng = master.fork(2);
@@ -245,10 +260,41 @@ impl<'a> Campaign<'a> {
         }
     }
 
-    fn record_event(&mut self, at: SimTime, event: crate::trace::CampaignEvent) {
+    pub(crate) fn record_event(&mut self, at: SimTime, event: crate::trace::CampaignEvent) {
         if let Some(trace) = &mut self.trace {
             trace.push(at, event);
         }
+    }
+
+    /// Perturbation and fault events for one run, drawn from the
+    /// campaign's dedicated streams. Shared with [`crate::online`] so both
+    /// campaign flavours face identical dynamics per seed.
+    pub(crate) fn dynamics_events(
+        &mut self,
+        pert_rng: &mut SimRng,
+        fault_rng: &mut SimRng,
+    ) -> Vec<Event> {
+        let node_count = self.pool.len();
+        let mut events = Vec::with_capacity(self.config.perturbations);
+        for _ in 0..self.config.perturbations {
+            let at = SimTime::from_ticks(pert_rng.uniform_u64(0, self.config.horizon.ticks()));
+            let node = NodeId::new(pert_rng.uniform_u64(0, node_count as u64 - 1) as u32);
+            let len = SimDuration::from_ticks(pert_rng.uniform_u64(
+                self.config.perturbation_len.0,
+                self.config.perturbation_len.1,
+            ));
+            events.push(Event::Perturbation { at, node, len });
+        }
+        let plan = FaultPlan::generate_instrumented(
+            &self.config.faults,
+            node_count,
+            self.config.horizon,
+            fault_rng,
+            &self.telemetry,
+            self.root,
+        );
+        events.extend(plan.faults().iter().copied().map(Event::Fault));
+        events
     }
 
     fn run(mut self) -> VoReport {
@@ -264,25 +310,7 @@ impl<'a> Campaign<'a> {
             &mut jobs_rng,
         );
         let mut events: Vec<Event> = jobs.into_iter().map(Event::Release).collect();
-        let node_count = self.pool.len();
-        for _ in 0..self.config.perturbations {
-            let at = SimTime::from_ticks(pert_rng.uniform_u64(0, self.config.horizon.ticks()));
-            let node = NodeId::new(pert_rng.uniform_u64(0, node_count as u64 - 1) as u32);
-            let len = SimDuration::from_ticks(pert_rng.uniform_u64(
-                self.config.perturbation_len.0,
-                self.config.perturbation_len.1,
-            ));
-            events.push(Event::Perturbation { at, node, len });
-        }
-        let plan = FaultPlan::generate_instrumented(
-            &self.config.faults,
-            node_count,
-            self.config.horizon,
-            &mut fault_rng,
-            &self.telemetry,
-            self.root,
-        );
-        events.extend(plan.faults().iter().copied().map(Event::Fault));
+        events.extend(self.dynamics_events(&mut pert_rng, &mut fault_rng));
         events.sort_by_key(Event::time);
 
         for event in events {
@@ -372,7 +400,7 @@ impl<'a> Campaign<'a> {
 
     /// Activates the supporting schedule matching the observed conditions:
     /// the tightest scenario covering the job's actual slowdown factor.
-    fn activate(
+    pub(crate) fn activate(
         &mut self,
         strategy: Strategy,
         config: StrategyConfig,
@@ -472,6 +500,7 @@ impl<'a> Campaign<'a> {
             pending_overrun: None,
             first_break: None,
             dropped: false,
+            completed: None,
         };
         active.pending_overrun = next_overrun(&active, &self.pool, release);
         self.active.push(active);
@@ -481,7 +510,7 @@ impl<'a> Campaign<'a> {
     /// `[at, at+len)` on `node`. Pending application-level reservations
     /// lose (local administering rules favour the resource owner); running
     /// tasks are never preempted (the paper's inseparability condition).
-    fn handle_perturbation(&mut self, at: SimTime, node: NodeId, len: SimDuration) {
+    pub(crate) fn handle_perturbation(&mut self, at: SimTime, node: NodeId, len: SimDuration) {
         if at >= self.horizon_end || len.is_zero() {
             return;
         }
@@ -531,7 +560,7 @@ impl<'a> Campaign<'a> {
     }
 
     /// Dispatches one injected fault.
-    fn handle_fault(&mut self, fault: Fault) {
+    pub(crate) fn handle_fault(&mut self, fault: Fault) {
         if fault.at >= self.horizon_end {
             return;
         }
@@ -709,7 +738,7 @@ impl<'a> Campaign<'a> {
     }
 
     /// Processes every due overrun, earliest first.
-    fn settle_overruns(&mut self, now: SimTime) {
+    pub(crate) fn settle_overruns(&mut self, now: SimTime) {
         loop {
             let due = self
                 .active
@@ -728,7 +757,7 @@ impl<'a> Campaign<'a> {
 
     /// A task ran past its reserved window: extend it (best effort) and
     /// replan everything downstream.
-    fn handle_overrun(&mut self, idx: usize, at: SimTime, task: TaskId) {
+    pub(crate) fn handle_overrun(&mut self, idx: usize, at: SimTime, task: TaskId) {
         // Extend the overrunning task's placement to its actual finish.
         let (old, actual_end) = {
             let a = &self.active[idx];
@@ -979,7 +1008,7 @@ impl<'a> Campaign<'a> {
         }
     }
 
-    fn finalize(mut self) -> VoReport {
+    pub(crate) fn finalize(mut self) -> VoReport {
         for a in &self.active {
             let record = &mut self.records[a.record];
             let mut cost_total: u64 = 0;
@@ -1037,10 +1066,12 @@ impl<'a> Campaign<'a> {
         // Surviving activated jobs ran to completion: record the terminal
         // fact. Completion is only *known* once the horizon closes, so the
         // events are stamped at the horizon and carry the realized end.
+        // Jobs whose completion the online loop already observed (and
+        // traced at its realized instant) are skipped.
         let completions: Vec<(JobId, SimTime)> = self
             .active
             .iter()
-            .filter(|a| !a.dropped)
+            .filter(|a| !a.dropped && a.completed.is_none())
             .map(|a| {
                 let end = a
                     .current
@@ -1084,7 +1115,7 @@ impl<'a> Campaign<'a> {
     /// the [`crate::oracle`] before the report leaves the campaign. A
     /// violation here is a bug in the campaign itself.
     #[cfg(debug_assertions)]
-    fn audit(&self, report: &VoReport) {
+    pub(crate) fn audit(&self, report: &VoReport) {
         if report.trace.is_none() {
             return;
         }
@@ -1130,7 +1161,11 @@ fn actual_exec(job: &Job, pool: &ResourcePool, p: &Placement, factor: f64) -> Si
 
 /// The earliest overrun among placements starting after `after`:
 /// a task whose actual execution exceeds its reserved exec budget.
-fn next_overrun(a: &ActiveJob, pool: &ResourcePool, after: SimTime) -> Option<(SimTime, TaskId)> {
+pub(crate) fn next_overrun(
+    a: &ActiveJob,
+    pool: &ResourcePool,
+    after: SimTime,
+) -> Option<(SimTime, TaskId)> {
     a.current
         .values()
         .filter(|p| p.window.start() > after)

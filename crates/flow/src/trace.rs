@@ -44,9 +44,42 @@ impl fmt::Display for BreakKind {
     }
 }
 
+/// Why the online admission controller turned a job away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue was full when the job arrived.
+    QueueFull,
+    /// The job's remaining critical path cannot fit before its absolute
+    /// deadline any more — no amount of waiting will help.
+    Unmeetable,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull => f.write_str("queue full"),
+            RejectReason::Unmeetable => f.write_str("deadline unmeetable"),
+        }
+    }
+}
+
 /// One job-flow-level event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignEvent {
+    /// A job entered the online serving loop (streamed arrival). Batch
+    /// campaigns, which release a pre-built job list, never record this.
+    Arrived {
+        /// The job.
+        job: JobId,
+    },
+    /// The online admission controller turned the job away — it was never
+    /// released to the metascheduler.
+    Rejected {
+        /// The job.
+        job: JobId,
+        /// Why it was turned away.
+        reason: RejectReason,
+    },
     /// A job arrived and its strategy was generated.
     Released {
         /// The job.
@@ -137,7 +170,9 @@ impl CampaignEvent {
     #[must_use]
     pub fn job(&self) -> Option<JobId> {
         match self {
-            CampaignEvent::Released { job, .. }
+            CampaignEvent::Arrived { job }
+            | CampaignEvent::Rejected { job, .. }
+            | CampaignEvent::Released { job, .. }
             | CampaignEvent::Activated { job, .. }
             | CampaignEvent::Broken { job, .. }
             | CampaignEvent::Switched { job }
@@ -157,6 +192,10 @@ impl CampaignEvent {
 impl fmt::Display for CampaignEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CampaignEvent::Arrived { job } => write!(f, "{job} arrived"),
+            CampaignEvent::Rejected { job, reason } => {
+                write!(f, "{job} rejected ({reason})")
+            }
             CampaignEvent::Released { job, admissible } => {
                 write!(f, "{job} released (admissible: {admissible})")
             }

@@ -122,11 +122,26 @@ pub enum Counter {
     /// (sweeps that fell back to sequential — small sweeps, single-core
     /// machines — do not count).
     PooledSweeps,
+    /// Jobs that entered the online serving loop (arrival events).
+    JobsArrived,
+    /// Arrivals admitted past the deadline/budget probe.
+    JobsAdmitted,
+    /// Arrivals rejected (queue overflow or unmeetable deadline).
+    JobsRejected,
+    /// Admission probes run against the planning session (first-chance
+    /// and re-probe alike).
+    AdmissionProbes,
+    /// High-water mark of the admission queue depth (recorded with
+    /// [`Telemetry::record_max`], not incremented).
+    QueuePeakDepth,
+    /// Re-probes of deferred arrivals triggered by completion/fault
+    /// events — the online loop's incremental replanning work.
+    IncrementalReplans,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 32] = [
         Counter::JobsReleased,
         Counter::JobsActivated,
         Counter::FlowAssignments,
@@ -153,6 +168,12 @@ impl Counter {
         Counter::ProfileOverlays,
         Counter::StartPredictions,
         Counter::PooledSweeps,
+        Counter::JobsArrived,
+        Counter::JobsAdmitted,
+        Counter::JobsRejected,
+        Counter::AdmissionProbes,
+        Counter::QueuePeakDepth,
+        Counter::IncrementalReplans,
     ];
 
     const COUNT: usize = Counter::ALL.len();
@@ -187,6 +208,12 @@ impl Counter {
             Counter::ProfileOverlays => "profile_overlays",
             Counter::StartPredictions => "start_predictions",
             Counter::PooledSweeps => "pooled_sweeps",
+            Counter::JobsArrived => "jobs_arrived",
+            Counter::JobsAdmitted => "jobs_admitted",
+            Counter::JobsRejected => "jobs_rejected",
+            Counter::AdmissionProbes => "admission_probes",
+            Counter::QueuePeakDepth => "queue_peak_depth",
+            Counter::IncrementalReplans => "incremental_replans",
         }
     }
 }
@@ -309,6 +336,14 @@ impl Telemetry {
     pub fn add(&self, counter: Counter, n: u64) {
         if let Some(inner) = &self.inner {
             inner.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises a counter to at least `value` (high-water-mark semantics,
+    /// e.g. [`Counter::QueuePeakDepth`]).
+    pub fn record_max(&self, counter: Counter, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter as usize].fetch_max(value, Ordering::Relaxed);
         }
     }
 

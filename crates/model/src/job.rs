@@ -328,6 +328,19 @@ impl Job {
         self.release.saturating_add(self.deadline)
     }
 
+    /// The same job with a different release instant and relative
+    /// deadline. Online admission uses this to re-anchor a deferred job at
+    /// its actual admission time while keeping its *absolute* deadline:
+    /// the DAG, volumes and transfer arcs are untouched.
+    #[must_use]
+    pub fn with_timing(&self, release: SimTime, deadline: SimDuration) -> Job {
+        Job {
+            release,
+            deadline,
+            ..self.clone()
+        }
+    }
+
     /// Total computation volume of all tasks.
     #[must_use]
     pub fn total_volume(&self) -> Volume {

@@ -1,0 +1,178 @@
+//! Seeded arrival processes for the online serving loop.
+//!
+//! The paper's job-flow level is *online*: the metascheduler receives a
+//! continuous flow of compound jobs rather than a pre-released batch. This
+//! module turns the [`jobs`](crate::jobs) generator into a stream shaped by
+//! an explicit arrival process:
+//!
+//! - [`ArrivalProcess::Poisson`]: exponential inter-arrival gaps at a given
+//!   rate (jobs per tick), sampled by inverse transform from the workspace
+//!   [`SimRng`] — the classic open-system workload model;
+//! - [`ArrivalProcess::Trace`]: a fixed, cycled gap sequence — for replayed
+//!   real traces and for deterministic burst/backpressure experiments
+//!   (e.g. `gaps = [0, 0, 0, 50]` is a 4-job burst every 50 ticks).
+//!
+//! Both are fully deterministic per seed: the process only decides *when*
+//! jobs arrive; the jobs themselves come from [`generate_job`] on the same
+//! stream, so the n-th arrival's DAG is identical across processes that
+//! consume the same number of random draws.
+
+use gridsched_model::ids::JobId;
+use gridsched_model::job::Job;
+use gridsched_sim::rng::SimRng;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+use crate::jobs::{generate_job, JobConfig};
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps with mean `1 / rate` ticks.
+    Poisson {
+        /// Mean arrival rate in jobs per tick; must be positive and finite.
+        rate: f64,
+    },
+    /// Trace-driven arrivals: the gap before the n-th arrival is
+    /// `gaps[n % gaps.len()]` ticks. An empty trace is invalid.
+    Trace {
+        /// The cycled inter-arrival gaps, in ticks.
+        gaps: Vec<u64>,
+    },
+}
+
+impl ArrivalProcess {
+    fn validate(&self) {
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(
+                    rate.is_finite() && *rate > 0.0,
+                    "Poisson arrival rate must be positive, got {rate}"
+                );
+            }
+            ArrivalProcess::Trace { gaps } => {
+                assert!(
+                    !gaps.is_empty(),
+                    "trace-driven arrivals need at least one gap"
+                );
+            }
+        }
+    }
+
+    /// Draws the gap before the `n`-th arrival (0-based), in ticks.
+    ///
+    /// Poisson gaps use the inverse transform `-ln(1 - u) / rate` rounded
+    /// to whole ticks; trace gaps cycle through the configured sequence
+    /// without consuming randomness.
+    #[must_use]
+    pub fn next_gap(&self, n: usize, rng: &mut SimRng) -> SimDuration {
+        match self {
+            ArrivalProcess::Poisson { rate } => {
+                let u = rng.uniform_f64(0.0, 1.0);
+                // u < 1.0 by construction, so ln(1 - u) is finite.
+                let gap = -(1.0 - u).ln() / rate;
+                SimDuration::from_ticks(gap.round() as u64)
+            }
+            ArrivalProcess::Trace { gaps } => SimDuration::from_ticks(gaps[n % gaps.len()]),
+        }
+    }
+}
+
+/// Generates up to `count` jobs whose releases follow `process`, stopping
+/// early once an arrival would land at or beyond `horizon`.
+///
+/// Job ids are sequential from 0 in arrival order; releases are
+/// non-decreasing. The DAGs come from [`generate_job`] with the same
+/// configuration as the batch campaigns, so online and batch runs draw
+/// from the same workload family.
+///
+/// # Panics
+///
+/// Panics if the process or job configuration is invalid.
+#[must_use]
+pub fn generate_arrivals(
+    config: &JobConfig,
+    count: usize,
+    process: &ArrivalProcess,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> Vec<Job> {
+    process.validate();
+    let mut out = Vec::with_capacity(count);
+    let mut clock = SimTime::ZERO;
+    for i in 0..count {
+        clock = clock.saturating_add(process.next_gap(i, rng));
+        if clock >= horizon {
+            break;
+        }
+        out.push(generate_job(config, JobId::new(i as u64), clock, rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_deterministic() {
+        let cfg = JobConfig::default();
+        let process = ArrivalProcess::Poisson { rate: 0.1 };
+        let horizon = SimTime::ZERO.saturating_add(SimDuration::from_ticks(10_000));
+        let a = generate_arrivals(&cfg, 40, &process, horizon, &mut SimRng::seed_from(7));
+        let b = generate_arrivals(&cfg, 40, &process, horizon, &mut SimRng::seed_from(7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.release(), y.release());
+            assert_eq!(x.task_count(), y.task_count());
+            assert_eq!(x.deadline(), y.deadline());
+        }
+        for pair in a.windows(2) {
+            assert!(pair[0].release() <= pair[1].release());
+        }
+        for (i, job) in a.iter().enumerate() {
+            assert_eq!(job.id(), JobId::new(i as u64));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        let process = ArrivalProcess::Poisson { rate: 0.05 }; // mean gap 20
+        let mut rng = SimRng::seed_from(3);
+        let n = 2_000;
+        let total: u64 = (0..n).map(|i| process.next_gap(i, &mut rng).ticks()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (15.0..=25.0).contains(&mean),
+            "mean exponential gap {mean} far from 20"
+        );
+    }
+
+    #[test]
+    fn trace_gaps_cycle_without_consuming_randomness() {
+        let process = ArrivalProcess::Trace {
+            gaps: vec![0, 0, 0, 50],
+        };
+        let mut rng = SimRng::seed_from(1);
+        let before = rng.clone().next_u64();
+        let gaps: Vec<u64> = (0..8)
+            .map(|i| process.next_gap(i, &mut rng).ticks())
+            .collect();
+        assert_eq!(gaps, vec![0, 0, 0, 50, 0, 0, 0, 50]);
+        assert_eq!(
+            rng.next_u64(),
+            before,
+            "trace gaps must not advance the rng"
+        );
+    }
+
+    #[test]
+    fn horizon_truncates_the_stream() {
+        let cfg = JobConfig::default();
+        let process = ArrivalProcess::Trace { gaps: vec![10] };
+        let horizon = SimTime::ZERO.saturating_add(SimDuration::from_ticks(55));
+        let jobs = generate_arrivals(&cfg, 100, &process, horizon, &mut SimRng::seed_from(2));
+        // Arrivals at 10, 20, 30, 40, 50 — the one at 60 is cut off.
+        assert_eq!(jobs.len(), 5);
+        assert!(jobs.iter().all(|j| j.release() < horizon));
+    }
+}

@@ -11,7 +11,9 @@
 //! - [`batch`]: rigid parallel job streams for the §5 local-queue
 //!   experiments;
 //! - [`background`]: pre-existing load from independent job flows, painted
-//!   onto node timetables.
+//!   onto node timetables;
+//! - [`arrivals`]: seeded Poisson and trace-driven arrival processes for
+//!   the online serving loop.
 //!
 //! All generators draw from a seeded [`gridsched_sim::rng::SimRng`], so
 //! entire campaigns replay bit-identically.
@@ -30,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod background;
 pub mod batch;
 pub mod jobs;
 pub mod pool;
 
+pub use arrivals::{generate_arrivals, ArrivalProcess};
 pub use background::{apply_background_load, BackgroundConfig};
 pub use batch::{generate_batch_jobs, BatchWorkloadConfig};
 pub use jobs::{generate_job, generate_stream, JobConfig};

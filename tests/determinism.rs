@@ -374,6 +374,118 @@ fn telemetry_counters_reconcile_with_campaign_reports() {
     }
 }
 
+/// The online serving layer inherits the full determinism contract: same
+/// seed ⇒ bit-identical records, trace, admission stories and summary —
+/// with telemetry on or off, and across the parallel and sequential sweep
+/// executors.
+#[test]
+fn online_campaign_is_deterministic_and_telemetry_neutral() {
+    use gridsched::flow::faults::FaultConfig;
+    use gridsched::flow::online::{run_online, run_online_instrumented, OnlineConfig};
+    use gridsched::metrics::telemetry::Telemetry;
+    use gridsched::workload::arrivals::ArrivalProcess;
+
+    let cfg = OnlineConfig {
+        base: CampaignConfig {
+            jobs: 20,
+            perturbations: 25,
+            faults: FaultConfig {
+                outages: 4,
+                degradations: 3,
+                transfer_faults: 4,
+                ..FaultConfig::none()
+            },
+            collect_trace: true,
+            seed: 2718,
+            ..CampaignConfig::default()
+        },
+        arrivals: ArrivalProcess::Poisson { rate: 0.08 },
+        ..OnlineConfig::default()
+    };
+    let plain = run_online(&cfg);
+    let again = run_online(&cfg);
+    assert_eq!(plain.report.records, again.report.records);
+    assert_eq!(plain.report.faults, again.report.faults);
+    assert_eq!(plain.report.trace, again.report.trace);
+    assert_eq!(plain.admission, again.admission);
+    assert_eq!(plain.summary, again.summary);
+    assert_eq!(plain.queue_wait, again.queue_wait);
+
+    let telemetry = Telemetry::new();
+    let instrumented = run_online_instrumented(&cfg, &telemetry);
+    assert_eq!(
+        plain.report.trace, instrumented.report.trace,
+        "telemetry must be strictly observational online too"
+    );
+    assert_eq!(plain.report.records, instrumented.report.records);
+    assert_eq!(plain.admission, instrumented.admission);
+    assert_eq!(plain.summary, instrumented.summary);
+
+    let sequential = run_online(&OnlineConfig {
+        base: CampaignConfig {
+            sequential_planning: true,
+            ..cfg.base.clone()
+        },
+        ..cfg.clone()
+    });
+    assert_eq!(
+        plain.report.trace, sequential.report.trace,
+        "online trace must not depend on the sweep executor"
+    );
+    assert_eq!(plain.report.records, sequential.report.records);
+    assert_eq!(plain.admission, sequential.admission);
+    assert_eq!(plain.summary, sequential.summary);
+
+    // The online span vocabulary covers the serving loop's phases.
+    let phases = telemetry.snapshot().phases();
+    for expected in ["online_campaign", "arrival", "admission_probe", "admit"] {
+        assert!(phases.contains(&expected), "missing phase {expected:?}");
+    }
+}
+
+/// The six online QoS counters must agree exactly with the admission
+/// summary, across seeds.
+#[test]
+fn online_telemetry_counters_reconcile_with_the_summary() {
+    use gridsched::flow::online::{run_online_instrumented, OnlineConfig};
+    use gridsched::metrics::telemetry::Telemetry;
+    use gridsched::workload::arrivals::ArrivalProcess;
+
+    for seed in [7u64, 99, 4040] {
+        let cfg = OnlineConfig {
+            base: CampaignConfig {
+                jobs: 18,
+                perturbations: 20,
+                collect_trace: true,
+                seed,
+                ..CampaignConfig::default()
+            },
+            arrivals: ArrivalProcess::Poisson { rate: 0.12 },
+            queue_capacity: 4,
+            ..OnlineConfig::default()
+        };
+        let telemetry = Telemetry::new();
+        let report = run_online_instrumented(&cfg, &telemetry);
+        let snapshot = telemetry.snapshot();
+        let count = |name: &str| snapshot.counter(name) as usize;
+        let s = report.summary;
+        assert_eq!(count("jobs_arrived"), s.arrived, "seed {seed}");
+        assert_eq!(count("jobs_admitted"), s.admitted, "seed {seed}");
+        assert_eq!(count("jobs_rejected"), s.rejected, "seed {seed}");
+        assert_eq!(count("admission_probes"), s.probes, "seed {seed}");
+        assert_eq!(
+            count("incremental_replans"),
+            s.incremental_replans,
+            "seed {seed}"
+        );
+        assert_eq!(count("queue_peak_depth"), s.queue_peak, "seed {seed}");
+        assert!(report.counters_reconcile(), "seed {seed}: {s:?}");
+        // Online releases are admissions: the batch counter picks up
+        // exactly the admitted jobs.
+        assert_eq!(count("jobs_released"), s.admitted, "seed {seed}");
+    }
+}
+
 #[test]
 fn forked_streams_are_insensitive_to_sibling_usage() {
     // Consuming more numbers from one fork must not change another fork.
