@@ -21,17 +21,41 @@
 //! `bench_check -- --online ...`: sustained throughput must be nonzero
 //! and the oracle must report zero violations.
 //!
+//! `--domains N` shards the pool into `N` node domains; `--flat`
+//! collapses the flow layer to a single job manager over the *same* pool
+//! — the monolithic baseline. A flat run makes bit-identical campaign
+//! decisions (cross-domain scans order by global activation sequence), so
+//! the sustained-throughput ratio between a sharded and a flat run
+//! isolates exactly the hierarchy's bookkeeping cost; `bench_check --
+//! --domains ...` gates on it. The JSON carries `domains` (the flow-layer
+//! manager count: 1 for `--flat`) plus per-domain
+//! activation/break/migration counts.
+//!
+//! `--mono-out PATH` additionally runs the collapsed (single-manager)
+//! variant of the same campaign and writes its JSON to `PATH`. The two
+//! variants run **interleaved inside this one process** — each repeat
+//! times the sharded loop then the flat loop back to back — so slow
+//! machine-level drift (CPU frequency, co-tenants) hits both equally and
+//! the sharded/flat throughput ratio stays meaningful on noisy runners.
+//! This is what CI feeds the `bench_check --domains/--mono` gate.
+//!
+//! `--repeat N` reruns the serving loop N times and takes the fastest
+//! wall clock (best-of-N, the usual de-noising for sub-100ms runs);
+//! every repeat is the same deterministic campaign.
+//!
 //! Run with: `cargo run --release -p gridsched-bench --bin online_throughput`
-//! Knobs: `--jobs N --seed N --rate F --queue N --perturbations N --out PATH`
+//! Knobs: `--jobs N --seed N --rate F --queue N --perturbations N --domains N
+//! --flat --repeat N --out PATH --mono-out PATH`
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gridsched::flow::faults::FaultConfig;
-use gridsched::flow::online::{run_online_instrumented, OnlineConfig};
+use gridsched::flow::online::{run_online_instrumented, OnlineConfig, OnlineReport};
 use gridsched::flow::oracle::audit;
 use gridsched::flow::simulation::CampaignConfig;
 use gridsched::metrics::telemetry::Telemetry;
 use gridsched::workload::arrivals::ArrivalProcess;
+use gridsched::workload::pool::PoolConfig;
 use gridsched_bench::Args;
 
 /// Quantile over a sorted slice (nearest-rank); 0 when empty.
@@ -43,6 +67,181 @@ fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// One timed serving loop plus everything it produced.
+struct Measured {
+    telemetry: Telemetry,
+    wall: Duration,
+    report: OnlineReport,
+}
+
+fn run_once(cfg: &OnlineConfig) -> Measured {
+    let telemetry = Telemetry::new();
+    let start = Instant::now();
+    let report = run_online_instrumented(cfg, &telemetry);
+    Measured {
+        wall: start.elapsed(),
+        telemetry,
+        report,
+    }
+}
+
+/// The knobs shared by every variant of one invocation.
+struct Workload {
+    seed: u64,
+    rate: f64,
+    queue: usize,
+    jobs: usize,
+    repeat: usize,
+}
+
+/// Prints the human-readable block and writes the JSON for one measured
+/// variant; returns whether it is healthy (counters reconcile, oracle
+/// clean).
+fn emit(m: &Measured, w: &Workload, domains: u32, out: &str) -> bool {
+    let s = m.report.summary;
+    let wall_secs = m.wall.as_secs_f64().max(1e-9);
+    let sustained = s.admitted as f64 / wall_secs;
+    // Work-normalized serving rate: admission probes per wall-second.
+    // Comparable across domain layouts, where admitted counts are not.
+    let probe_throughput = s.probes as f64 / wall_secs;
+
+    // Time-to-plan: every `admit` span is one full sweep + activation.
+    let snapshot = m.telemetry.snapshot();
+    let mut plan_ns: Vec<u64> = snapshot
+        .spans()
+        .iter()
+        .filter(|span| span.name == "admit")
+        .map(|span| span.end_ns.saturating_sub(span.start_ns))
+        .collect();
+    plan_ns.sort_unstable();
+    let plan_p50 = quantile_ns(&plan_ns, 0.50);
+    let plan_p99 = quantile_ns(&plan_ns, 0.99);
+
+    let wait_p50 = m.report.queue_wait.quantile(0.50).unwrap_or(0.0);
+    let wait_p99 = m.report.queue_wait.quantile(0.99).unwrap_or(0.0);
+
+    // Per-domain activity from the labeled telemetry series: one row per
+    // domain that homed at least one job.
+    let per_domain: Vec<(u64, u64, u64, u64)> = snapshot
+        .domains()
+        .keys()
+        .map(|&d| {
+            (
+                d,
+                snapshot.domain_counter(d, "jobs_activated"),
+                snapshot.domain_counter(d, "schedule_breaks"),
+                snapshot.domain_counter(d, "migrations"),
+            )
+        })
+        .collect();
+
+    let oracle_violations = match audit(&m.report.report) {
+        Ok(()) => 0,
+        Err(v) => {
+            eprintln!("oracle violation: {v}");
+            1
+        }
+    };
+    let reconciled = m.report.counters_reconcile();
+
+    println!(
+        "online_throughput: seed {}, rate {}, queue {}, {domains} domain manager(s), {} offered jobs",
+        w.seed, w.rate, w.queue, w.jobs
+    );
+    println!(
+        "  arrived {}  admitted {}  rejected {} (queue-full {}, unmeetable {})  deferred {}",
+        s.arrived, s.admitted, s.rejected, s.rejected_queue_full, s.rejected_unmeetable, s.deferred
+    );
+    println!(
+        "  probes {}  incremental replans {}  queue peak {}",
+        s.probes, s.incremental_replans, s.queue_peak
+    );
+    println!(
+        "  wall {:.1} ms (best of {})  sustained {:.1} admitted jobs/sec  {:.1} probes/sec",
+        m.wall.as_secs_f64() * 1e3,
+        w.repeat,
+        sustained,
+        probe_throughput
+    );
+    println!(
+        "  time-to-plan p50 {:.2} ms  p99 {:.2} ms  ({} admissions timed)",
+        plan_p50 as f64 / 1e6,
+        plan_p99 as f64 / 1e6,
+        plan_ns.len()
+    );
+    println!("  queue wait p50 {wait_p50:.0} ticks  p99 {wait_p99:.0} ticks (sim time)");
+    for (d, activated, breaks, migrations) in &per_domain {
+        println!("  domain {d}: activated {activated}  breaks {breaks}  migrations {migrations}");
+    }
+    println!("  counters reconcile: {reconciled}  oracle violations: {oracle_violations}");
+
+    let mut per_domain_json = String::new();
+    for (i, (d, activated, breaks, migrations)) in per_domain.iter().enumerate() {
+        if i > 0 {
+            per_domain_json.push_str(", ");
+        }
+        per_domain_json.push_str(&format!(
+            "\"{d}\": {{\"activated\": {activated}, \"breaks\": {breaks}, \"migrations\": {migrations}}}"
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"online_throughput\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"rate\": {rate},\n",
+            "  \"domains\": {domains},\n",
+            "  \"per_domain\": {{{per_domain}}},\n",
+            "  \"queue_capacity\": {queue},\n",
+            "  \"jobs_offered\": {jobs},\n",
+            "  \"jobs_arrived\": {arrived},\n",
+            "  \"jobs_admitted\": {admitted},\n",
+            "  \"jobs_rejected\": {rejected},\n",
+            "  \"jobs_deferred\": {deferred},\n",
+            "  \"admission_probes\": {probes},\n",
+            "  \"incremental_replans\": {replans},\n",
+            "  \"queue_peak_depth\": {peak},\n",
+            "  \"wall_ms\": {wall_ms:.3},\n",
+            "  \"sustained_jobs_per_sec\": {sustained:.3},\n",
+            "  \"probe_throughput_per_sec\": {probe_throughput:.3},\n",
+            "  \"plan_p50_ns\": {p50},\n",
+            "  \"plan_p99_ns\": {p99},\n",
+            "  \"queue_wait_p50_ticks\": {wait50:.1},\n",
+            "  \"queue_wait_p99_ticks\": {wait99:.1},\n",
+            "  \"counters_reconcile\": {reconciled},\n",
+            "  \"oracle_violations\": {violations}\n",
+            "}}\n"
+        ),
+        seed = w.seed,
+        rate = w.rate,
+        domains = domains,
+        per_domain = per_domain_json,
+        queue = w.queue,
+        jobs = w.jobs,
+        arrived = s.arrived,
+        admitted = s.admitted,
+        rejected = s.rejected,
+        deferred = s.deferred,
+        probes = s.probes,
+        replans = s.incremental_replans,
+        peak = s.queue_peak,
+        wall_ms = m.wall.as_secs_f64() * 1e3,
+        sustained = sustained,
+        probe_throughput = probe_throughput,
+        p50 = plan_p50,
+        p99 = plan_p99,
+        wait50 = wait_p50,
+        wait99 = wait_p99,
+        reconciled = reconciled,
+        violations = oracle_violations,
+    );
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("  wrote {out}");
+
+    reconciled && oracle_violations == 0
+}
+
 fn main() {
     let args = Args::capture();
     let jobs: usize = args.get("jobs", 60);
@@ -50,12 +249,29 @@ fn main() {
     let rate: f64 = args.get("rate", 0.15);
     let queue: usize = args.get("queue", 16);
     let perturbations: usize = args.get("perturbations", 40);
+    let pool_domains: u32 = args.get("domains", PoolConfig::default().domains);
+    let flat: bool = args.get("flat", false);
+    // The flow-layer manager count — what the JSON reports and the
+    // hierarchy gate compares on.
+    let domains: u32 = if flat { 1 } else { pool_domains };
     let out: String = args.get("out", "BENCH_online_throughput.json".to_owned());
+    let mono_out: Option<String> = args
+        .has("mono-out")
+        .then(|| args.get("mono-out", "BENCH_online_mono.json".to_owned()));
+    assert!(
+        !(flat && mono_out.is_some()),
+        "--mono-out pairs a sharded run with its collapsed baseline; drop --flat"
+    );
 
     let cfg = OnlineConfig {
         base: CampaignConfig {
             jobs,
             perturbations,
+            pool_config: PoolConfig {
+                domains: pool_domains,
+                ..PoolConfig::default()
+            },
+            single_manager: flat,
             faults: FaultConfig {
                 outages: 3,
                 degradations: 2,
@@ -71,111 +287,52 @@ fn main() {
         ..OnlineConfig::default()
     };
 
-    let telemetry = Telemetry::new();
-    let start = Instant::now();
-    let report = run_online_instrumented(&cfg, &telemetry);
-    let wall = start.elapsed();
+    // The variants this invocation measures: the requested run, plus —
+    // under --mono-out — the same campaign with the flow layer collapsed
+    // to one job manager (bit-identical decisions, the monolithic
+    // reference of the hierarchy gate).
+    let mut variants: Vec<(OnlineConfig, u32, String)> = vec![(cfg.clone(), domains, out)];
+    if let Some(mono_out) = mono_out {
+        let mono_cfg = OnlineConfig {
+            base: CampaignConfig {
+                single_manager: true,
+                ..cfg.base.clone()
+            },
+            ..cfg
+        };
+        variants.push((mono_cfg, 1, mono_out));
+    }
 
-    let s = report.summary;
-    let wall_secs = wall.as_secs_f64().max(1e-9);
-    let sustained = s.admitted as f64 / wall_secs;
-
-    // Time-to-plan: every `admit` span is one full sweep + activation.
-    let snapshot = telemetry.snapshot();
-    let mut plan_ns: Vec<u64> = snapshot
-        .spans()
-        .iter()
-        .filter(|span| span.name == "admit")
-        .map(|span| span.end_ns.saturating_sub(span.start_ns))
-        .collect();
-    plan_ns.sort_unstable();
-    let plan_p50 = quantile_ns(&plan_ns, 0.50);
-    let plan_p99 = quantile_ns(&plan_ns, 0.99);
-
-    let wait_p50 = report.queue_wait.quantile(0.50).unwrap_or(0.0);
-    let wait_p99 = report.queue_wait.quantile(0.99).unwrap_or(0.0);
-
-    let oracle_violations = match audit(&report.report) {
-        Ok(()) => 0,
-        Err(v) => {
-            eprintln!("oracle violation: {v}");
-            1
-        }
+    let repeat: usize = args.get("repeat", 1).max(1);
+    let workload = Workload {
+        seed,
+        rate,
+        queue,
+        jobs,
+        repeat,
     };
-    let reconciled = report.counters_reconcile();
 
-    println!("online_throughput: seed {seed}, rate {rate}, queue {queue}, {jobs} offered jobs");
-    println!(
-        "  arrived {}  admitted {}  rejected {} (queue-full {}, unmeetable {})  deferred {}",
-        s.arrived, s.admitted, s.rejected, s.rejected_queue_full, s.rejected_unmeetable, s.deferred
-    );
-    println!(
-        "  probes {}  incremental replans {}  queue peak {}",
-        s.probes, s.incremental_replans, s.queue_peak
-    );
-    println!(
-        "  wall {:.1} ms  sustained {:.1} admitted jobs/sec",
-        wall.as_secs_f64() * 1e3,
-        sustained
-    );
-    println!(
-        "  time-to-plan p50 {:.2} ms  p99 {:.2} ms  ({} admissions timed)",
-        plan_p50 as f64 / 1e6,
-        plan_p99 as f64 / 1e6,
-        plan_ns.len()
-    );
-    println!("  queue wait p50 {wait_p50:.0} ticks  p99 {wait_p99:.0} ticks (sim time)");
-    println!("  counters reconcile: {reconciled}  oracle violations: {oracle_violations}");
+    // Best-of-N wall clock per variant; every repeat runs the same
+    // deterministic campaign, so keeping the fastest run's report and
+    // telemetry loses nothing. Variants are interleaved within each
+    // repeat so machine-level drift cancels out of their ratio.
+    let mut measured: Vec<Option<Measured>> = variants.iter().map(|_| None).collect();
+    for _ in 0..repeat {
+        for (slot, (cfg, _, _)) in measured.iter_mut().zip(&variants) {
+            let run = run_once(cfg);
+            match slot {
+                Some(best) if best.wall <= run.wall => {}
+                _ => *slot = Some(run),
+            }
+        }
+    }
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"online_throughput\",\n",
-            "  \"seed\": {seed},\n",
-            "  \"rate\": {rate},\n",
-            "  \"queue_capacity\": {queue},\n",
-            "  \"jobs_offered\": {jobs},\n",
-            "  \"jobs_arrived\": {arrived},\n",
-            "  \"jobs_admitted\": {admitted},\n",
-            "  \"jobs_rejected\": {rejected},\n",
-            "  \"jobs_deferred\": {deferred},\n",
-            "  \"admission_probes\": {probes},\n",
-            "  \"incremental_replans\": {replans},\n",
-            "  \"queue_peak_depth\": {peak},\n",
-            "  \"wall_ms\": {wall_ms:.3},\n",
-            "  \"sustained_jobs_per_sec\": {sustained:.3},\n",
-            "  \"plan_p50_ns\": {p50},\n",
-            "  \"plan_p99_ns\": {p99},\n",
-            "  \"queue_wait_p50_ticks\": {wait50:.1},\n",
-            "  \"queue_wait_p99_ticks\": {wait99:.1},\n",
-            "  \"counters_reconcile\": {reconciled},\n",
-            "  \"oracle_violations\": {violations}\n",
-            "}}\n"
-        ),
-        seed = seed,
-        rate = rate,
-        queue = queue,
-        jobs = jobs,
-        arrived = s.arrived,
-        admitted = s.admitted,
-        rejected = s.rejected,
-        deferred = s.deferred,
-        probes = s.probes,
-        replans = s.incremental_replans,
-        peak = s.queue_peak,
-        wall_ms = wall.as_secs_f64() * 1e3,
-        sustained = sustained,
-        p50 = plan_p50,
-        p99 = plan_p99,
-        wait50 = wait_p50,
-        wait99 = wait_p99,
-        reconciled = reconciled,
-        violations = oracle_violations,
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
-    println!("  wrote {out}");
-
-    if oracle_violations > 0 || !reconciled {
+    let mut healthy = true;
+    for ((_, domains, out), m) in variants.iter().zip(&measured) {
+        let m = m.as_ref().expect("at least one repeat runs");
+        healthy &= emit(m, &workload, *domains, out);
+    }
+    if !healthy {
         std::process::exit(1);
     }
 }

@@ -5,8 +5,16 @@
 //! and the end-to-end virtual-organization simulation that drives the
 //! paper's experiments.
 //!
-//! - [`metascheduler`]: flow assignment rules (single flow, round-robin,
-//!   by job size);
+//! - [`metascheduler`]: the top-tier dispatcher — flow assignment rules
+//!   (single flow, round-robin, by job size), domain selection for
+//!   activated schedules, and inter-domain migration across the
+//!   per-domain job managers it owns;
+//! - `job_manager` (crate-private): the middle tier — one manager per
+//!   processor-node domain holding its admission queue and active
+//!   supporting schedules;
+//! - `driver` (crate-private): the shared event machine both campaign
+//!   flavours run on, over the [`gridsched_sim::engine::Engine`] kernel
+//!   with an event-budget runaway guard;
 //! - [`simulation`]: the campaign driver — strategy generation per job,
 //!   activation of the supporting schedule matching observed conditions,
 //!   background perturbations, task overruns, and the dynamic reallocation
@@ -46,7 +54,9 @@
 #![warn(missing_docs)]
 
 pub mod bridge;
+mod driver;
 pub mod faults;
+mod job_manager;
 pub mod metascheduler;
 pub mod online;
 pub mod oracle;
@@ -62,6 +72,6 @@ pub use online::{
     OnlineConfig, OnlineReport,
 };
 pub use oracle::{audit, audit_final_state, FinalJobState, OracleViolation};
-pub use report::{JobRecord, VoReport};
+pub use report::{DomainStat, JobRecord, VoReport};
 pub use simulation::{run_campaign, run_campaign_instrumented, CampaignConfig};
 pub use trace::{BreakKind, CampaignEvent, CampaignTrace, RejectReason};

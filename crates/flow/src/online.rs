@@ -40,26 +40,27 @@
 //! `crates/flow/tests/prop_online.rs` pin this). All report-side latencies
 //! are sim-time; wall-clock timings live only in telemetry spans.
 
-use std::collections::VecDeque;
-
 use gridsched_core::cost::Cost;
 use gridsched_core::granularity::coarsen;
 use gridsched_core::method::ScheduleRequest;
 use gridsched_core::objective::Objective;
 use gridsched_core::session::PlanningSession;
-use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched_core::strategy::{Strategy, StrategyConfig};
 use gridsched_metrics::histogram::Histogram;
 use gridsched_metrics::telemetry::{Counter, Telemetry};
 use gridsched_model::estimate::EstimateScenario;
-use gridsched_model::ids::JobId;
+use gridsched_model::ids::{JobId, NodeId};
 use gridsched_model::job::Job;
 use gridsched_model::perf::Perf;
 use gridsched_sim::rng::SimRng;
-use gridsched_sim::time::SimTime;
+use gridsched_sim::time::{SimDuration, SimTime};
 use gridsched_workload::arrivals::{generate_arrivals, ArrivalProcess};
 
+use crate::driver::{drive, flow_event_budget, FlowEvent, FlowMachine};
+use crate::faults::Fault;
+use crate::job_manager::Queued;
 use crate::report::{JobRecord, VoReport};
-use crate::simulation::{Campaign, CampaignConfig, Event};
+use crate::simulation::{Campaign, CampaignConfig};
 use crate::trace::{CampaignEvent, RejectReason};
 
 /// Configuration of one online serving run.
@@ -174,16 +175,6 @@ impl OnlineReport {
     }
 }
 
-/// One queued arrival awaiting admission.
-struct Queued {
-    job: Job,
-    kind: StrategyKind,
-    record: usize,
-    arrival: SimTime,
-    deadline_abs: SimTime,
-    probes: usize,
-}
-
 /// What one admission probe decided.
 enum Decision {
     Admit,
@@ -232,33 +223,22 @@ pub fn run_online_instrumented(config: &OnlineConfig, telemetry: &Telemetry) -> 
         horizon_end,
         &mut jobs_rng,
     );
-    let mut events: Vec<Event> = jobs.into_iter().map(Event::Release).collect();
+    let mut events: Vec<FlowEvent> = jobs.into_iter().map(FlowEvent::Release).collect();
     events.extend(campaign.dynamics_events(&mut pert_rng, &mut fault_rng));
-    events.sort_by_key(Event::time);
 
-    let mut online = Online {
+    let online = Online {
         campaign,
         config,
-        queue: VecDeque::new(),
         admission: Vec::new(),
         queue_waits: Vec::new(),
         queue_peak: 0,
+        next_arrival_seq: 0,
     };
-    for event in events {
-        let now = event.time();
-        online.settle(now);
-        match event {
-            Event::Release(job) => online.on_arrival(job),
-            Event::Perturbation { at, node, len } => {
-                online.campaign.handle_perturbation(at, node, len);
-            }
-            Event::Fault(fault) => online.campaign.handle_fault(fault),
-        }
-        // Incremental replanning: every event can change feasibility, so
-        // every queued job gets a fresh probe — no batch regeneration.
-        online.drain_queue(now);
-    }
-    online.settle(horizon_end);
+    // The same event kernel as the batch campaign drives the serving
+    // loop; only the machine plugged into it differs.
+    let budget = flow_event_budget(events.len());
+    let mut online = drive(events, online, budget);
+    online.settle_due(horizon_end);
     let finalize_span = telemetry.span_under("finalize", root);
     let report = online.finalize();
     drop(finalize_span);
@@ -268,54 +248,82 @@ pub fn run_online_instrumented(config: &OnlineConfig, telemetry: &Telemetry) -> 
 struct Online<'a> {
     campaign: Campaign<'a>,
     config: &'a OnlineConfig,
-    queue: VecDeque<Queued>,
     /// Parallel to `campaign.records`, in arrival order.
     admission: Vec<AdmissionRecord>,
     /// Queue waits of admitted jobs, in ticks.
     queue_waits: Vec<u64>,
     queue_peak: usize,
+    /// Global arrival counter; stamps [`Queued::arrival_seq`] so the
+    /// admission pass can merge the per-domain queues back into one
+    /// deterministic FIFO order.
+    next_arrival_seq: u64,
+}
+
+impl FlowMachine for Online<'_> {
+    fn settle(&mut self, now: SimTime) {
+        self.settle_due(now);
+    }
+
+    fn on_release(&mut self, job: Job) {
+        self.on_arrival(job);
+    }
+
+    fn on_perturbation(&mut self, at: SimTime, node: NodeId, len: SimDuration) {
+        self.campaign.handle_perturbation(at, node, len);
+    }
+
+    fn on_fault(&mut self, fault: Fault) {
+        self.campaign.handle_fault(fault);
+    }
+
+    fn after_event(&mut self, now: SimTime) {
+        // Incremental replanning: every event can change feasibility, so
+        // every queued job gets a fresh probe — no batch regeneration.
+        self.drain_queue(now);
+    }
 }
 
 impl Online<'_> {
     /// Settles every due overrun *and* completion up to `now`, in global
     /// time order (an overrun at the same instant goes first — it extends
-    /// windows and can push the completion later). The batch campaign
-    /// settles overruns only; observing completions online is what lets
-    /// terminal events carry their realized instant.
-    fn settle(&mut self, now: SimTime) {
+    /// windows and can push the completion later; ties within a kind fall
+    /// back to the global activation sequence). The batch campaign settles
+    /// overruns only; observing completions online is what lets terminal
+    /// events carry their realized instant.
+    fn settle_due(&mut self, now: SimTime) {
         loop {
             let overrun = self
                 .campaign
-                .active
-                .iter()
-                .enumerate()
+                .meta
+                .jobs()
                 .filter(|(_, a)| !a.dropped)
-                .filter_map(|(i, a)| a.pending_overrun.map(|(t, task)| (t, i, task)))
-                .filter(|&(t, _, _)| t <= now)
-                .min();
+                .filter_map(|(h, a)| a.pending_overrun.map(|(t, task)| (t, a.seq, task, h)))
+                .filter(|&(t, _, _, _)| t <= now)
+                .min_by_key(|&(t, seq, task, _)| (t, seq, task));
             let completion = self
                 .campaign
-                .active
-                .iter()
-                .enumerate()
+                .meta
+                .jobs()
                 .filter(|(_, a)| !a.dropped && a.completed.is_none() && a.pending_overrun.is_none())
-                .filter_map(|(i, a)| {
+                .filter_map(|(h, a)| {
                     let end = a
                         .current
                         .values()
                         .map(|p| p.window.end())
                         .max()
                         .unwrap_or(a.activation);
-                    (end <= now).then_some((end, i))
+                    (end <= now).then_some((end, a.seq, h))
                 })
-                .min();
+                .min_by_key(|&(end, seq, _)| (end, seq));
             match (overrun, completion) {
-                (Some((t, i, task)), completion) if completion.is_none_or(|(end, _)| t <= end) => {
-                    self.campaign.handle_overrun(i, t, task);
+                (Some((t, _, task, h)), completion)
+                    if completion.is_none_or(|(end, _, _)| t <= end) =>
+                {
+                    self.campaign.handle_overrun(h, t, task);
                 }
-                (_, Some((end, i))) => {
-                    let job = self.campaign.active[i].job.id();
-                    self.campaign.active[i].completed = Some(end);
+                (_, Some((end, _, h))) => {
+                    let job = self.campaign.meta.job(h).job.id();
+                    self.campaign.meta.job_mut(h).completed = Some(end);
                     self.campaign
                         .record_event(end, CampaignEvent::Completed { job, end });
                 }
@@ -355,6 +363,7 @@ impl Online<'_> {
             time_to_live: None,
             data_traffic: None,
             nodes_used: None,
+            home_domain: None,
             breaks: 0,
             switches: 0,
             migrations: 0,
@@ -366,23 +375,36 @@ impl Online<'_> {
             outcome: AdmissionOutcome::Deferred,
             probes: 0,
         });
-        if self.queue.len() >= self.config.queue_capacity {
+        // The queue bound is a system-wide admission capacity, shared
+        // across every domain's manager.
+        if self.campaign.meta.total_queued() >= self.config.queue_capacity {
             self.reject(record, at, RejectReason::QueueFull);
             return;
         }
         let deadline_abs = at.saturating_add(job.deadline());
-        self.queue.push_back(Queued {
-            job,
-            kind,
-            record,
-            arrival: at,
-            deadline_abs,
-            probes: 0,
-        });
-        self.queue_peak = self.queue_peak.max(self.queue.len());
+        let arrival_seq = self.next_arrival_seq;
+        self.next_arrival_seq += 1;
+        // Tentative home until activation: the least-loaded manager
+        // queues the arrival (ties to the lowest domain id).
+        let home = self.campaign.meta.least_loaded();
+        self.campaign
+            .meta
+            .manager_mut(home)
+            .queue
+            .push_back(Queued {
+                arrival_seq,
+                job,
+                kind,
+                record,
+                arrival: at,
+                deadline_abs,
+                probes: 0,
+            });
+        let depth = self.campaign.meta.total_queued();
+        self.queue_peak = self.queue_peak.max(depth);
         self.campaign
             .telemetry
-            .record_max(Counter::QueuePeakDepth, self.queue.len() as u64);
+            .record_max(Counter::QueuePeakDepth, depth as u64);
     }
 
     fn reject(&mut self, record: usize, at: SimTime, reason: RejectReason) {
@@ -398,27 +420,56 @@ impl Online<'_> {
         self.admission[record].outcome = AdmissionOutcome::Rejected { at, reason };
     }
 
-    /// Probes every queued job once, oldest first, admitting and rejecting
-    /// in place. Jobs admitted earlier in the pass shrink availability for
-    /// later ones — each probe opens a fresh session snapshot.
+    /// Probes every queued job once, oldest first (arrival order, merged
+    /// across all domains' queues), admitting and rejecting in place.
+    /// Jobs admitted earlier in the pass shrink availability for later
+    /// ones — each probe opens a fresh session snapshot.
     fn drain_queue(&mut self, now: SimTime) {
-        let mut i = 0;
-        while i < self.queue.len() {
-            match self.decide(i, now) {
+        // Snapshot the merged queue membership up front: admissions never
+        // enqueue, so each snapshotted arrival is decided exactly once.
+        let mut snapshot: Vec<(u64, usize)> = self
+            .campaign
+            .meta
+            .managers()
+            .iter()
+            .enumerate()
+            .flat_map(|(m, mgr)| mgr.queue.iter().map(move |q| (q.arrival_seq, m)))
+            .collect();
+        snapshot.sort_unstable();
+        for (arrival_seq, m) in snapshot {
+            let Some(pos) = self.campaign.meta.managers()[m]
+                .queue
+                .iter()
+                .position(|q| q.arrival_seq == arrival_seq)
+            else {
+                continue;
+            };
+            match self.decide(m, pos, now) {
                 Decision::Admit => {
-                    let entry = self.queue.remove(i).expect("index in bounds");
+                    let entry = self
+                        .campaign
+                        .meta
+                        .manager_mut(m)
+                        .queue
+                        .remove(pos)
+                        .expect("index in bounds");
                     if let Some(entry) = self.admit(entry, now) {
                         // The full sweep disagreed with the probe; the
                         // job stays queued for the next event.
-                        self.queue.insert(i, entry);
-                        i += 1;
+                        self.campaign.meta.manager_mut(m).queue.insert(pos, entry);
                     }
                 }
                 Decision::Reject => {
-                    let entry = self.queue.remove(i).expect("index in bounds");
+                    let entry = self
+                        .campaign
+                        .meta
+                        .manager_mut(m)
+                        .queue
+                        .remove(pos)
+                        .expect("index in bounds");
                     self.reject(entry.record, now, RejectReason::Unmeetable);
                 }
-                Decision::Defer => i += 1,
+                Decision::Defer => {}
             }
         }
     }
@@ -426,14 +477,17 @@ impl Online<'_> {
     /// The deadline/budget admission probe: one single-pass best-case
     /// (MS1-style) planning attempt under `MinTime { budget }` against the
     /// job's absolute deadline.
-    fn decide(&mut self, i: usize, now: SimTime) -> Decision {
-        self.queue[i].probes += 1;
-        let probes = self.queue[i].probes;
+    fn decide(&mut self, m: usize, pos: usize, now: SimTime) -> Decision {
+        let probes = {
+            let entry = &mut self.campaign.meta.manager_mut(m).queue[pos];
+            entry.probes += 1;
+            entry.probes
+        };
         self.campaign.telemetry.incr(Counter::AdmissionProbes);
         if probes > 1 {
             self.campaign.telemetry.incr(Counter::IncrementalReplans);
         }
-        let entry = &self.queue[i];
+        let entry = &self.campaign.meta.managers()[m].queue[pos];
         self.admission[entry.record].probes = probes;
         let span = self
             .campaign
@@ -570,7 +624,6 @@ impl Online<'_> {
     fn finalize(self) -> OnlineReport {
         let Online {
             campaign,
-            queue,
             mut admission,
             queue_waits,
             queue_peak,
@@ -578,12 +631,14 @@ impl Online<'_> {
         } = self;
         // Whatever is still queued at the horizon stayed deferred.
         debug_assert!(
-            queue
+            campaign
+                .meta
+                .managers()
                 .iter()
+                .flat_map(|m| m.queue.iter())
                 .all(|q| admission[q.record].outcome == AdmissionOutcome::Deferred),
             "queued entries carry the Deferred outcome"
         );
-        drop(queue);
         let mut summary = AdmissionSummary {
             arrived: admission.len(),
             queue_peak,

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use gridsched_core::distribution::Placement;
-use gridsched_model::ids::{JobId, TaskId};
+use gridsched_model::ids::{DomainId, JobId, TaskId};
 use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
 use gridsched_model::timetable::ReservationOwner;
@@ -120,6 +120,15 @@ pub enum OracleViolation {
         /// The job.
         job: JobId,
     },
+    /// Consecutive `Migrated` events on a job do not chain: a later
+    /// migration's `from` domain differs from the previous one's `to`.
+    MigrationChainBroken(JobId),
+    /// The event kernel exhausted its runaway budget — the flow driver
+    /// scheduled more events than any lawful campaign could need.
+    EventBudgetExhausted {
+        /// Events processed before the kernel gave up.
+        processed: u64,
+    },
 }
 
 impl fmt::Display for OracleViolation {
@@ -187,6 +196,15 @@ impl fmt::Display for OracleViolation {
             OracleViolation::PrecedenceViolation { job } => {
                 write!(f, "{job}: unbroken schedule violates task precedence")
             }
+            OracleViolation::MigrationChainBroken(j) => {
+                write!(f, "{j}: migration domains do not chain")
+            }
+            OracleViolation::EventBudgetExhausted { processed } => {
+                write!(
+                    f,
+                    "event kernel exhausted its budget after {processed} events"
+                )
+            }
         }
     }
 }
@@ -209,6 +227,9 @@ struct Lifecycle {
     dropped: bool,
     completed: bool,
     first_break: Option<SimTime>,
+    /// Home domain after the last migration (`to` of the latest
+    /// `Migrated` event); `None` while the job never migrated.
+    home: Option<DomainId>,
 }
 
 impl Lifecycle {
@@ -307,11 +328,19 @@ fn replay(trace: &CampaignTrace) -> Result<HashMap<JobId, Lifecycle>, OracleViol
                 state.replans += 1;
                 state.resolutions += 1;
             }
-            CampaignEvent::Migrated { .. } => {
+            CampaignEvent::Migrated { from, to, .. } => {
                 require_live(state, job)?;
                 if state.resolutions >= state.breaks {
                     return Err(OracleViolation::ResolutionWithoutBreak(job));
                 }
+                // Migrations must chain: each hand-off leaves from the
+                // domain the previous one arrived at.
+                if let Some(home) = state.home {
+                    if *from != home {
+                        return Err(OracleViolation::MigrationChainBroken(job));
+                    }
+                }
+                state.home = Some(*to);
                 state.migrations += 1;
                 state.resolutions += 1;
             }
@@ -400,6 +429,9 @@ fn check_records(
         }
         if state.dropped != r.dropped {
             return Err(mismatch("dropped"));
+        }
+        if state.migrations > 0 && r.home_domain != state.home {
+            return Err(mismatch("home_domain"));
         }
         if state.activated {
             // TTL is recomputable: survival until the first break, or the

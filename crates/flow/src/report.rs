@@ -1,9 +1,11 @@
 //! Per-job records and campaign-level aggregates.
 
+use std::collections::BTreeMap;
+
 use gridsched_core::strategy::StrategyKind;
 use gridsched_metrics::load::GroupLoad;
 use gridsched_metrics::summary::Summary;
-use gridsched_model::ids::JobId;
+use gridsched_model::ids::{DomainId, JobId};
 use gridsched_model::perf::PerfGroup;
 use gridsched_sim::time::{SimDuration, SimTime};
 
@@ -48,6 +50,11 @@ pub struct JobRecord {
     /// (perturbation hit or overrun); the full planned runtime if it never
     /// broke.
     pub time_to_live: Option<SimDuration>,
+    /// Domain of the job manager that owns the job: the domain holding
+    /// the majority of the activated schedule's reserved ticks (ties to
+    /// the lowest domain id), re-homed whenever the job migrates across
+    /// domains. `None` if the job was never activated.
+    pub home_domain: Option<DomainId>,
     /// Times the job manager had to switch schedules or replan.
     pub breaks: usize,
     /// How many of those breaks were resolved by switching to another
@@ -187,6 +194,33 @@ impl VoReport {
         self.records.iter().map(|r| r.migrations).sum()
     }
 
+    /// Per-domain aggregates over the jobs each job manager ended up
+    /// owning (by final home domain), ascending by domain id. Jobs that
+    /// never activated have no home and appear in no slice.
+    #[must_use]
+    pub fn domain_summary(&self) -> Vec<DomainStat> {
+        let mut stats: BTreeMap<DomainId, DomainStat> = BTreeMap::new();
+        for r in &self.records {
+            let Some(domain) = r.home_domain else {
+                continue;
+            };
+            let s = stats.entry(domain).or_insert(DomainStat {
+                domain,
+                jobs: 0,
+                breaks: 0,
+                migrations: 0,
+                dropped: 0,
+                total_cost: 0,
+            });
+            s.jobs += 1;
+            s.breaks += r.breaks;
+            s.migrations += r.migrations;
+            s.dropped += usize::from(r.dropped);
+            s.total_cost += r.cost.unwrap_or(0);
+        }
+        stats.into_values().collect()
+    }
+
     /// Fraction of activated jobs that were eventually dropped.
     #[must_use]
     pub fn drop_share(&self) -> f64 {
@@ -197,6 +231,24 @@ impl VoReport {
         let dropped = self.records.iter().filter(|r| r.dropped).count();
         dropped as f64 / activated as f64
     }
+}
+
+/// Aggregates over the jobs one domain's job manager owned at the end of
+/// a campaign (see [`VoReport::domain_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainStat {
+    /// The domain.
+    pub domain: DomainId,
+    /// Activated jobs whose final home is this domain.
+    pub jobs: usize,
+    /// Schedule breaks those jobs suffered.
+    pub breaks: usize,
+    /// Migration resolutions among them (restarts off dead nodes).
+    pub migrations: usize,
+    /// How many of them were eventually dropped.
+    pub dropped: usize,
+    /// Summed activated-schedule cost.
+    pub total_cost: u64,
 }
 
 #[cfg(test)]
@@ -220,6 +272,7 @@ mod tests {
             planned_makespan: cost.map(|_| SimTime::from_ticks(10)),
             start_deviation_ratio: cost.map(|_| 0.1),
             time_to_live: cost.map(|_| SimDuration::from_ticks(8)),
+            home_domain: cost.map(|_| DomainId::new(0)),
             breaks: 0,
             switches: 0,
             migrations: 0,

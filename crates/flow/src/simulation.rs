@@ -18,7 +18,7 @@ use gridsched_core::distribution::Placement;
 use gridsched_core::method::ScheduleRequest;
 use gridsched_core::session::PlanningSession;
 use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
-use gridsched_data::policy::{DataPolicy, DataPolicyKind};
+use gridsched_data::policy::DataPolicyKind;
 use gridsched_metrics::load::GroupLoad;
 use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
 use gridsched_model::estimate::EstimateScenario;
@@ -26,7 +26,7 @@ use gridsched_model::ids::{GlobalTaskId, JobId, NodeId, TaskId};
 use gridsched_model::job::Job;
 use gridsched_model::node::ResourcePool;
 use gridsched_model::perf::{Perf, PerfGroup};
-use gridsched_model::timetable::{ReservationId, ReservationOwner};
+use gridsched_model::timetable::ReservationOwner;
 use gridsched_model::window::TimeWindow;
 use gridsched_sim::rng::SimRng;
 use gridsched_sim::time::{SimDuration, SimTime};
@@ -34,8 +34,10 @@ use gridsched_workload::background::{apply_background_load, BackgroundConfig};
 use gridsched_workload::jobs::{generate_stream, JobConfig};
 use gridsched_workload::pool::{generate_pool, PoolConfig};
 
+use crate::driver::{drive, flow_event_budget, FlowEvent, FlowMachine};
 use crate::faults::{Fault, FaultConfig, FaultKind, FaultPlan, FaultSummary};
-use crate::metascheduler::{FlowAssignment, Metascheduler};
+use crate::job_manager::{transfer_exposed, ActiveJob, JobHandle};
+use crate::metascheduler::{select_domain, FlowAssignment, Metascheduler};
 use crate::report::{JobRecord, VoReport};
 use crate::trace::BreakKind;
 
@@ -82,6 +84,14 @@ pub struct CampaignConfig {
     /// either way (the determinism suite pins this); the flag exists so
     /// that baseline is expressible without touching planner code.
     pub sequential_planning: bool,
+    /// Collapse the flow layer to a single job manager serving every pool
+    /// domain (the pre-hierarchy monolithic dispatcher). The campaign must
+    /// be bit-identical either way — cross-domain scans order by global
+    /// activation sequence, so sharding is pure bookkeeping (the
+    /// determinism suite pins this); the flag exists so the hierarchy
+    /// benches can measure that bookkeeping against a true monolithic
+    /// baseline on the *same* pool and workload.
+    pub single_manager: bool,
     /// Urgency escalation (§5's dynamic priority change): when a broken
     /// job's remaining slack falls below this multiple of its optimistic
     /// remaining work, it replans for speed (`MinTime`) instead of cost.
@@ -109,44 +119,11 @@ impl Default for CampaignConfig {
             task_jitter: 0.15,
             collect_trace: false,
             sequential_planning: false,
+            single_manager: false,
             urgency_slack_factor: Some(1.5),
             seed: 0x9d5c,
         }
     }
-}
-
-/// One job's live state inside the campaign.
-///
-/// `pub(crate)` (with its fields) so the [`crate::online`] serving loop can
-/// drive the same dynamics engine without re-implementing it.
-#[derive(Debug)]
-pub(crate) struct ActiveJob {
-    pub(crate) record: usize,
-    pub(crate) job: Job,
-    pub(crate) policy: DataPolicy,
-    pub(crate) scenario: EstimateScenario,
-    pub(crate) activation: SimTime,
-    pub(crate) deadline_abs: SimTime,
-    pub(crate) current: HashMap<TaskId, Placement>,
-    pub(crate) reservations: HashMap<TaskId, ReservationId>,
-    pub(crate) task_factors: Vec<f64>,
-    /// The strategy's other supporting schedules, available for switching
-    /// while no task has started yet.
-    pub(crate) alternatives: Vec<gridsched_core::distribution::Distribution>,
-    /// Start times of the user's optimistic forecast (the best-case
-    /// supporting schedule), per task.
-    pub(crate) reference_starts: Vec<SimTime>,
-    /// Planned runtime of that forecast, in ticks.
-    pub(crate) reference_runtime: f64,
-    /// `(break time, overrunning task)` of the earliest pending overrun.
-    pub(crate) pending_overrun: Option<(SimTime, TaskId)>,
-    pub(crate) first_break: Option<SimTime>,
-    pub(crate) dropped: bool,
-    /// Realized completion instant, once the online loop observes every
-    /// window closed. Batch campaigns never set it: completion facts are
-    /// only known at the horizon there, and [`Campaign::finalize`] stamps
-    /// them for every surviving job whose completion was not yet recorded.
-    pub(crate) completed: Option<SimTime>,
 }
 
 /// Runs one campaign and aggregates the paper's metrics.
@@ -184,9 +161,10 @@ pub fn run_campaign_instrumented(config: &CampaignConfig, telemetry: &Telemetry)
 pub(crate) struct Campaign<'a> {
     pub(crate) config: &'a CampaignConfig,
     pub(crate) pool: ResourcePool,
+    /// The top-tier dispatcher; its per-domain job managers hold every
+    /// active job's live state.
     pub(crate) meta: Metascheduler,
     pub(crate) records: Vec<JobRecord>,
-    pub(crate) active: Vec<ActiveJob>,
     pub(crate) horizon_end: SimTime,
     pub(crate) activation_rng: SimRng,
     pub(crate) next_background_tag: u64,
@@ -199,23 +177,21 @@ pub(crate) struct Campaign<'a> {
     pub(crate) gap_scratch: Vec<TimeWindow>,
 }
 
-pub(crate) enum Event {
-    Release(Job),
-    Perturbation {
-        at: SimTime,
-        node: NodeId,
-        len: SimDuration,
-    },
-    Fault(Fault),
-}
+impl FlowMachine for Campaign<'_> {
+    fn settle(&mut self, now: SimTime) {
+        self.settle_overruns(now);
+    }
 
-impl Event {
-    pub(crate) fn time(&self) -> SimTime {
-        match self {
-            Event::Release(j) => j.release(),
-            Event::Perturbation { at, .. } => *at,
-            Event::Fault(f) => f.at,
-        }
+    fn on_release(&mut self, job: Job) {
+        self.handle_release(job);
+    }
+
+    fn on_perturbation(&mut self, at: SimTime, node: NodeId, len: SimDuration) {
+        self.handle_perturbation(at, node, len);
+    }
+
+    fn on_fault(&mut self, fault: Fault) {
+        self.handle_fault(fault);
     }
 }
 
@@ -243,12 +219,17 @@ impl<'a> Campaign<'a> {
         // sweep of the campaign doesn't pay the one-off thread spawn; every
         // later sweep reuses the same pool.
         let _ = gridsched_core::pool::WorkerPool::global();
+        let mut meta = Metascheduler::with_telemetry(config.assignment.clone(), telemetry);
+        if config.single_manager {
+            meta.init_domains(&[]);
+        } else {
+            meta.init_domains(pool.domain_registry());
+        }
         Campaign {
             config,
             pool,
-            meta: Metascheduler::with_telemetry(config.assignment.clone(), telemetry),
+            meta,
             records: Vec::with_capacity(config.jobs),
-            active: Vec::new(),
             horizon_end: SimTime::ZERO + config.horizon,
             activation_rng,
             next_background_tag: 1 << 32,
@@ -273,7 +254,7 @@ impl<'a> Campaign<'a> {
         &mut self,
         pert_rng: &mut SimRng,
         fault_rng: &mut SimRng,
-    ) -> Vec<Event> {
+    ) -> Vec<FlowEvent> {
         let node_count = self.pool.len();
         let mut events = Vec::with_capacity(self.config.perturbations);
         for _ in 0..self.config.perturbations {
@@ -283,7 +264,7 @@ impl<'a> Campaign<'a> {
                 self.config.perturbation_len.0,
                 self.config.perturbation_len.1,
             ));
-            events.push(Event::Perturbation { at, node, len });
+            events.push(FlowEvent::Perturbation { at, node, len });
         }
         let plan = FaultPlan::generate_instrumented(
             &self.config.faults,
@@ -293,11 +274,11 @@ impl<'a> Campaign<'a> {
             &self.telemetry,
             self.root,
         );
-        events.extend(plan.faults().iter().copied().map(Event::Fault));
+        events.extend(plan.faults().iter().copied().map(FlowEvent::Fault));
         events
     }
 
-    fn run(mut self) -> VoReport {
+    fn run(self) -> VoReport {
         let mut master = SimRng::seed_from(self.config.seed);
         let mut jobs_rng = master.fork(3);
         let mut pert_rng = master.fork(5);
@@ -309,22 +290,17 @@ impl<'a> Campaign<'a> {
             self.config.job_gap,
             &mut jobs_rng,
         );
-        let mut events: Vec<Event> = jobs.into_iter().map(Event::Release).collect();
-        events.extend(self.dynamics_events(&mut pert_rng, &mut fault_rng));
-        events.sort_by_key(Event::time);
+        let mut this = self;
+        let mut events: Vec<FlowEvent> = jobs.into_iter().map(FlowEvent::Release).collect();
+        events.extend(this.dynamics_events(&mut pert_rng, &mut fault_rng));
 
-        for event in events {
-            let now = event.time();
-            self.settle_overruns(now);
-            match event {
-                Event::Release(job) => self.handle_release(job),
-                Event::Perturbation { at, node, len } => self.handle_perturbation(at, node, len),
-                Event::Fault(fault) => self.handle_fault(fault),
-            }
-        }
-        self.settle_overruns(self.horizon_end);
-        let finalize_span = self.telemetry.span_under("finalize", self.root);
-        let report = self.finalize();
+        // The shared event kernel drives the whole campaign; its budget is
+        // a runaway guard (the machine schedules nothing itself).
+        let budget = flow_event_budget(events.len());
+        let mut this = drive(events, this, budget);
+        this.settle_overruns(this.horizon_end);
+        let finalize_span = this.telemetry.span_under("finalize", this.root);
+        let report = this.finalize();
         drop(finalize_span);
         report
     }
@@ -377,6 +353,7 @@ impl<'a> Campaign<'a> {
             time_to_live: None,
             data_traffic: None,
             nodes_used: None,
+            home_domain: None,
             breaks: 0,
             switches: 0,
             migrations: 0,
@@ -477,6 +454,12 @@ impl<'a> Campaign<'a> {
         let deadline_abs = release.saturating_add(planning_job.deadline());
         let current: HashMap<TaskId, Placement> =
             chosen.placements().iter().map(|p| (p.task, *p)).collect();
+        // Top-tier domain selection: the manager of the domain holding the
+        // majority of the schedule's reserved ticks homes the job.
+        let home = select_domain(current.values(), &self.pool);
+        self.records[record_idx].home_domain = Some(home);
+        self.telemetry
+            .incr_domain(Counter::JobsActivated, u64::from(home.raw()));
         self.record_event(
             release,
             crate::trace::CampaignEvent::Activated {
@@ -485,6 +468,7 @@ impl<'a> Campaign<'a> {
             },
         );
         let mut active = ActiveJob {
+            seq: 0, // stamped by the metascheduler on admission
             record: record_idx,
             job: planning_job,
             policy: config.policy().clone(),
@@ -503,7 +487,7 @@ impl<'a> Campaign<'a> {
             completed: None,
         };
         active.pending_overrun = next_overrun(&active, &self.pool, release);
-        self.active.push(active);
+        self.meta.admit_active(home, active);
     }
 
     /// Handles one external perturbation: an independent local job seizing
@@ -539,12 +523,8 @@ impl<'a> Campaign<'a> {
         victims.sort_unstable();
         victims.dedup();
         for (job_id, tau) in victims {
-            if let Some(idx) = self
-                .active
-                .iter()
-                .position(|a| a.job.id() == job_id && !a.dropped)
-            {
-                self.break_job(idx, tau, BreakKind::Perturbation, &[], tau);
+            if let Some(h) = self.meta.find_live(job_id) {
+                self.break_job(h, tau, BreakKind::Perturbation, &[], tau);
             }
         }
         if self.pool.timetable(node).is_free(window) {
@@ -631,22 +611,18 @@ impl<'a> Campaign<'a> {
             }
         }
         for (job_id, forced) in victims {
-            let Some(idx) = self
-                .active
-                .iter()
-                .position(|a| a.job.id() == job_id && !a.dropped)
-            else {
+            let Some(h) = self.meta.find_live(job_id) else {
                 continue;
             };
             // Drop the stale reservation handles the outage voided.
             for r in &voided {
                 if let ReservationOwner::Task(gid) = r.owner() {
                     if gid.job == job_id {
-                        self.active[idx].reservations.remove(&gid.task);
+                        self.meta.job_mut(h).reservations.remove(&gid.task);
                     }
                 }
             }
-            self.break_job(idx, at, BreakKind::Outage, &forced, at);
+            self.break_job(h, at, BreakKind::Outage, &forced, at);
         }
     }
 
@@ -663,17 +639,20 @@ impl<'a> Campaign<'a> {
         self.record_event(at, crate::trace::CampaignEvent::Degraded { node });
         // Remaining runtimes on the node just grew: refresh the earliest
         // pending overrun of every job with a future placement there.
-        for i in 0..self.active.len() {
-            if self.active[i].dropped {
+        // Each job's refresh is independent, but the scan keeps the global
+        // activation order for determinism's sake.
+        for h in self.meta.handles_by_seq() {
+            let a = self.meta.job(h);
+            if a.dropped {
                 continue;
             }
-            let affected = self.active[i]
+            let affected = a
                 .current
                 .values()
                 .any(|p| p.node == node && p.window.start() > at);
             if affected {
-                let next = next_overrun(&self.active[i], &self.pool, at);
-                self.active[i].pending_overrun = next;
+                let next = next_overrun(self.meta.job(h), &self.pool, at);
+                self.meta.job_mut(h).pending_overrun = next;
             }
         }
     }
@@ -689,78 +668,64 @@ impl<'a> Campaign<'a> {
             at,
             crate::trace::CampaignEvent::TransferFaultInjected { node },
         );
-        let mut absorbed: Vec<usize> = Vec::new();
-        let mut victims: Vec<usize> = Vec::new();
-        for (i, a) in self.active.iter().enumerate() {
+        // Scan in global activation order; [`transfer_exposed`] is the
+        // shared inter-domain exposure test of both flow drivers.
+        let mut absorbed: Vec<JobId> = Vec::new();
+        let mut victims: Vec<JobId> = Vec::new();
+        for h in self.meta.handles_by_seq() {
+            let a = self.meta.job(h);
             if a.dropped {
                 continue;
             }
-            let exposed = a.job.edges().iter().any(|e| {
-                let from = &a.current[&e.from()];
-                let to = &a.current[&e.to()];
-                if to.window.start() <= at || from.node == to.node {
-                    return false;
-                }
-                let touches = from.node == node || to.node == node;
-                match a.policy.kind() {
-                    // Static storage stages every cross-node exchange
-                    // through the storage node, so it is exposed to
-                    // incidents there as well as at either endpoint.
-                    DataPolicyKind::StaticStorage => {
-                        touches || a.policy.storage_node() == Some(node)
-                    }
-                    _ => {
-                        touches
-                            && self.pool.node(from.node).domain()
-                                != self.pool.node(to.node).domain()
-                    }
-                }
-            });
-            if !exposed {
+            if !transfer_exposed(a, node, at, &self.pool) {
                 continue;
             }
             if a.policy.kind() == DataPolicyKind::ActiveReplication {
-                absorbed.push(i);
+                absorbed.push(a.job.id());
             } else {
-                victims.push(i);
+                victims.push(a.job.id());
             }
         }
-        for i in absorbed {
-            let job = self.active[i].job.id();
+        for job in absorbed {
             self.faults.transfer_faults_absorbed += 1;
             self.telemetry.incr(Counter::TransferFaultsAbsorbed);
             self.record_event(at, crate::trace::CampaignEvent::TransferAbsorbed { job });
         }
-        for i in victims {
+        for job_id in victims {
+            // Re-resolve per victim: an earlier break's migration may have
+            // shuffled handles between managers.
+            let Some(h) = self.meta.find_live(job_id) else {
+                continue;
+            };
             let earliest = at + retry;
-            self.break_job(i, at, BreakKind::TransferFault, &[], earliest);
+            self.break_job(h, at, BreakKind::TransferFault, &[], earliest);
         }
     }
 
-    /// Processes every due overrun, earliest first.
+    /// Processes every due overrun, earliest first; ties on the global
+    /// activation sequence (the pre-hierarchy flat-vector index order).
     pub(crate) fn settle_overruns(&mut self, now: SimTime) {
         loop {
             let due = self
-                .active
-                .iter()
-                .enumerate()
+                .meta
+                .jobs()
                 .filter(|(_, a)| !a.dropped)
-                .filter_map(|(i, a)| a.pending_overrun.map(|(t, task)| (t, i, task)))
-                .filter(|&(t, _, _)| t <= now)
-                .min();
-            let Some((t, idx, task)) = due else {
+                .filter_map(|(h, a)| a.pending_overrun.map(|(t, task)| (t, a.seq, task, h)))
+                .filter(|&(t, _, _, _)| t <= now)
+                .min_by_key(|&(t, seq, task, _)| (t, seq, task));
+            let Some((t, _, task, h)) = due else {
                 return;
             };
-            self.handle_overrun(idx, t, task);
+            self.handle_overrun(h, t, task);
         }
     }
 
     /// A task ran past its reserved window: extend it (best effort) and
     /// replan everything downstream.
-    pub(crate) fn handle_overrun(&mut self, idx: usize, at: SimTime, task: TaskId) {
+    pub(crate) fn handle_overrun(&mut self, h: JobHandle, at: SimTime, task: TaskId) {
         // Extend the overrunning task's placement to its actual finish.
         let (old, actual_end) = {
-            let a = &self.active[idx];
+            let a = self.meta.job(h);
             let p = a.current[&task];
             let actual = actual_exec(&a.job, &self.pool, &p, a.task_factors[task.index()]);
             (p, p.window.start() + p.stall + actual)
@@ -771,17 +736,17 @@ impl<'a> Campaign<'a> {
         if extended.end() > old.window.end() {
             if let Ok(tail) = TimeWindow::new(old.window.end(), extended.end()) {
                 let owner = ReservationOwner::Task(GlobalTaskId {
-                    job: self.active[idx].job.id(),
+                    job: self.meta.job(h).job.id(),
                     task,
                 });
                 let _ = self.pool.timetable_mut(old.node).reserve(tail, owner);
             }
         }
-        let a = &mut self.active[idx];
+        let a = self.meta.job_mut(h);
         let entry = a.current.get_mut(&task).expect("task is placed");
         entry.window = extended;
         a.pending_overrun = None;
-        self.break_job(idx, at, BreakKind::Overrun, &[], at);
+        self.break_job(h, at, BreakKind::Overrun, &[], at);
     }
 
     /// Attempts to activate another supporting schedule of the job's
@@ -792,9 +757,9 @@ impl<'a> Campaign<'a> {
     /// shift preserves precedence, so the switch succeeds iff every
     /// shifted window is free on the current timetables and the shifted
     /// makespan still meets the deadline. Returns `true` on success.
-    fn try_switch(&mut self, idx: usize, tau: SimTime, earliest: SimTime) -> bool {
+    fn try_switch(&mut self, h: JobHandle, tau: SimTime, earliest: SimTime) -> bool {
         let found = {
-            let a = &self.active[idx];
+            let a = self.meta.job(h);
             // A read-only what-if view over one snapshot: every candidate
             // alternative is probed against the same captured availability
             // (the planning-session discipline; bit-identical to reading
@@ -817,15 +782,14 @@ impl<'a> Campaign<'a> {
         let Some((pos, delta)) = found else {
             return false;
         };
-        let dist = self.active[idx].alternatives.remove(pos);
+        let dist = self.meta.job_mut(h).alternatives.remove(pos);
         for p in dist.placements() {
             let shifted = Placement {
                 window: shift_window(p.window, delta),
                 ..*p
             };
-            let a = &mut self.active[idx];
             let owner = ReservationOwner::Task(GlobalTaskId {
-                job: a.job.id(),
+                job: self.meta.job(h).job.id(),
                 task: p.task,
             });
             let rid = self
@@ -833,16 +797,17 @@ impl<'a> Campaign<'a> {
                 .timetable_mut(p.node)
                 .reserve(shifted.window, owner)
                 .expect("switch candidate windows were checked free");
+            let a = self.meta.job_mut(h);
             a.reservations.insert(p.task, rid);
             a.current.insert(p.task, shifted);
         }
-        let a = &mut self.active[idx];
+        let a = self.meta.job_mut(h);
         a.scenario = dist.scenario();
         a.pending_overrun = None;
-        let next = next_overrun(&self.active[idx], &self.pool, tau);
-        let a = &mut self.active[idx];
-        a.pending_overrun = next;
-        self.records[a.record].switches += 1;
+        let next = next_overrun(self.meta.job(h), &self.pool, tau);
+        self.meta.job_mut(h).pending_overrun = next;
+        let record_idx = self.meta.job(h).record;
+        self.records[record_idx].switches += 1;
         true
     }
 
@@ -855,17 +820,25 @@ impl<'a> Campaign<'a> {
     /// benign breaks, `tau + retry` for transfer faults).
     fn break_job(
         &mut self,
-        idx: usize,
+        h: JobHandle,
         tau: SimTime,
         kind: BreakKind,
         forced: &[TaskId],
         earliest: SimTime,
     ) {
-        let record_idx = self.active[idx].record;
+        let record_idx = self.meta.job(h).record;
+        // Domain attribution for labeled telemetry comes from the record
+        // (valid even under a collapsed single-manager flow layer, where
+        // every manager-held job reports domain 0).
+        let home = self.records[record_idx]
+            .home_domain
+            .expect("activated jobs have a home domain");
         self.records[record_idx].breaks += 1;
         self.telemetry.incr(Counter::ScheduleBreaks);
-        self.active[idx].first_break.get_or_insert(tau);
-        let job_id = self.active[idx].job.id();
+        self.telemetry
+            .incr_domain(Counter::ScheduleBreaks, u64::from(home.raw()));
+        self.meta.job_mut(h).first_break.get_or_insert(tau);
+        let job_id = self.meta.job(h).job.id();
         self.record_event(
             tau,
             crate::trace::CampaignEvent::Broken { job: job_id, kind },
@@ -879,7 +852,9 @@ impl<'a> Campaign<'a> {
 
         // Split into started (fixed) and pending tasks; forced tasks are
         // pending again even though they started.
-        let mut pending: Vec<TaskId> = self.active[idx]
+        let mut pending: Vec<TaskId> = self
+            .meta
+            .job(h)
             .current
             .iter()
             .filter(|(_, p)| p.window.start() > tau)
@@ -891,17 +866,19 @@ impl<'a> Campaign<'a> {
             }
         }
         if pending.is_empty() {
-            self.active[idx].pending_overrun = None;
+            self.meta.job_mut(h).pending_overrun = None;
             return;
         }
         for t in &pending {
-            let a = &mut self.active[idx];
+            let a = self.meta.job_mut(h);
             if let Some(rid) = a.reservations.remove(t) {
                 let p = a.current[t];
                 self.pool.timetable_mut(p.node).release(rid);
             }
         }
-        let fixed: HashMap<TaskId, Placement> = self.active[idx]
+        let fixed: HashMap<TaskId, Placement> = self
+            .meta
+            .job(h)
             .current
             .iter()
             .filter(|(t, _)| !pending.contains(t))
@@ -914,16 +891,18 @@ impl<'a> Campaign<'a> {
         // schedule. Only possible while no task has started (a started task
         // pins its placement, which other schedules will not match) and
         // nothing was killed mid-execution.
-        if fixed.is_empty() && forced.is_empty() && self.try_switch(idx, tau, earliest) {
+        if fixed.is_empty() && forced.is_empty() && self.try_switch(h, tau, earliest) {
             self.faults.switches += 1;
             self.telemetry.incr(Counter::ScheduleSwitches);
+            self.telemetry
+                .incr_domain(Counter::ScheduleSwitches, u64::from(home.raw()));
             self.record_event(tau, crate::trace::CampaignEvent::Switched { job: job_id });
             return;
         }
 
         let replan_span = self.telemetry.span_under("replan", self.root);
         let result = {
-            let a = &self.active[idx];
+            let a = self.meta.job(h);
             // One planning session per replan: the snapshot is taken after
             // the pending reservations were released above, so overlay
             // views see exactly the availability the replan may use.
@@ -970,9 +949,8 @@ impl<'a> Campaign<'a> {
             Ok(dist) => {
                 for t in &pending {
                     let p = *dist.placement(*t);
-                    let a = &mut self.active[idx];
                     let owner = ReservationOwner::Task(GlobalTaskId {
-                        job: a.job.id(),
+                        job: job_id,
                         task: *t,
                     });
                     let rid = self
@@ -980,36 +958,63 @@ impl<'a> Campaign<'a> {
                         .timetable_mut(p.node)
                         .reserve(p.window, owner)
                         .expect("replanned against current availability");
+                    let a = self.meta.job_mut(h);
                     a.reservations.insert(*t, rid);
                     a.current.insert(*t, p);
                 }
-                let next = next_overrun(&self.active[idx], &self.pool, tau);
-                self.active[idx].pending_overrun = next;
+                let next = next_overrun(self.meta.job(h), &self.pool, tau);
+                self.meta.job_mut(h).pending_overrun = next;
                 if forced.is_empty() {
                     self.faults.replans += 1;
                     self.telemetry.incr(Counter::Replans);
+                    self.telemetry
+                        .incr_domain(Counter::Replans, u64::from(home.raw()));
                     self.record_event(tau, crate::trace::CampaignEvent::Replanned { job: job_id });
                 } else {
                     self.faults.migrations += 1;
                     self.telemetry.incr(Counter::Migrations);
+                    self.telemetry
+                        .incr_domain(Counter::Migrations, u64::from(home.raw()));
                     self.records[record_idx].migrations += 1;
-                    self.record_event(tau, crate::trace::CampaignEvent::Migrated { job: job_id });
+                    // The inter-domain hand-off of the paper's hierarchy:
+                    // the job re-homes to wherever the majority of its
+                    // re-placed schedule now lives, and the metascheduler
+                    // moves it between the two domains' job managers.
+                    let from = self.records[record_idx]
+                        .home_domain
+                        .expect("activated jobs have a home domain");
+                    let to = select_domain(self.meta.job(h).current.values(), &self.pool);
+                    self.records[record_idx].home_domain = Some(to);
+                    self.record_event(
+                        tau,
+                        crate::trace::CampaignEvent::Migrated {
+                            job: job_id,
+                            from,
+                            to,
+                        },
+                    );
+                    // Invalidates `h` (and any other handle into the
+                    // source manager) — must stay the last use of it.
+                    let _ = self.meta.rehome(h, to);
                 }
             }
             Err(_) => {
-                let a = &mut self.active[idx];
+                let a = self.meta.job_mut(h);
                 a.dropped = true;
                 a.pending_overrun = None;
                 self.records[record_idx].dropped = true;
                 self.faults.drops += 1;
                 self.telemetry.incr(Counter::Drops);
+                self.telemetry
+                    .incr_domain(Counter::Drops, u64::from(home.raw()));
                 self.record_event(tau, crate::trace::CampaignEvent::Dropped { job: job_id });
             }
         }
     }
 
     pub(crate) fn finalize(mut self) -> VoReport {
-        for a in &self.active {
+        for h in self.meta.handles_by_seq() {
+            let a = self.meta.job(h);
             let record = &mut self.records[a.record];
             let mut cost_total: u64 = 0;
             let mut window_sum: u64 = 0;
@@ -1067,10 +1072,13 @@ impl<'a> Campaign<'a> {
         // fact. Completion is only *known* once the horizon closes, so the
         // events are stamped at the horizon and carry the realized end.
         // Jobs whose completion the online loop already observed (and
-        // traced at its realized instant) are skipped.
+        // traced at its realized instant) are skipped. Events land in
+        // global activation order — the pre-hierarchy trace order.
         let completions: Vec<(JobId, SimTime)> = self
-            .active
-            .iter()
+            .meta
+            .handles_by_seq()
+            .into_iter()
+            .map(|h| self.meta.job(h))
             .filter(|a| !a.dropped && a.completed.is_none())
             .map(|a| {
                 let end = a
@@ -1123,8 +1131,10 @@ impl<'a> Campaign<'a> {
             panic!("campaign trace failed the oracle: {violation}");
         }
         let states: Vec<crate::oracle::FinalJobState<'_>> = self
-            .active
-            .iter()
+            .meta
+            .handles_by_seq()
+            .into_iter()
+            .map(|h| self.meta.job(h))
             .map(|a| {
                 let rec = report
                     .records

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use gridsched_model::ids::{JobId, NodeId};
+use gridsched_model::ids::{DomainId, JobId, NodeId};
 use gridsched_sim::time::SimTime;
 
 /// Why an active schedule broke.
@@ -118,9 +118,19 @@ pub enum CampaignEvent {
     },
     /// The break was resolved by restarting already-started tasks on
     /// other nodes (their original node died) and replanning the rest.
+    ///
+    /// `from`/`to` record the inter-domain hand-off: the job-manager
+    /// domain that owned the job before the break and the domain holding
+    /// the majority of the re-placed schedule's reserved ticks. Equal
+    /// domains mean the restart stayed under the same job manager.
     Migrated {
         /// The job.
         job: JobId,
+        /// Home domain before the migration replan.
+        from: DomainId,
+        /// Home domain after it (majority reserved ticks, ties to the
+        /// lowest domain id).
+        to: DomainId,
     },
     /// No feasible replan existed; the job was dropped.
     Dropped {
@@ -177,7 +187,7 @@ impl CampaignEvent {
             | CampaignEvent::Broken { job, .. }
             | CampaignEvent::Switched { job }
             | CampaignEvent::Replanned { job }
-            | CampaignEvent::Migrated { job }
+            | CampaignEvent::Migrated { job, .. }
             | CampaignEvent::Dropped { job }
             | CampaignEvent::Completed { job, .. }
             | CampaignEvent::TransferAbsorbed { job } => Some(*job),
@@ -208,7 +218,9 @@ impl fmt::Display for CampaignEvent {
             CampaignEvent::Broken { job, kind } => write!(f, "{job} broken by {kind}"),
             CampaignEvent::Switched { job } => write!(f, "{job} switched supporting schedule"),
             CampaignEvent::Replanned { job } => write!(f, "{job} replanned"),
-            CampaignEvent::Migrated { job } => write!(f, "{job} migrated off a dead node"),
+            CampaignEvent::Migrated { job, from, to } => {
+                write!(f, "{job} migrated off a dead node ({from} -> {to})")
+            }
             CampaignEvent::Dropped { job } => write!(f, "{job} dropped"),
             CampaignEvent::Completed { job, end } => write!(f, "{job} completed at {end}"),
             CampaignEvent::Outage { node, voided } => {

@@ -259,6 +259,10 @@ struct Inner {
     spans: Mutex<Vec<SpanRecord>>,
     counters: [AtomicU64; Counter::COUNT],
     gauges: Mutex<BTreeMap<&'static str, f64>>,
+    /// Labeled counters: `(domain label, counter)` → value. Domains are
+    /// dynamic (one pool may shard into any number of them), so these live
+    /// in a map rather than the fixed atomic array.
+    domains: Mutex<BTreeMap<(u64, usize), u64>>,
 }
 
 /// A cheap, thread-safe telemetry handle; disabled by default.
@@ -281,6 +285,7 @@ impl Telemetry {
                 spans: Mutex::new(Vec::new()),
                 counters: std::array::from_fn(|_| AtomicU64::new(0)),
                 gauges: Mutex::new(BTreeMap::new()),
+                domains: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -347,6 +352,42 @@ impl Telemetry {
         }
     }
 
+    /// Increments the per-domain series of `counter` for `domain` by one.
+    ///
+    /// Domain-labeled series are recorded *in addition to* the global
+    /// counter, never instead of it — callers keep `incr`/`add` for the
+    /// totals and add a labeled increment where the domain is known.
+    pub fn incr_domain(&self, counter: Counter, domain: u64) {
+        self.add_domain(counter, domain, 1);
+    }
+
+    /// Adds `n` to the per-domain series of `counter` for `domain`.
+    pub fn add_domain(&self, counter: Counter, domain: u64, n: u64) {
+        if let Some(inner) = &self.inner {
+            *inner
+                .domains
+                .lock()
+                .expect("domain counter map never poisoned")
+                .entry((domain, counter as usize))
+                .or_insert(0) += n;
+        }
+    }
+
+    /// The per-domain value of `counter` for `domain` (0 when disabled or
+    /// never recorded).
+    #[must_use]
+    pub fn domain_counter(&self, counter: Counter, domain: u64) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => *inner
+                .domains
+                .lock()
+                .expect("domain counter map never poisoned")
+                .get(&(domain, counter as usize))
+                .unwrap_or(&0),
+        }
+    }
+
     /// The counter's current value (0 when disabled).
     #[must_use]
     pub fn counter(&self, counter: Counter) -> u64 {
@@ -383,6 +424,7 @@ impl Telemetry {
                 spans: Vec::new(),
                 counters: Counter::ALL.iter().map(|c| (c.name(), 0)).collect(),
                 gauges: BTreeMap::new(),
+                domains: BTreeMap::new(),
             },
             Some(inner) => {
                 let mut spans = inner
@@ -391,6 +433,18 @@ impl Telemetry {
                     .expect("span recorder never poisoned")
                     .clone();
                 spans.sort_by_key(|s| (s.start_ns, s.id));
+                let mut domains: BTreeMap<u64, Vec<(&'static str, u64)>> = BTreeMap::new();
+                for (&(domain, counter), &value) in inner
+                    .domains
+                    .lock()
+                    .expect("domain counter map never poisoned")
+                    .iter()
+                {
+                    domains
+                        .entry(domain)
+                        .or_default()
+                        .push((Counter::ALL[counter].name(), value));
+                }
                 TelemetrySnapshot {
                     spans,
                     counters: Counter::ALL
@@ -407,6 +461,7 @@ impl Telemetry {
                         .lock()
                         .expect("gauge map never poisoned")
                         .clone(),
+                    domains,
                 }
             }
         }
@@ -469,6 +524,9 @@ pub struct TelemetrySnapshot {
     spans: Vec<SpanRecord>,
     counters: Vec<(&'static str, u64)>,
     gauges: BTreeMap<&'static str, f64>,
+    /// Per-domain labeled counters: domain label → `(metric name, value)`
+    /// pairs in export order. Empty unless the run recorded any.
+    domains: BTreeMap<u64, Vec<(&'static str, u64)>>,
 }
 
 impl TelemetrySnapshot {
@@ -498,6 +556,23 @@ impl TelemetrySnapshot {
     #[must_use]
     pub fn gauges(&self) -> &BTreeMap<&'static str, f64> {
         &self.gauges
+    }
+
+    /// The per-domain labeled counters: domain label → `(name, value)`.
+    #[must_use]
+    pub fn domains(&self) -> &BTreeMap<u64, Vec<(&'static str, u64)>> {
+        &self.domains
+    }
+
+    /// A domain's labeled counter by metric name (0 for unknown pairs).
+    #[must_use]
+    pub fn domain_counter(&self, domain: u64, name: &str) -> u64 {
+        self.domains.get(&domain).map_or(0, |counters| {
+            counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |(_, v)| *v)
+        })
     }
 
     /// The distinct phase names, in first-seen (start-offset) order.
@@ -569,6 +644,22 @@ impl TelemetrySnapshot {
         }
         out.push_str("\n  },\n");
 
+        out.push_str("  \"domains\": {");
+        for (i, (domain, counters)) in self.domains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{domain}\": {{");
+            for (j, (name, value)) in counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{name}\": {value}");
+            }
+            out.push('}');
+        }
+        out.push_str("\n  },\n");
+
         out.push_str("  \"phases\": [");
         for (i, phase) in self.phases().into_iter().enumerate() {
             if i > 0 {
@@ -614,6 +705,23 @@ impl TelemetrySnapshot {
         for (name, value) in &self.gauges {
             let _ = writeln!(out, "# TYPE gridsched_gauge_{name} gauge");
             let _ = writeln!(out, "gridsched_gauge_{name} {}", json_f64(*value));
+        }
+        // Domain-labeled series grouped per metric family, one TYPE line
+        // each (the unlabeled totals above are separate families).
+        let mut labeled: BTreeMap<&'static str, Vec<(u64, u64)>> = BTreeMap::new();
+        for (&domain, counters) in &self.domains {
+            for &(name, value) in counters {
+                labeled.entry(name).or_default().push((domain, value));
+            }
+        }
+        for (name, series) in labeled {
+            let _ = writeln!(out, "# TYPE gridsched_domain_{name} counter");
+            for (domain, value) in series {
+                let _ = writeln!(
+                    out,
+                    "gridsched_domain_{name}{{domain=\"{domain}\"}} {value}"
+                );
+            }
         }
         if self.spans.is_empty() {
             return out;
@@ -733,6 +841,7 @@ mod tests {
         let t = Telemetry::disabled();
         assert!(!t.is_enabled());
         t.incr(Counter::Replans);
+        t.incr_domain(Counter::Replans, 0);
         t.set_gauge("x", 1.0);
         let span = t.span("campaign");
         assert_eq!(span.id(), None);
@@ -740,8 +849,31 @@ mod tests {
         let snap = t.snapshot();
         assert!(snap.spans().is_empty());
         assert_eq!(snap.counter("replans"), 0);
+        assert!(snap.domains().is_empty());
         // Schema is still stable: every counter is present at zero.
         assert_eq!(snap.counters().len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn domain_labeled_counters_accumulate_and_export() {
+        let t = Telemetry::new();
+        t.incr_domain(Counter::JobsActivated, 0);
+        t.add_domain(Counter::JobsActivated, 1, 2);
+        t.incr_domain(Counter::Drops, 1);
+        assert_eq!(t.domain_counter(Counter::JobsActivated, 1), 2);
+        assert_eq!(t.domain_counter(Counter::Drops, 0), 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.domain_counter(0, "jobs_activated"), 1);
+        assert_eq!(snap.domain_counter(1, "jobs_activated"), 2);
+        assert_eq!(snap.domain_counter(1, "drops"), 1);
+        assert_eq!(snap.domain_counter(2, "drops"), 0);
+        // Within a domain, metrics export in declaration order.
+        let json = snap.to_json();
+        assert!(json.contains("\"1\": {\"jobs_activated\": 2, \"drops\": 1}"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE gridsched_domain_jobs_activated counter"));
+        assert!(prom.contains("gridsched_domain_jobs_activated{domain=\"1\"} 2"));
+        assert!(prom.contains("gridsched_domain_drops{domain=\"1\"} 1"));
     }
 
     #[test]

@@ -77,6 +77,10 @@ impl fmt::Display for Node {
 pub struct ResourcePool {
     nodes: Vec<Node>,
     timetables: Vec<Timetable>,
+    /// Distinct domain ids present, ascending — maintained on insertion so
+    /// the hierarchy layer can enumerate job-manager domains without a
+    /// per-call scan.
+    domains: Vec<DomainId>,
 }
 
 impl ResourcePool {
@@ -91,6 +95,9 @@ impl ResourcePool {
         let id = NodeId::new(u32::try_from(self.nodes.len()).expect("more than u32::MAX nodes"));
         self.nodes.push(Node { id, domain, perf });
         self.timetables.push(Timetable::new());
+        if let Err(pos) = self.domains.binary_search(&domain) {
+            self.domains.insert(pos, domain);
+        }
         id
     }
 
@@ -163,10 +170,21 @@ impl ResourcePool {
     /// The distinct domain ids present, ascending.
     #[must_use]
     pub fn domains(&self) -> Vec<DomainId> {
-        let mut ds: Vec<DomainId> = self.nodes.iter().map(|n| n.domain).collect();
-        ds.sort_unstable();
-        ds.dedup();
-        ds
+        self.domains.clone()
+    }
+
+    /// The domain registry: distinct domain ids present, ascending,
+    /// without the allocation of [`ResourcePool::domains`]. One entry per
+    /// job-manager domain of the hierarchy.
+    #[must_use]
+    pub fn domain_registry(&self) -> &[DomainId] {
+        &self.domains
+    }
+
+    /// Number of distinct domains.
+    #[must_use]
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
     }
 
     /// The highest performance in the pool.
@@ -234,6 +252,23 @@ mod tests {
         let d0: Vec<NodeId> = pool.in_domain(DomainId::new(0)).map(Node::id).collect();
         assert_eq!(d0, vec![NodeId::new(0), NodeId::new(2)]);
         assert_eq!(pool.domains(), vec![DomainId::new(0), DomainId::new(1)]);
+        assert_eq!(
+            pool.domain_registry(),
+            &[DomainId::new(0), DomainId::new(1)]
+        );
+        assert_eq!(pool.domain_count(), 2);
+    }
+
+    #[test]
+    fn domain_registry_stays_sorted_and_deduped() {
+        let mut pool = ResourcePool::new();
+        for d in [3u32, 1, 3, 0, 1] {
+            pool.add_node(DomainId::new(d), Perf::new(0.5).unwrap());
+        }
+        assert_eq!(
+            pool.domain_registry(),
+            &[DomainId::new(0), DomainId::new(1), DomainId::new(3)]
+        );
     }
 
     #[test]

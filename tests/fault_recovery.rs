@@ -238,7 +238,7 @@ fn migration_restarts_started_tasks_on_live_nodes() {
             seed,
         );
         let trace = report.trace.as_ref().expect("trace collected");
-        let Some(&(at, CampaignEvent::Migrated { job })) = trace
+        let Some(&(at, CampaignEvent::Migrated { job, .. })) = trace
             .events()
             .iter()
             .find(|(_, e)| matches!(e, CampaignEvent::Migrated { .. }))
