@@ -25,10 +25,10 @@ use gridsched::sim::time::SimTime;
 use gridsched::workload::background::{apply_background_load, BackgroundConfig};
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
-use gridsched_bench::{verdict, Args};
+use gridsched_bench::{keys, verdict, Args};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::ABLATIONS);
     let jobs: usize = args.get("jobs", 1_000);
     let load: f64 = args.get("load", 0.5);
     let seed: u64 = args.get("seed", 2009);

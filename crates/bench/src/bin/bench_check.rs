@@ -35,7 +35,7 @@
 //! `cargo run --release -p gridsched-bench --bin bench_check -- \
 //!    --fresh BENCH_fresh.json --baseline BENCH_strategy_sweep.json --min-speedup 2.0`
 
-use gridsched_bench::{bench_gate, domain_gate, json_number, Args};
+use gridsched_bench::{bench_gate, domain_gate, json_number, keys, Args};
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
@@ -83,7 +83,7 @@ fn online_gate(json: &str) -> bool {
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::BENCH_CHECK);
     let fresh_path: String = args.get("fresh", "BENCH_fresh.json".to_owned());
     let baseline_path: String = args.get("baseline", "BENCH_strategy_sweep.json".to_owned());
     let min_speedup: f64 = args.get("min-speedup", 2.0);

@@ -23,10 +23,10 @@ use gridsched::sim::rng::SimRng;
 use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
 use gridsched::workload::jobs::{generate_stream, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
-use gridsched_bench::{verdict, Args};
+use gridsched_bench::{keys, verdict, Args};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::COORDINATION_BRIDGE);
     let grid_jobs: usize = args.get("jobs", 60);
     let local_jobs: usize = args.get("local-jobs", 250);
     let seed: u64 = args.get("seed", 2009);

@@ -22,7 +22,7 @@ use gridsched::sim::time::SimTime;
 use gridsched::workload::background::{apply_background_load, BackgroundConfig};
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
-use gridsched_bench::{verdict, Args};
+use gridsched_bench::{keys, verdict, Args};
 
 const KINDS: [StrategyKind; 3] = [StrategyKind::S1, StrategyKind::S2, StrategyKind::S3];
 
@@ -45,7 +45,7 @@ struct Tally {
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::FIG3_ADMISSIBLE);
     let jobs: usize = args.get("jobs", 12_000);
     let load: f64 = args.get("load", 0.6);
     let deadline_factor: f64 = args.get("deadline-factor", 2.65);

@@ -10,10 +10,10 @@
 use gridsched::core::strategy::StrategyKind;
 use gridsched::metrics::table::{pct, Table};
 use gridsched::model::perf::PerfGroup;
-use gridsched_bench::{campaign_for, fig4_campaign_base, verdict, Args};
+use gridsched_bench::{campaign_for, fig4_campaign_base, keys, verdict, Args};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::FIG4_LOAD);
     let mut base = fig4_campaign_base(&args);
     // Group-load preferences only show under contention: this panel runs a
     // denser campaign than Fig. 4 (b)/(c) unless overridden.

@@ -11,10 +11,10 @@
 
 use gridsched::core::strategy::StrategyKind;
 use gridsched::metrics::table::{ratio, Table};
-use gridsched_bench::{campaign_for, fig4_campaign_base, normalize, verdict, Args};
+use gridsched_bench::{campaign_for, fig4_campaign_base, keys, normalize, verdict, Args};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::FIG4);
     let base = fig4_campaign_base(&args);
     println!(
         "fig4c: {} jobs per strategy, horizon {}, seed {}",

@@ -56,7 +56,7 @@ use gridsched::flow::simulation::CampaignConfig;
 use gridsched::metrics::telemetry::Telemetry;
 use gridsched::workload::arrivals::ArrivalProcess;
 use gridsched::workload::pool::PoolConfig;
-use gridsched_bench::Args;
+use gridsched_bench::{keys, Args};
 
 /// Quantile over a sorted slice (nearest-rank); 0 when empty.
 fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
@@ -243,7 +243,7 @@ fn emit(m: &Measured, w: &Workload, domains: u32, out: &str) -> bool {
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::ONLINE_THROUGHPUT);
     let jobs: usize = args.get("jobs", 60);
     let seed: u64 = args.get("seed", 2009);
     let rate: f64 = args.get("rate", 0.15);

@@ -28,10 +28,10 @@ use gridsched::model::window::TimeWindow;
 use gridsched::sim::rng::SimRng;
 use gridsched::sim::time::SimTime;
 use gridsched::workload::batch::{generate_batch_jobs, BatchWorkloadConfig};
-use gridsched_bench::{verdict, Args};
+use gridsched_bench::{keys, verdict, Args};
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::SEC5_QUEUE_POLICIES);
     let jobs: usize = args.get("jobs", 400);
     let capacity: u32 = args.get("capacity", 8);
     let seed: u64 = args.get("seed", 2009);

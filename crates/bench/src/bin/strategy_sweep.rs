@@ -52,7 +52,7 @@ use gridsched::workload::background::{apply_background_load, BackgroundConfig};
 use gridsched::workload::jobs::{generate_job, JobConfig};
 use gridsched::workload::pool::{generate_pool, PoolConfig};
 use gridsched_bench::timing::{Group, Stats};
-use gridsched_bench::{verdict, Args};
+use gridsched_bench::{keys, verdict, Args};
 
 /// A cheap structural fingerprint: enough to catch a divergence between
 /// the three sweep implementations without hashing every placement (the
@@ -106,7 +106,7 @@ fn json_line(r: &KindResult) -> String {
 }
 
 fn main() {
-    let args = Args::capture();
+    let args = Args::capture_validated(keys::STRATEGY_SWEEP);
     let seed: u64 = args.get("seed", 2009);
     let load: f64 = args.get("load", 0.8);
     let horizon: u64 = args.get("horizon", 20_000);

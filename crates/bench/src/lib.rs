@@ -11,10 +11,88 @@ use gridsched::flow::VoReport;
 
 pub mod timing;
 
+/// The exact `--key` sets each experiment binary accepts. Binaries
+/// validate against their list via [`Args::capture_validated`], so a
+/// typo'd flag is a hard error instead of a silently ignored no-op (a
+/// mistyped `--sede` would otherwise run the default seed and "pass").
+pub mod keys {
+    /// Knobs consumed by [`crate::fig4_campaign_base`], shared by every
+    /// Fig. 4 binary.
+    pub const FIG4_BASE: &[&str] = &[
+        "jobs",
+        "perturbations",
+        "load",
+        "horizon",
+        "job-gap",
+        "seed",
+        "deadline-factor",
+    ];
+    /// `ablations` binary.
+    pub const ABLATIONS: &[&str] = &["jobs", "load", "seed", "deadline-factor"];
+    /// `bench_check` binary.
+    pub const BENCH_CHECK: &[&str] = &[
+        "fresh",
+        "baseline",
+        "min-speedup",
+        "require-pooled",
+        "online",
+        "domains",
+        "mono",
+        "min-domain-ratio",
+    ];
+    /// `coordination_bridge` binary.
+    pub const COORDINATION_BRIDGE: &[&str] = &["jobs", "local-jobs", "seed"];
+    /// `fig3_admissible` binary.
+    pub const FIG3_ADMISSIBLE: &[&str] = &["jobs", "load", "deadline-factor", "seed"];
+    /// `fig4_cost_time` / `fig4_ttl_deviation` binaries (base knobs only).
+    pub const FIG4: &[&str] = FIG4_BASE;
+    /// `fig4_load` binary (base knobs plus sweep repeats).
+    pub const FIG4_LOAD: &[&str] = &[
+        "jobs",
+        "perturbations",
+        "load",
+        "horizon",
+        "job-gap",
+        "seed",
+        "deadline-factor",
+        "repeats",
+    ];
+    /// `online_throughput` binary.
+    pub const ONLINE_THROUGHPUT: &[&str] = &[
+        "jobs",
+        "seed",
+        "rate",
+        "queue",
+        "perturbations",
+        "domains",
+        "flat",
+        "out",
+        "mono-out",
+        "repeat",
+    ];
+    /// `sec5_queue_policies` binary.
+    pub const SEC5_QUEUE_POLICIES: &[&str] = &["jobs", "capacity", "seed"];
+    /// `strategy_sweep` binary.
+    pub const STRATEGY_SWEEP: &[&str] =
+        &["seed", "load", "horizon", "budget-ms", "out", "telemetry"];
+    /// `chaos_run` binary.
+    pub const CHAOS_RUN: &[&str] = &[
+        "seed",
+        "seed-from-run-id",
+        "campaigns",
+        "budget-ms",
+        "artifact",
+        "inject",
+        "replay",
+        "out",
+    ];
+}
+
 /// Parses `--key value` and bare `--flag` style overrides from
 /// `std::env::args`.
 ///
-/// Unknown keys are ignored so every binary accepts the common knobs. A
+/// Binaries capture through [`Args::capture_validated`] with their
+/// [`keys`] list, rejecting unknown flags with a nonzero exit. A
 /// `--flag` followed by another `--option` (or by nothing) is recorded as
 /// a boolean flag with the value `"true"`, so `--telemetry` style switches
 /// need no explicit value.
@@ -28,6 +106,41 @@ impl Args {
     #[must_use]
     pub fn capture() -> Self {
         Args::parse(std::env::args().skip(1))
+    }
+
+    /// Captures the process arguments, exiting with status 2 and a
+    /// usage message on stderr if any `--key` is not in `known`.
+    #[must_use]
+    pub fn capture_validated(known: &[&str]) -> Self {
+        let args = Args::capture();
+        let unknown = args.unknown_keys(known);
+        if !unknown.is_empty() {
+            for key in &unknown {
+                eprintln!("error: unknown flag --{key}");
+            }
+            eprintln!(
+                "known flags: {}",
+                known
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            std::process::exit(2);
+        }
+        args
+    }
+
+    /// The supplied keys that are not in `known`, in first-seen order.
+    #[must_use]
+    pub fn unknown_keys(&self, known: &[&str]) -> Vec<String> {
+        let mut unknown: Vec<String> = Vec::new();
+        for (key, _) in &self.pairs {
+            if !known.contains(&key.as_str()) && !unknown.contains(key) {
+                unknown.push(key.clone());
+            }
+        }
+        unknown
     }
 
     /// Parses an explicit argument list (what [`Args::capture`] does with
@@ -315,6 +428,78 @@ mod tests {
         assert_eq!(args.get("jobs", 0usize), 5);
         assert!(args.get("verbose", false));
         assert!(!args.has("seed"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_binary() {
+        // One representative valid invocation and one typo'd flag per
+        // binary with a strict key list.
+        let cases: &[(&[&str], &[&str], &str)] = &[
+            (
+                keys::BENCH_CHECK,
+                &[
+                    "--fresh",
+                    "f.json",
+                    "--min-speedup",
+                    "2.0",
+                    "--require-pooled",
+                ],
+                "--min-sppedup",
+            ),
+            (
+                keys::STRATEGY_SWEEP,
+                &["--seed", "2009", "--budget-ms", "400", "--telemetry"],
+                "--sede",
+            ),
+            (
+                keys::ONLINE_THROUGHPUT,
+                &[
+                    "--jobs",
+                    "60",
+                    "--rate",
+                    "0.15",
+                    "--flat",
+                    "--mono-out",
+                    "m.json",
+                ],
+                "--rat",
+            ),
+            (
+                keys::CHAOS_RUN,
+                &[
+                    "--seed",
+                    "1",
+                    "--campaigns",
+                    "8",
+                    "--budget-ms",
+                    "0",
+                    "--inject",
+                    "collapse",
+                ],
+                "--cmapaigns",
+            ),
+        ];
+        for (known, valid, typo) in cases {
+            let args = Args::parse(valid.iter().map(|s| (*s).to_owned()));
+            assert_eq!(args.unknown_keys(known), Vec::<String>::new());
+            let mut with_typo: Vec<String> = valid.iter().map(|s| (*s).to_owned()).collect();
+            with_typo.push((*typo).to_owned());
+            let args = Args::parse(with_typo);
+            assert_eq!(
+                args.unknown_keys(known),
+                vec![typo.trim_start_matches("--").to_owned()]
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_keys_dedupe_and_preserve_order() {
+        let args = Args::parse(
+            ["--b", "1", "--a", "--b", "2", "--jobs", "3"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        assert_eq!(args.unknown_keys(&["jobs"]), vec!["b", "a"]);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! The campaign sweep: generate → differentiate → shrink → report.
+//!
+//! [`run_sweep`] drives the whole pipeline: it draws campaign seeds from
+//! one master seed, runs every campaign across the differential axes,
+//! and on the first failure shrinks the campaign while the same kind of
+//! failure reproduces, packaging the minimum as a [`ReproArtifact`].
+//! [`replay`] is the other direction: given a parsed artifact, re-run
+//! its campaign and report whether the recorded failure still shows.
+
+use std::time::Instant;
+
+use gridsched::metrics::telemetry::{Counter, Telemetry};
+use gridsched::sim::rng::SimRng;
+
+use crate::differential::{run_axes, Axis, ChaosFailure};
+use crate::repro::ReproArtifact;
+use crate::shrink::shrink;
+use crate::space::ChaosCampaign;
+
+/// Configuration of one differential sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Master seed the per-campaign generator seeds are drawn from.
+    pub master_seed: u64,
+    /// Campaigns to run (the sweep may stop earlier on `deadline` or on
+    /// the first failure).
+    pub campaigns: usize,
+    /// Wall-clock cutoff: no new campaign starts past this instant.
+    /// Campaigns already running finish — the budget time-boxes the
+    /// sweep, it does not abort mid-campaign.
+    pub deadline: Option<Instant>,
+    /// Test-only divergence injection (see
+    /// [`crate::differential::run_axes`]).
+    pub inject: Option<Axis>,
+    /// Shrink budget: maximum predicate evaluations (each one a full
+    /// differential re-run of a candidate campaign).
+    pub max_shrink_attempts: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            master_seed: 0xC4A0_5EED,
+            campaigns: 64,
+            deadline: None,
+            inject: None,
+            max_shrink_attempts: 200,
+        }
+    }
+}
+
+/// What a sweep did and found.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Campaigns fully executed across all axes.
+    pub campaigns_run: usize,
+    /// Campaigns whose batch-vs-online axis actually compared.
+    pub online_compared: usize,
+    /// Campaigns where admission control intervened and the
+    /// batch-vs-online comparison was skipped as incomparable.
+    pub online_skipped: usize,
+    /// The shrunken repro of the first failure, if any was found.
+    pub repro: Option<ReproArtifact>,
+}
+
+impl SweepOutcome {
+    /// Whether the sweep completed without finding any failure.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.repro.is_none()
+    }
+}
+
+/// Runs a differential sweep over generated campaigns.
+///
+/// Campaign generator seeds are drawn one `next_u64` each from a
+/// [`SimRng`] seeded with `config.master_seed`, so a sweep is fully
+/// reproducible from that one number. On the first failing campaign the
+/// sweep stops, shrinks the campaign while the same kind of failure
+/// keeps reproducing (re-running the full differential per candidate),
+/// and returns the minimum as a [`ReproArtifact`].
+///
+/// Counters: [`Counter::ChaosCampaigns`] per campaign executed (shrink
+/// re-runs not counted), [`Counter::ChaosDivergences`] per failure found.
+#[must_use]
+pub fn run_sweep(config: &SweepConfig, telemetry: &Telemetry) -> SweepOutcome {
+    let mut rng = SimRng::seed_from(config.master_seed);
+    let mut outcome = SweepOutcome {
+        campaigns_run: 0,
+        online_compared: 0,
+        online_skipped: 0,
+        repro: None,
+    };
+    for _ in 0..config.campaigns {
+        if config.deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        let campaign = ChaosCampaign::generate(rng.next_u64());
+        let report = run_axes(&campaign, config.inject);
+        outcome.campaigns_run += 1;
+        telemetry.incr(Counter::ChaosCampaigns);
+        if report.online_compared {
+            outcome.online_compared += 1;
+        }
+        let Some(original) = report.failure else {
+            if !report.online_compared {
+                outcome.online_skipped += 1;
+            }
+            continue;
+        };
+        telemetry.incr(Counter::ChaosDivergences);
+        let (minimized, attempts) = shrink(
+            &campaign,
+            |candidate| {
+                run_axes(candidate, config.inject)
+                    .failure
+                    .as_ref()
+                    .is_some_and(|f| f.same_kind(&original))
+            },
+            config.max_shrink_attempts,
+        );
+        // Re-derive the failure on the minimized campaign so the artifact
+        // records *its* fingerprints, not the original's.
+        let failure = run_axes(&minimized, config.inject)
+            .failure
+            .unwrap_or(original);
+        outcome.repro = Some(ReproArtifact::new(
+            minimized,
+            &failure,
+            config.inject.is_some(),
+            attempts as u64,
+        ));
+        break;
+    }
+    outcome
+}
+
+/// Replays a repro artifact: re-runs its campaign across the axes
+/// (re-applying the injection if the artifact records one) and returns
+/// the failure observed, or `None` if the failure no longer reproduces
+/// (e.g. after a fix landed).
+#[must_use]
+pub fn replay(artifact: &ReproArtifact) -> Option<ChaosFailure> {
+    let inject = artifact.injected.then_some(artifact.axis);
+    run_axes(&artifact.campaign, inject).failure
+}

@@ -1,0 +1,175 @@
+//! Greedy campaign shrinking: minimize a failing campaign while the
+//! failure keeps reproducing.
+//!
+//! Classic delta-debugging adapted to the campaign space: each round
+//! proposes single-dimension reductions in a fixed order — fewer jobs,
+//! fewer perturbations, no faults, fewer domains, fewer nodes, a shorter
+//! horizon — and greedily accepts the first reduction whose campaign
+//! still fails (as judged by the caller's predicate). Rounds repeat until
+//! no candidate is accepted or the attempt budget runs out.
+//!
+//! Everything is deterministic: candidates are a pure function of the
+//! current campaign, so the same failing campaign always shrinks to the
+//! same minimized repro.
+
+use crate::space::ChaosCampaign;
+
+/// Floor the horizon shrinker will not go below — campaigns need room
+/// for at least a couple of scheduling windows to mean anything.
+const HORIZON_FLOOR: u64 = 120;
+
+/// Single-dimension reductions of `c`, largest cuts first per dimension.
+///
+/// Every candidate preserves the space's internal invariants
+/// (`domains ≤ nodes_min`, at least one job, one node, one domain).
+fn candidates(c: &ChaosCampaign) -> Vec<ChaosCampaign> {
+    let mut out = Vec::new();
+    let mut push = |mutate: &dyn Fn(&mut ChaosCampaign)| {
+        let mut cand = c.clone();
+        mutate(&mut cand);
+        if cand != *c {
+            out.push(cand);
+        }
+    };
+    // Jobs: try the floor, then halving, then decrement.
+    push(&|m| m.jobs = 1);
+    push(&|m| m.jobs = (m.jobs / 2).max(1));
+    push(&|m| m.jobs = m.jobs.saturating_sub(1).max(1));
+    // Dynamics: drop whole streams first.
+    push(&|m| m.perturbations = 0);
+    push(&|m| m.perturbations /= 2);
+    push(&|m| m.outages = 0);
+    push(&|m| m.degradations = 0);
+    push(&|m| m.transfer_faults = 0);
+    // Flow-layer width.
+    push(&|m| m.domains = 1);
+    push(&|m| m.domains = m.domains.saturating_sub(1).max(1));
+    // Pool size: pin the draw range shut, then walk it down.
+    push(&|m| m.nodes_max = m.nodes_min);
+    push(&|m| {
+        let floor = m.domains.max(2);
+        if m.nodes_min > floor {
+            m.nodes_min = floor;
+            m.nodes_max = floor;
+        }
+    });
+    // Timing: release everything at once, end sooner.
+    push(&|m| m.job_gap = 0);
+    push(&|m| m.horizon = (m.horizon / 2).max(HORIZON_FLOOR));
+    out
+}
+
+/// Greedily shrinks `start` while `still_fails` accepts the reduction.
+///
+/// `still_fails` must be true for `start` itself (the caller observed the
+/// failure there); the function never re-checks it. Returns the minimized
+/// campaign and the number of predicate evaluations spent. `max_attempts`
+/// bounds the total work — on exhaustion the best campaign so far is
+/// returned, which is still a valid (if not minimal) repro.
+pub fn shrink<F: FnMut(&ChaosCampaign) -> bool>(
+    start: &ChaosCampaign,
+    mut still_fails: F,
+    max_attempts: usize,
+) -> (ChaosCampaign, usize) {
+    let mut current = start.clone();
+    let mut attempts = 0;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if attempts >= max_attempts {
+                return (current, attempts);
+            }
+            attempts += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, attempts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bulky() -> ChaosCampaign {
+        ChaosCampaign {
+            seed: 7,
+            strategy: 0,
+            jobs: 9,
+            nodes_min: 8,
+            nodes_max: 12,
+            domains: 3,
+            background_load: 0.2,
+            job_gap: 6,
+            perturbations: 18,
+            perturbation_len_max: 5,
+            outages: 3,
+            outage_len_max: 9,
+            degradations: 2,
+            transfer_faults: 3,
+            horizon: 600,
+            deadline_factor: 4.0,
+            layers_max: 4,
+            width_max: 2,
+            task_jitter: 0.1,
+            urgency_slack: 1.5,
+        }
+    }
+
+    #[test]
+    fn always_failing_predicate_shrinks_to_the_floor() {
+        let (min, attempts) = shrink(&bulky(), |_| true, 500);
+        assert_eq!(min.jobs, 1);
+        assert_eq!(min.perturbations, 0);
+        assert_eq!(min.outages, 0);
+        assert_eq!(min.degradations, 0);
+        assert_eq!(min.transfer_faults, 0);
+        assert_eq!(min.domains, 1);
+        assert_eq!(min.nodes_min, min.nodes_max);
+        assert_eq!(min.job_gap, 0);
+        assert_eq!(min.horizon, HORIZON_FLOOR);
+        assert!(attempts > 0);
+        // Fixpoint: shrinking the minimum changes nothing.
+        let (again, _) = shrink(&min, |_| true, 500);
+        assert_eq!(again, min);
+    }
+
+    #[test]
+    fn never_failing_predicate_keeps_the_campaign() {
+        let start = bulky();
+        let (kept, attempts) = shrink(&start, |_| false, 500);
+        assert_eq!(kept, start);
+        // One full candidate round was probed, nothing accepted.
+        assert_eq!(attempts, candidates(&start).len());
+    }
+
+    #[test]
+    fn predicate_can_pin_dimensions() {
+        // A failure that needs at least one outage and two jobs: the
+        // shrinker must keep both while flattening everything else.
+        let (min, _) = shrink(&bulky(), |c| c.outages >= 1 && c.jobs >= 2, 500);
+        assert_eq!(min.jobs, 2);
+        assert_eq!(min.outages, 3, "outages only shrink to zero, kept");
+        assert_eq!(min.perturbations, 0);
+        assert_eq!(min.domains, 1);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let pred = |c: &ChaosCampaign| c.jobs >= 3;
+        let a = shrink(&bulky(), pred, 500);
+        let b = shrink(&bulky(), pred, 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let (_, attempts) = shrink(&bulky(), |_| true, 5);
+        assert_eq!(attempts, 5);
+    }
+}

@@ -1,0 +1,52 @@
+//! Differential property tests: generated campaigns agree across every
+//! axis, and the sweep machinery is deterministic end to end.
+
+use gridsched::metrics::telemetry::{Counter, Telemetry};
+use gridsched_chaos::{run_axes, run_sweep, ChaosCampaign, SweepConfig};
+
+/// A handful of fixed generator seeds must run the full differential
+/// clean: executors, collapse, telemetry and (where comparable)
+/// batch-vs-online all agree, and every trace passes the oracle.
+#[test]
+fn fixed_seeds_run_the_full_differential_clean() {
+    for generator_seed in [0, 1, 2, 3, 4, 1_000_003, 0xfeed_f00d] {
+        let campaign = ChaosCampaign::generate(generator_seed);
+        let report = run_axes(&campaign, None);
+        assert!(
+            report.failure.is_none(),
+            "generator seed {generator_seed} diverged: {:?}\ncampaign: {campaign:?}",
+            report.failure
+        );
+    }
+}
+
+/// The same campaign always yields the same axis report — the runner
+/// itself is part of the determinism contract.
+#[test]
+fn run_axes_is_deterministic() {
+    let campaign = ChaosCampaign::generate(11);
+    assert_eq!(run_axes(&campaign, None), run_axes(&campaign, None));
+}
+
+/// A short sweep from a fixed master seed completes clean, counts its
+/// campaigns and exercises the batch-vs-online comparison on at least
+/// one of them.
+#[test]
+fn short_sweep_is_clean_and_counted() {
+    let telemetry = Telemetry::new();
+    let config = SweepConfig {
+        master_seed: 0x5EED_0001,
+        campaigns: 6,
+        ..SweepConfig::default()
+    };
+    let outcome = run_sweep(&config, &telemetry);
+    assert!(outcome.clean(), "unexpected failure: {:?}", outcome.repro);
+    assert_eq!(outcome.campaigns_run, 6);
+    assert_eq!(outcome.online_compared + outcome.online_skipped, 6);
+    assert!(
+        outcome.online_compared > 0,
+        "no campaign exercised the batch-vs-online comparison"
+    );
+    assert_eq!(telemetry.counter(Counter::ChaosCampaigns), 6);
+    assert_eq!(telemetry.counter(Counter::ChaosDivergences), 0);
+}

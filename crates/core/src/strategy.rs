@@ -77,6 +77,37 @@ impl SweepExecutor<'static> {
     }
 }
 
+/// A borrow-free name for a [`SweepExecutor`] choice, so configurations
+/// (which are plain `Clone + PartialEq` data) can carry the executor
+/// selection without holding a pool reference.
+///
+/// All three choices are bit-identical in observable behaviour — that is
+/// the whole point of naming them: the chaos harness runs the same
+/// campaign under every kind and asserts the trace fingerprints agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepExecutorKind {
+    /// [`SweepExecutor::auto`]: the persistent global pool, with the
+    /// small-sweep / single-core sequential fallback.
+    #[default]
+    Auto,
+    /// [`SweepExecutor::Sequential`].
+    Sequential,
+    /// [`SweepExecutor::Scoped`] — the legacy thread-per-scenario sweep.
+    Scoped,
+}
+
+impl SweepExecutorKind {
+    /// Materializes the named executor.
+    #[must_use]
+    pub fn executor(self) -> SweepExecutor<'static> {
+        match self {
+            SweepExecutorKind::Auto => SweepExecutor::auto(),
+            SweepExecutorKind::Sequential => SweepExecutor::Sequential,
+            SweepExecutorKind::Scoped => SweepExecutor::Scoped,
+        }
+    }
+}
+
 impl<'e> SweepExecutor<'e> {
     /// Applies the small-sweep / no-parallelism fallback.
     fn resolve(self, scenario_count: usize) -> SweepExecutor<'e> {
@@ -394,6 +425,31 @@ impl Strategy {
             SweepExecutor::Sequential
         };
         Strategy::generate_owned_inner(job, pool, config, release, executor, telemetry, parent)
+    }
+
+    /// [`Strategy::generate_owned_instrumented`] generalized to any named
+    /// executor — the hand-off path for callers that select the sweep
+    /// executor by configuration (the flow campaign's
+    /// `CampaignConfig::executor`, the chaos harness's executor axis).
+    #[must_use]
+    pub fn generate_owned_kind(
+        job: Job,
+        pool: &ResourcePool,
+        config: &StrategyConfig,
+        release: SimTime,
+        kind: SweepExecutorKind,
+        telemetry: &Telemetry,
+        parent: Option<SpanId>,
+    ) -> Strategy {
+        Strategy::generate_owned_inner(
+            job,
+            pool,
+            config,
+            release,
+            kind.executor(),
+            telemetry,
+            parent,
+        )
     }
 
     /// [`Strategy::generate_owned`] with the scenario sweep forced

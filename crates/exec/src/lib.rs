@@ -326,18 +326,38 @@ mod tests {
         assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
+    /// Batches per reuse test: Miri interprets every instruction, so the
+    /// loop is shortened there — the interleavings it explores do not
+    /// need 50 rounds to show up.
+    const REUSE_ROUNDS: u64 = if cfg!(miri) { 4 } else { 50 };
+
     #[test]
     fn pool_is_reusable_across_batches() {
         let pool = WorkerPool::new(2);
         let touched = AtomicU64::new(0);
-        for round in 0..50u64 {
+        for round in 0..REUSE_ROUNDS {
             let out = pool.scatter(4, |i| {
                 touched.fetch_add(1, Ordering::Relaxed);
                 round * 10 + i as u64
             });
             assert_eq!(out, (0..4).map(|i| round * 10 + i).collect::<Vec<_>>());
         }
-        assert_eq!(touched.load(Ordering::Relaxed), 200);
+        assert_eq!(touched.load(Ordering::Relaxed), REUSE_ROUNDS * 4);
+    }
+
+    #[test]
+    fn concurrent_scatters_from_two_submitters_stay_isolated() {
+        // Two threads race batches onto one pool. The mutex serializes
+        // the batches; the test pins that neither submitter ever sees
+        // the other's results — the aliasing scenario Miri watches the
+        // type-erased closure pointer for.
+        let pool = WorkerPool::new(2);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| pool.scatter(6, |i| i * 2));
+            let b = scope.spawn(|| pool.scatter(4, |i| i * 3 + 1));
+            assert_eq!(a.join().unwrap(), vec![0, 2, 4, 6, 8, 10]);
+            assert_eq!(b.join().unwrap(), vec![1, 4, 7, 10]);
+        });
     }
 
     #[test]

@@ -572,12 +572,12 @@ impl Online<'_> {
             .clone()
             .with_transfer_model(self.campaign.config.transfer_model.clone());
         let config = config.with_policy(policy);
-        let strategy = Strategy::generate_owned_instrumented(
+        let strategy = Strategy::generate_owned_kind(
             job,
             &self.campaign.pool,
             &config,
             now,
-            !self.campaign.config.sequential_planning,
+            self.campaign.effective_executor(),
             &self.campaign.telemetry,
             span.id(),
         );

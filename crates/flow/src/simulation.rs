@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use gridsched_core::distribution::Placement;
 use gridsched_core::method::ScheduleRequest;
 use gridsched_core::session::PlanningSession;
-use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind};
+use gridsched_core::strategy::{Strategy, StrategyConfig, StrategyKind, SweepExecutorKind};
 use gridsched_data::policy::DataPolicyKind;
 use gridsched_metrics::load::GroupLoad;
 use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
@@ -84,6 +84,14 @@ pub struct CampaignConfig {
     /// either way (the determinism suite pins this); the flag exists so
     /// that baseline is expressible without touching planner code.
     pub sequential_planning: bool,
+    /// Which scenario-sweep executor releases plan with
+    /// ([`SweepExecutorKind::Auto`] is the persistent pool with its
+    /// sequential fallback). All kinds are bit-identical — the chaos
+    /// harness's executor axis runs the same campaign under each and
+    /// asserts the trace fingerprints agree. `sequential_planning: true`
+    /// overrides this to `Sequential` (it predates this knob and the
+    /// benches still set it).
+    pub executor: SweepExecutorKind,
     /// Collapse the flow layer to a single job manager serving every pool
     /// domain (the pre-hierarchy monolithic dispatcher). The campaign must
     /// be bit-identical either way — cross-domain scans order by global
@@ -119,6 +127,7 @@ impl Default for CampaignConfig {
             task_jitter: 0.15,
             collect_trace: false,
             sequential_planning: false,
+            executor: SweepExecutorKind::default(),
             single_manager: false,
             urgency_slack_factor: Some(1.5),
             seed: 0x9d5c,
@@ -241,6 +250,17 @@ impl<'a> Campaign<'a> {
         }
     }
 
+    /// The sweep executor releases plan with: `sequential_planning`
+    /// (the older boolean baseline knob) wins, otherwise
+    /// [`CampaignConfig::executor`].
+    pub(crate) fn effective_executor(&self) -> SweepExecutorKind {
+        if self.config.sequential_planning {
+            SweepExecutorKind::Sequential
+        } else {
+            self.config.executor
+        }
+    }
+
     pub(crate) fn record_event(&mut self, at: SimTime, event: crate::trace::CampaignEvent) {
         if let Some(trace) = &mut self.trace {
             trace.push(at, event);
@@ -319,12 +339,12 @@ impl<'a> Campaign<'a> {
         // avoids the planning clone for fine-grain strategies.
         let job_id = job.id();
         let release = job.release();
-        let strategy = Strategy::generate_owned_instrumented(
+        let strategy = Strategy::generate_owned_kind(
             job,
             &self.pool,
             &config,
             release,
-            !self.config.sequential_planning,
+            self.effective_executor(),
             &self.telemetry,
             release_span.id(),
         );

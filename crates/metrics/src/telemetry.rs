@@ -137,11 +137,16 @@ pub enum Counter {
     /// Re-probes of deferred arrivals triggered by completion/fault
     /// events — the online loop's incremental replanning work.
     IncrementalReplans,
+    /// Differential chaos campaigns executed by the chaos harness.
+    ChaosCampaigns,
+    /// Chaos campaigns that diverged across configuration axes or failed
+    /// the trace oracle (each one ships a shrunken repro artifact).
+    ChaosDivergences,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 34] = [
         Counter::JobsReleased,
         Counter::JobsActivated,
         Counter::FlowAssignments,
@@ -174,6 +179,8 @@ impl Counter {
         Counter::AdmissionProbes,
         Counter::QueuePeakDepth,
         Counter::IncrementalReplans,
+        Counter::ChaosCampaigns,
+        Counter::ChaosDivergences,
     ];
 
     const COUNT: usize = Counter::ALL.len();
@@ -214,6 +221,8 @@ impl Counter {
             Counter::AdmissionProbes => "admission_probes",
             Counter::QueuePeakDepth => "queue_peak_depth",
             Counter::IncrementalReplans => "incremental_replans",
+            Counter::ChaosCampaigns => "chaos_campaigns",
+            Counter::ChaosDivergences => "chaos_divergences",
         }
     }
 }

@@ -221,7 +221,13 @@ impl JobBuilder {
 }
 
 /// An immutable, validated compound job.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural over everything the builder validated (id,
+/// tasks, edges, timing) — two jobs compare equal exactly when they are
+/// interchangeable inputs to planning. The chaos harness leans on this to
+/// assert that batch and online workload generation produce the same
+/// stream under degenerate zero-gap arrivals.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     id: JobId,
     tasks: Vec<Task>,

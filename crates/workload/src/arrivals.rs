@@ -166,6 +166,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_gap_trace_matches_zero_gap_batch_stream() {
+        // The degenerate all-zero trace and the batch stream with
+        // `max_gap = 0` must produce the *same jobs* from the same seed:
+        // neither consumes randomness for gaps, so every draw goes to the
+        // DAGs. This equivalence is what lets the chaos harness compare a
+        // batch campaign against an online one differentially.
+        let cfg = JobConfig::default();
+        let process = ArrivalProcess::Trace { gaps: vec![0] };
+        let horizon = SimTime::ZERO.saturating_add(SimDuration::from_ticks(500));
+        let online = generate_arrivals(&cfg, 9, &process, horizon, &mut SimRng::seed_from(41));
+        let batch =
+            crate::jobs::generate_stream(&cfg, 9, SimDuration::ZERO, &mut SimRng::seed_from(41));
+        assert_eq!(online, batch);
+    }
+
+    #[test]
     fn horizon_truncates_the_stream() {
         let cfg = JobConfig::default();
         let process = ArrivalProcess::Trace { gaps: vec![10] };

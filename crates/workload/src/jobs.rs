@@ -142,6 +142,13 @@ fn random_volume(base: u64, rng: &mut SimRng) -> Volume {
 
 /// Generates `count` jobs with releases spaced by a uniform inter-arrival
 /// in `[0, max_gap]` ticks.
+///
+/// A zero `max_gap` consumes **no** randomness for the gaps (there is
+/// nothing to draw), exactly like a degenerate all-zero
+/// [`ArrivalProcess::Trace`](crate::arrivals::ArrivalProcess): the batch
+/// stream and the online arrival stream then produce identical jobs from
+/// the same rng — the equivalence the chaos harness's batch-vs-online
+/// differential axis rests on.
 #[must_use]
 pub fn generate_stream(
     config: &JobConfig,
@@ -152,7 +159,9 @@ pub fn generate_stream(
     let mut out = Vec::with_capacity(count);
     let mut clock = SimTime::ZERO;
     for i in 0..count {
-        clock += rng.uniform_duration(SimDuration::ZERO, max_gap);
+        if !max_gap.is_zero() {
+            clock += rng.uniform_duration(SimDuration::ZERO, max_gap);
+        }
         out.push(generate_job(config, JobId::new(i as u64), clock, rng));
     }
     out
@@ -260,6 +269,22 @@ mod tests {
         for (i, j) in jobs.iter().enumerate() {
             assert_eq!(j.id(), JobId::new(i as u64));
         }
+    }
+
+    #[test]
+    fn zero_gap_stream_consumes_no_gap_randomness() {
+        // A zero max_gap must draw nothing for the gaps, so the stream is
+        // identical to generating the jobs back to back at t0 — and, by
+        // the same token, to a degenerate all-zero arrival trace (the
+        // chaos harness's batch-vs-online axis rests on this).
+        let cfg = JobConfig::default();
+        let stream = generate_stream(&cfg, 6, SimDuration::ZERO, &mut SimRng::seed_from(77));
+        let mut rng = SimRng::seed_from(77);
+        let direct: Vec<Job> = (0..6)
+            .map(|i| generate_job(&cfg, JobId::new(i), SimTime::ZERO, &mut rng))
+            .collect();
+        assert_eq!(stream, direct);
+        assert!(stream.iter().all(|j| j.release() == SimTime::ZERO));
     }
 
     #[test]
