@@ -31,11 +31,18 @@
 //! throughput must stay within `--min-domain-ratio` (default 0.95) of
 //! the monolithic run.
 //!
+//! With `--probe-index FILE` the gate checks a fresh `probe_scaling`
+//! result: the gap-indexed cold probe must beat the linear jump-walk by
+//! `--min-probe-speedup` (default 1.0 — "no slower than the walk it
+//! replaced", a deliberately safe floor for noisy shared runners; the
+//! reference box clears 5×, see `BENCH_probe_scaling.json`) at a pool of
+//! ≥ 100k reservations.
+//!
 //! Run with:
 //! `cargo run --release -p gridsched-bench --bin bench_check -- \
 //!    --fresh BENCH_fresh.json --baseline BENCH_strategy_sweep.json --min-speedup 2.0`
 
-use gridsched_bench::{bench_gate, domain_gate, json_number, keys, Args};
+use gridsched_bench::{bench_gate, domain_gate, json_number, keys, probe_gate, Args};
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"))
@@ -98,6 +105,10 @@ fn main() {
         .then(|| args.get("domains", "BENCH_online_domains.json".to_owned()));
     let mono_path: String = args.get("mono", "BENCH_online_mono.json".to_owned());
     let min_domain_ratio: f64 = args.get("min-domain-ratio", 0.95);
+    let probe_path: Option<String> = args
+        .has("probe-index")
+        .then(|| args.get("probe-index", "BENCH_probe_scaling.json".to_owned()));
+    let min_probe_speedup: f64 = args.get("min-probe-speedup", 1.0);
 
     let fresh = read(&fresh_path);
     let baseline = read(&baseline_path);
@@ -126,6 +137,23 @@ fn main() {
             "bench_check: hierarchical vs monolithic ({domains_path} vs {mono_path}, floor {min_domain_ratio:.2}x)"
         );
         let (lines, ok) = domain_gate(&read(&domains_path), &read(&mono_path), min_domain_ratio);
+        for line in &lines {
+            let fmt = |v: Option<f64>| v.map_or("missing".to_owned(), |v| format!("{v:.2}"));
+            println!(
+                "  [{}] {:<28} fresh {:>9}   required {:>9}",
+                if line.pass { "OK  " } else { "FAIL" },
+                line.key,
+                fmt(line.fresh),
+                fmt(line.baseline),
+            );
+        }
+        pass &= ok;
+    }
+    if let Some(probe_path) = probe_path {
+        println!(
+            "bench_check: gap-index probe scaling ({probe_path}, floor {min_probe_speedup:.2}x)"
+        );
+        let (lines, ok) = probe_gate(&read(&probe_path), min_probe_speedup);
         for line in &lines {
             let fmt = |v: Option<f64>| v.map_or("missing".to_owned(), |v| format!("{v:.2}"));
             println!(

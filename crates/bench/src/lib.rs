@@ -39,6 +39,8 @@ pub mod keys {
         "domains",
         "mono",
         "min-domain-ratio",
+        "probe-index",
+        "min-probe-speedup",
     ];
     /// `coordination_bridge` binary.
     pub const COORDINATION_BRIDGE: &[&str] = &["jobs", "local-jobs", "seed"];
@@ -70,6 +72,8 @@ pub mod keys {
         "mono-out",
         "repeat",
     ];
+    /// `probe_scaling` binary.
+    pub const PROBE_SCALING: &[&str] = &["seed", "budget-ms", "probes", "max-reservations", "out"];
     /// `sec5_queue_policies` binary.
     pub const SEC5_QUEUE_POLICIES: &[&str] = &["jobs", "capacity", "seed"];
     /// `strategy_sweep` binary.
@@ -384,6 +388,36 @@ pub fn domain_gate(hier: &str, mono: &str, min_ratio: f64) -> (Vec<GateLine>, bo
     (lines, pass)
 }
 
+/// Gates a fresh `probe_scaling` result: the gap-indexed cold probe must
+/// be at least `min_speedup`× the linear jump-walk at the benchmark's
+/// largest pool, and that pool must be big enough for the comparison to
+/// mean anything (≥ 100k reservations — below that both paths finish in
+/// nanoseconds and the ratio is noise). The threshold is absolute, not
+/// relative to a committed baseline, for the same reason as
+/// [`bench_gate`]: CI machines are slower and noisier than the box that
+/// produced the committed numbers.
+#[must_use]
+pub fn probe_gate(fresh: &str, min_speedup: f64) -> (Vec<GateLine>, bool) {
+    let cold = json_number(fresh, "probe_index_speedup_cold");
+    let reservations = json_number(fresh, "max_reservations");
+    let lines = vec![
+        GateLine {
+            key: "probe_index_speedup_cold",
+            fresh: cold,
+            baseline: Some(min_speedup),
+            pass: cold.is_some_and(|v| v >= min_speedup),
+        },
+        GateLine {
+            key: "max_reservations_ge_100k",
+            fresh: reservations,
+            baseline: Some(100_000.0),
+            pass: reservations.is_some_and(|r| r >= 100_000.0),
+        },
+    ];
+    let pass = lines.iter().all(|l| l.pass);
+    (lines, pass)
+}
+
 /// Prints a HOLDS/DIFFERS verdict line for a paper-claim check.
 pub fn verdict(label: &str, holds: bool) {
     let mark = if holds { "HOLDS" } else { "DIFFERS" };
@@ -594,6 +628,30 @@ mod tests {
 
         // Missing keys fail.
         assert!(!domain_gate("{}", "{}", 0.95).1);
+    }
+
+    #[test]
+    fn probe_gate_checks_speedup_and_scale() {
+        let good = "{\"probe_index_speedup_cold\": 12.4, \"probe_index_speedup_typical\": 1.1, \
+                    \"max_reservations\": 200000}";
+        let (lines, pass) = probe_gate(good, 5.0);
+        assert!(pass);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].fresh, Some(12.4));
+        assert_eq!(lines[0].baseline, Some(5.0));
+
+        // Below the speedup floor fails.
+        assert!(!probe_gate(good, 20.0).1);
+
+        // A toy-sized run fails even with a huge ratio.
+        let tiny = "{\"probe_index_speedup_cold\": 50.0, \"max_reservations\": 10000}";
+        let (lines, pass) = probe_gate(tiny, 5.0);
+        assert!(!pass);
+        assert!(lines[0].pass);
+        assert!(!lines[1].pass);
+
+        // Missing keys fail.
+        assert!(!probe_gate("{}", 1.0).1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The differential axes: configurations of one campaign that must agree.
 //!
-//! Four axes, each a bit-identity contract the test suite pins with
+//! Five axes, each a bit-identity contract the test suite pins with
 //! hand-picked seeds and this module fuzzes with generated ones:
 //!
 //! * [`Axis::Executors`] — `Sequential`, `Scoped` and the pooled `Auto`
@@ -9,6 +9,11 @@
 //!   single job manager (`single_manager`) changes nothing observable.
 //! * [`Axis::Telemetry`] — attaching a live telemetry recorder is
 //!   strictly observational.
+//! * [`Axis::ProbeIndex`] — forcing the snapshot gap index onto every
+//!   calendar (dropping the engagement floor to zero, so cold
+//!   `earliest_fit` probes that would stay on the linear merged walk go
+//!   through the index instead) changes nothing observable: the two
+//!   probe paths are bit-identical by the DESIGN.md §9 contract.
 //! * [`Axis::BatchOnline`] — a batch campaign over a degenerate zero-gap
 //!   release stream matches an online serving run over the same arrivals,
 //!   whenever admission control stayed out of the way (see
@@ -23,6 +28,9 @@ use gridsched::flow::oracle;
 use gridsched::flow::simulation::{run_campaign, run_campaign_instrumented, CampaignConfig};
 use gridsched::flow::VoReport;
 use gridsched::metrics::telemetry::Telemetry;
+use gridsched::model::availability::{
+    set_probe_index_min_windows, DEFAULT_PROBE_INDEX_MIN_WINDOWS,
+};
 
 use crate::fingerprint::{normalized_fingerprint, online_comparable, report_fingerprint};
 use crate::space::ChaosCampaign;
@@ -40,16 +48,19 @@ pub enum Axis {
     Collapse,
     /// Telemetry-off vs telemetry-on.
     Telemetry,
+    /// Gap-indexed vs linear cold `earliest_fit` probes.
+    ProbeIndex,
     /// Batch vs online on degenerate zero-gap arrivals.
     BatchOnline,
 }
 
 impl Axis {
     /// Every axis, in execution order.
-    pub const ALL: [Axis; 4] = [
+    pub const ALL: [Axis; 5] = [
         Axis::Executors,
         Axis::Collapse,
         Axis::Telemetry,
+        Axis::ProbeIndex,
         Axis::BatchOnline,
     ];
 
@@ -60,6 +71,7 @@ impl Axis {
             Axis::Executors => "executors",
             Axis::Collapse => "collapse",
             Axis::Telemetry => "telemetry",
+            Axis::ProbeIndex => "probe-index",
             Axis::BatchOnline => "batch-online",
         }
     }
@@ -260,7 +272,35 @@ pub fn run_axes(campaign: &ChaosCampaign, inject: Option<Axis>) -> AxisReport {
         }
     }
 
-    // Axis 4: batch vs online on degenerate zero-gap arrivals.
+    // Axis 4: gap-indexed vs linear cold probes. Campaign calendars sit
+    // below the default engagement floor, so the base run probes
+    // linearly; this variant replays the whole campaign with the floor
+    // dropped to zero, forcing every cold probe through the gap index.
+    // The floor is restored before any verdict so later axes (and other
+    // campaigns in the same process, which tolerate either path by the
+    // same contract) see the default again.
+    {
+        set_probe_index_min_windows(0);
+        let result = audited(&base_config, "probe-index-forced");
+        set_probe_index_min_windows(DEFAULT_PROBE_INDEX_MIN_WINDOWS);
+        let mut fp = match result {
+            Ok(report) => report_fingerprint(&report),
+            Err(failure) => return failed(failure),
+        };
+        if inject == Some(Axis::ProbeIndex) {
+            fp ^= INJECTION_MASK;
+        }
+        if fp != base {
+            return failed(ChaosFailure::Divergence {
+                axis: Axis::ProbeIndex,
+                variant: "probe-index-forced",
+                expected: base,
+                actual: fp,
+            });
+        }
+    }
+
+    // Axis 5: batch vs online on degenerate zero-gap arrivals.
     let batch = match audited(&campaign.zero_gap_config(), "batch-zero-gap") {
         Ok(report) => report,
         Err(failure) => return failed(failure),

@@ -173,7 +173,7 @@ impl<'p> PlanningSession<'p> {
             .telemetry
             .span_under("critical_works_pass", self.span_parent);
         self.telemetry.incr(Counter::CriticalWorksPasses);
-        let result = Scratch::with(|scratch| {
+        let (result, probe_stats) = Scratch::with(|scratch| {
             // Overlays come from the thread's arena (rebased on this
             // session's snapshot); the counter keeps its pre-arena meaning
             // of "overlay views handed out".
@@ -193,10 +193,19 @@ impl<'p> PlanningSession<'p> {
                 &mut with_job,
                 &mut scratch.engine,
             );
+            // Drain before recycling: `reset_to` zeroes undrained stats.
+            let probe_stats = background
+                .take_index_stats()
+                .merged(with_job.take_index_stats());
             scratch.recycle_overlay(background);
             scratch.recycle_overlay(with_job);
-            result
+            (result, probe_stats)
         });
+        self.telemetry.add(Counter::IndexSeeks, probe_stats.seeks);
+        self.telemetry
+            .add(Counter::IndexRebuilds, probe_stats.builds);
+        self.telemetry
+            .add(Counter::IndexBypasses, probe_stats.bypasses);
         // Plan conflicts are observed either way: a successful pass records
         // the collisions it routed around, a failed pass the ones that
         // stranded it.
@@ -514,6 +523,45 @@ mod tests {
             .build_distribution(&req)
             .unwrap();
         assert!(fresh.placements()[0].window.start() >= SimTime::from_ticks(10));
+    }
+
+    #[test]
+    fn index_counters_flow_through_session_runs() {
+        // Fixture calendars are tiny; drop the engagement floor so the
+        // indexed path (and its counters) actually runs. Safe globally:
+        // paths are bit-identical, and only this test reads the counters.
+        gridsched_model::availability::set_probe_index_min_windows(0);
+        let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
+        let mut pool = fig2_pool();
+        for i in 0..pool.len() {
+            pool.timetable_mut(NodeId::new(i as u32))
+                .reserve(
+                    TimeWindow::new(SimTime::from_ticks(3), SimTime::from_ticks(8)).unwrap(),
+                    ReservationOwner::Background(i as u64),
+                )
+                .unwrap();
+        }
+        let policy = DataPolicy::remote_access();
+        let telemetry = Telemetry::new();
+        let session = PlanningSession::open_instrumented(&pool, &telemetry, None);
+        let req = ScheduleRequest {
+            job: &job,
+            pool: &pool,
+            policy: &policy,
+            scenario: EstimateScenario::BEST,
+            release: SimTime::ZERO,
+        };
+        session.build_distribution(&req).unwrap();
+        assert!(
+            telemetry.counter(Counter::IndexSeeks) > 0,
+            "cold probes route through the gap index"
+        );
+        let rebuilds = telemetry.counter(Counter::IndexRebuilds);
+        assert!(
+            rebuilds >= 1 && rebuilds <= pool.len() as u64,
+            "at most one build per (snapshot, node), got {rebuilds}"
+        );
+        assert_eq!(telemetry.counter(Counter::IndexBypasses), 0);
     }
 
     #[test]

@@ -142,11 +142,21 @@ pub enum Counter {
     /// Chaos campaigns that diverged across configuration axes or failed
     /// the trace oracle (each one ships a shrunken repro artifact).
     ChaosDivergences,
+    /// Cold `earliest_fit` probes answered through a snapshot's gap
+    /// index (the O(log R) base-layer descent).
+    IndexSeeks,
+    /// Gap indexes lazily built — at most one per (snapshot, node) pair,
+    /// so this counts distinct node calendars actually probed cold.
+    IndexRebuilds,
+    /// Cold probes that took the linear merged walk because the gap
+    /// index was switched off (chaos axis / benches only; answers are
+    /// bit-identical either way).
+    IndexBypasses,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 37] = [
         Counter::JobsReleased,
         Counter::JobsActivated,
         Counter::FlowAssignments,
@@ -181,6 +191,9 @@ impl Counter {
         Counter::IncrementalReplans,
         Counter::ChaosCampaigns,
         Counter::ChaosDivergences,
+        Counter::IndexSeeks,
+        Counter::IndexRebuilds,
+        Counter::IndexBypasses,
     ];
 
     const COUNT: usize = Counter::ALL.len();
@@ -223,6 +236,9 @@ impl Counter {
             Counter::IncrementalReplans => "incremental_replans",
             Counter::ChaosCampaigns => "chaos_campaigns",
             Counter::ChaosDivergences => "chaos_divergences",
+            Counter::IndexSeeks => "index_seeks",
+            Counter::IndexRebuilds => "index_rebuilds",
+            Counter::IndexBypasses => "index_bypasses",
         }
     }
 }

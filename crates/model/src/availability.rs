@@ -36,17 +36,126 @@
 //! overlays are per-scenario scratch, owned and queried by a single
 //! planning thread, while the shared state ([`AvailabilitySnapshot`])
 //! stays immutable and freely shareable.
+//!
+//! # Gap-indexed cold probes
+//!
+//! Memos only help *repeat* probes; a cold `earliest_fit` still walked
+//! the merged base + tentative sequence linearly — O(R) against the §4
+//! background loads. Each snapshot therefore carries one lazily built
+//! [`GapIndex`] per node (built at most once per snapshot, race-free via
+//! [`std::sync::OnceLock`], never invalidated because snapshots are
+//! immutable). The cold path asks the index for the earliest **base**
+//! fit in O(log R) and lets the scenario's few tentative windows veto
+//! and re-seed the probe; with no tentative windows on the node the
+//! index answers outright. Answers are bit-identical to the linear walk
+//! — see DESIGN.md §9 and `crates/model/tests/prop_gap_index.rs` — so
+//! the [`set_probe_index_enabled`] switch (chaos axis, benches) can flip
+//! the path at any time without observable effect beyond the
+//! [`IndexStats`] counters.
+//!
+//! The index only engages for calendars of at least
+//! [`DEFAULT_PROBE_INDEX_MIN_WINDOWS`] base windows
+//! ([`set_probe_index_min_windows`] overrides the floor): below that,
+//! deadline-clipped probes finish the linear walk faster than the
+//! one-off O(R) build amortizes, since many snapshots live for a single
+//! job's generation.
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use gridsched_sim::time::{SimDuration, SimTime};
 
+use crate::gap_index::GapIndex;
 use crate::ids::NodeId;
 use crate::node::ResourcePool;
 use crate::timetable::{ReservationOwner, Timetable};
 use crate::window::TimeWindow;
+
+/// Process-global switch for the gap-indexed cold-probe path (default
+/// **on**). Exists for the chaos differential axis and the probe-scaling
+/// bench: both paths return bit-identical answers (the DESIGN.md §9
+/// determinism contract), so flipping this at any point is safe — only
+/// the [`IndexStats`] telemetry counters observe the difference.
+static PROBE_INDEX_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Switches the gap-indexed cold-probe path on or off process-wide.
+pub fn set_probe_index_enabled(enabled: bool) {
+    PROBE_INDEX_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether cold `earliest_fit` probes currently go through the snapshot
+/// gap index.
+#[must_use]
+pub fn probe_index_enabled() -> bool {
+    PROBE_INDEX_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Default for [`set_probe_index_min_windows`]: nodes with fewer base
+/// windows than this answer cold probes linearly even when the index is
+/// enabled.
+///
+/// The index trades an O(R) build per (snapshot, node) for O(log R)
+/// probes, so it only pays where calendars are large and snapshots are
+/// probed enough to amortize the build. Below this floor the linear walk
+/// wins outright: application-level probes are deadline-clipped to a
+/// short prefix of the calendar, and a snapshot often lives for a single
+/// job (`Strategy::generate` captures one per generation), so a mid-size
+/// build is pure overhead. 16k sits ~2.5× above the §4 sweep calendars
+/// (~6k windows/node, where indexing measurably *slowed* generation) and
+/// well below the ≥ 100k regime the index is for, where a hard probe's
+/// full walk costs more than the build amortized over a handful of
+/// probes (see `BENCH_probe_scaling.json`).
+pub const DEFAULT_PROBE_INDEX_MIN_WINDOWS: usize = 16_384;
+
+/// Per-node engagement floor for the gap index, in base windows. Like
+/// [`set_probe_index_enabled`], safe to change at any time: the paths
+/// are bit-identical, so the floor only moves work between
+/// `index_seeks` and `index_bypasses`. Tests and the chaos `probe-index`
+/// axis force `0` to exercise the indexed path on small calendars.
+static PROBE_INDEX_MIN_WINDOWS: AtomicUsize = AtomicUsize::new(DEFAULT_PROBE_INDEX_MIN_WINDOWS);
+
+/// Sets the minimum base-window count at which cold probes engage the
+/// gap index, process-wide.
+pub fn set_probe_index_min_windows(min: usize) {
+    PROBE_INDEX_MIN_WINDOWS.store(min, Ordering::SeqCst);
+}
+
+/// The current gap-index engagement floor, in base windows per node.
+#[must_use]
+pub fn probe_index_min_windows() -> usize {
+    PROBE_INDEX_MIN_WINDOWS.load(Ordering::SeqCst)
+}
+
+/// Gap-index activity of one [`TimetableOverlay`], drained by the
+/// planning session into the workspace telemetry counters
+/// (`index_seeks` / `index_rebuilds` / `index_bypasses`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Cold `earliest_fit` probes answered through the base gap index.
+    pub seeks: u64,
+    /// Probes that found their snapshot node unindexed and built the
+    /// index (at most once per node per snapshot, `OnceLock`-enforced).
+    pub builds: u64,
+    /// Cold probes that took the linear merged walk because the index is
+    /// switched off ([`set_probe_index_enabled`]) or the node's calendar
+    /// is below the engagement floor
+    /// ([`set_probe_index_min_windows`]).
+    pub bypasses: u64,
+}
+
+impl IndexStats {
+    /// Component-wise sum of two stat sets.
+    #[must_use]
+    pub fn merged(self, other: IndexStats) -> IndexStats {
+        IndexStats {
+            seeks: self.seeks + other.seeks,
+            builds: self.builds + other.builds,
+            bypasses: self.bypasses + other.bypasses,
+        }
+    }
+}
 
 /// A requested window collided with an existing (base or tentative)
 /// reservation of a planning view.
@@ -183,28 +292,41 @@ impl Availability for Vec<Timetable> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AvailabilitySnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
     /// `nodes[NodeId::index]` = that node's reserved windows, sorted by
     /// start, pairwise non-overlapping.
-    nodes: Arc<[Box<[TimeWindow]>]>,
+    nodes: Box<[Box<[TimeWindow]>]>,
+    /// Lazily built gap indexes, one per node, living exactly as long as
+    /// the snapshot. Snapshots are immutable, so an index never needs
+    /// invalidation — pool mutations only become visible through a *new*
+    /// snapshot (with fresh, empty locks). `OnceLock` makes the build
+    /// race-free across scenario threads and guarantees it runs at most
+    /// once per node per snapshot.
+    gap_indexes: Box<[OnceLock<GapIndex>]>,
 }
 
 impl AvailabilitySnapshot {
     /// Captures the current reservations of every node in `pool`.
     #[must_use]
     pub fn capture(pool: &ResourcePool) -> Self {
-        let nodes: Vec<Box<[TimeWindow]>> = pool
+        let nodes: Box<[Box<[TimeWindow]>]> = pool
             .nodes()
             .map(|n| pool.timetable(n.id()).iter().map(|r| r.window()).collect())
             .collect();
+        let gap_indexes = nodes.iter().map(|_| OnceLock::new()).collect();
         AvailabilitySnapshot {
-            nodes: nodes.into(),
+            inner: Arc::new(SnapshotInner { nodes, gap_indexes }),
         }
     }
 
     /// Number of nodes captured.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.inner.nodes.len()
     }
 
     /// The captured reserved windows of `node`, in start order.
@@ -214,7 +336,31 @@ impl AvailabilitySnapshot {
     /// Panics if `node` was not part of the captured pool.
     #[must_use]
     pub fn windows(&self, node: NodeId) -> &[TimeWindow] {
-        &self.nodes[node.index()]
+        &self.inner.nodes[node.index()]
+    }
+
+    /// The gap index of `node`, building it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the captured pool.
+    #[must_use]
+    pub fn gap_index(&self, node: NodeId) -> &GapIndex {
+        let mut built = false;
+        self.gap_index_tracked(node, &mut built)
+    }
+
+    /// [`AvailabilitySnapshot::gap_index`], additionally recording in
+    /// `built` whether *this call* performed the lazy build — across all
+    /// holders of the snapshot at most one call per node ever observes
+    /// `true`, which is what makes the `index_rebuilds` telemetry counter
+    /// deterministic.
+    #[must_use]
+    pub fn gap_index_tracked(&self, node: NodeId, built: &mut bool) -> &GapIndex {
+        self.inner.gap_indexes[node.index()].get_or_init(|| {
+            *built = true;
+            GapIndex::build(&self.inner.nodes[node.index()])
+        })
     }
 }
 
@@ -237,6 +383,9 @@ pub struct TimetableOverlay {
     /// memo), epoch-tagged against tentative mutations. `Cell` keeps query
     /// methods `&self`; see the module docs for the `!Sync` trade.
     cache: Vec<Cell<NodeCache>>,
+    /// Gap-index activity accumulated by this overlay's cold probes,
+    /// drained with [`TimetableOverlay::take_index_stats`].
+    index_stats: Cell<IndexStats>,
 }
 
 /// Per-node query cache of a [`TimetableOverlay`].
@@ -359,6 +508,7 @@ impl TimetableOverlay {
             base,
             tentative: vec![Vec::new(); n],
             cache: vec![Cell::new(NodeCache::default()); n],
+            index_stats: Cell::new(IndexStats::default()),
         }
     }
 
@@ -382,6 +532,16 @@ impl TimetableOverlay {
             cache.fit = None;
             cell.set(cache);
         }
+        // A recycled overlay starts with a clean slate: any stats the
+        // previous tenant left undrained belong to no one.
+        self.index_stats.set(IndexStats::default());
+    }
+
+    /// Drains (returns and zeroes) the gap-index stats accumulated by
+    /// this overlay's probes since the last drain or
+    /// [`TimetableOverlay::reset_to`].
+    pub fn take_index_stats(&self) -> IndexStats {
+        self.index_stats.replace(IndexStats::default())
     }
 
     /// The shared snapshot this overlay reads through.
@@ -505,8 +665,83 @@ impl TimetableOverlay {
         result
     }
 
-    /// The cold-path merged walk behind [`TimetableOverlay::earliest_fit`].
+    /// The cold path behind [`TimetableOverlay::earliest_fit`]: the
+    /// snapshot's gap index when enabled, the linear merged walk
+    /// otherwise. Both return bit-identical answers (DESIGN.md §9).
     fn earliest_fit_uncached(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        if probe_index_enabled() && self.base.windows(node).len() >= probe_index_min_windows() {
+            self.earliest_fit_indexed(node, not_before, duration, deadline)
+        } else {
+            let mut stats = self.index_stats.get();
+            stats.bypasses += 1;
+            self.index_stats.set(stats);
+            self.earliest_fit_linear(node, not_before, duration, deadline)
+        }
+    }
+
+    /// The indexed cold path: the base layer answers through the
+    /// snapshot's [`GapIndex`] in O(log B); the scenario's tentative
+    /// windows (none or a handful) veto and re-seed the probe.
+    ///
+    /// Each round asks the index for the earliest **base-only** fit `s`
+    /// at or after the candidate — every start below `s` is blocked by
+    /// the base alone, so none can be the merged answer. If no tentative
+    /// window intersects `[s, s + duration)`, `s` *is* the merged answer.
+    /// Otherwise the first tentative window `w` ending after `s` blocks
+    /// every start in `[s, w.end())` (any such start keeps the interval
+    /// overlapping `w`), so the candidate jumps to `w.end()` — exactly
+    /// where the linear walk lands when it hops `w`. Each round retires
+    /// one tentative window, so the loop runs at most `tentative + 1`
+    /// rounds of O(log B + log T).
+    fn earliest_fit_indexed(
+        &self,
+        node: NodeId,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        debug_assert!(!duration.is_zero(), "zero durations short-circuit earlier");
+        let mut built = false;
+        let gap = self.base.gap_index_tracked(node, &mut built);
+        let base = self.base.windows(node);
+        let mut stats = self.index_stats.get();
+        stats.seeks += 1;
+        stats.builds += u64::from(built);
+        self.index_stats.set(stats);
+
+        let tentative = self.tentative[node.index()].as_slice();
+        if tentative.is_empty() {
+            return gap.earliest_fit(base, not_before, duration, deadline);
+        }
+        let mut candidate = not_before;
+        loop {
+            // Unbounded-deadline base probe (always `Some`: the trailing
+            // gap is infinite); the caller's deadline is applied to each
+            // proposal below, which matches the linear walk's early exit
+            // because candidates only move forward.
+            let s = gap.earliest_fit(base, candidate, duration, SimTime::MAX)?;
+            let end = s.saturating_add(duration);
+            if end > deadline {
+                return None;
+            }
+            let j = tentative.partition_point(|w| w.end() <= s);
+            match tentative.get(j) {
+                Some(w) if w.start() < end => candidate = w.end(),
+                _ => return Some(s),
+            }
+        }
+    }
+
+    /// The linear cold path: the pre-index merged base + tentative walk,
+    /// kept as the differential reference and the
+    /// [`set_probe_index_enabled`]`(false)` fallback.
+    fn earliest_fit_linear(
         &self,
         node: NodeId,
         not_before: SimTime,
@@ -757,6 +992,58 @@ mod tests {
         let node = NodeId::new(0);
         let overlay = TimetableOverlay::new(pool.snapshot());
         assert_eq!(overlay.first_conflict(node, w(6, 7)), Some(w(5, 8)));
+    }
+
+    #[test]
+    fn index_stats_count_seeks_and_one_shared_build() {
+        // Tiny calendars sit under the default engagement floor; drop it
+        // so the indexed path actually runs. Global, but safe for the
+        // concurrently running tests: paths are bit-identical, and only
+        // the stats tests read the counters (each through its own
+        // overlay's cells).
+        set_probe_index_min_windows(0);
+        let pool = pool_with_windows(&[w(0, 4), w(10, 12)]);
+        let node = NodeId::new(0);
+        let snap = pool.snapshot();
+        let a = TimetableOverlay::new(snap.clone());
+        let b = TimetableOverlay::new(snap);
+        assert_eq!(a.take_index_stats(), IndexStats::default());
+        let _ = a.earliest_fit(node, t(0), d(2), SimTime::MAX);
+        // Repeat probe: answered by the fit memo, no new seek.
+        let _ = a.earliest_fit(node, t(0), d(2), SimTime::MAX);
+        let sa = a.take_index_stats();
+        assert_eq!((sa.seeks, sa.builds, sa.bypasses), (1, 1, 0));
+        // Sibling overlay on the same snapshot: the index is shared and
+        // already built.
+        let _ = b.earliest_fit(node, t(1), d(3), SimTime::MAX);
+        let sb = b.take_index_stats();
+        assert_eq!((sb.seeks, sb.builds, sb.bypasses), (1, 0, 0));
+        assert_eq!(a.take_index_stats(), IndexStats::default(), "drained");
+    }
+
+    #[test]
+    fn reset_to_rebases_onto_a_fresh_index_epoch() {
+        set_probe_index_min_windows(0);
+        let mut pool = pool_with_windows(&[w(0, 4)]);
+        let node = NodeId::new(0);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        assert_eq!(
+            overlay.earliest_fit(node, t(0), d(2), SimTime::MAX),
+            Some(t(4))
+        );
+        pool.timetable_mut(node)
+            .reserve(w(4, 9), ReservationOwner::Background(1))
+            .unwrap();
+        // Undrained stats die with the rebind, and the new snapshot's
+        // index answers from the new calendar.
+        overlay.reset_to(pool.snapshot());
+        assert_eq!(overlay.take_index_stats(), IndexStats::default());
+        assert_eq!(
+            overlay.earliest_fit(node, t(0), d(2), SimTime::MAX),
+            Some(t(9))
+        );
+        let s = overlay.take_index_stats();
+        assert_eq!((s.seeks, s.builds), (1, 1));
     }
 
     #[test]

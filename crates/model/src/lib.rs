@@ -34,6 +34,7 @@
 pub mod availability;
 pub mod estimate;
 pub mod fixtures;
+pub mod gap_index;
 pub mod ids;
 pub mod job;
 pub mod node;
@@ -45,6 +46,7 @@ pub mod window;
 
 pub use availability::{Availability, AvailabilitySnapshot, PlanConflict, TimetableOverlay};
 pub use estimate::{EstimateScenario, ScenarioSweep};
+pub use gap_index::GapIndex;
 pub use ids::{DataId, DomainId, GlobalTaskId, JobId, NodeId, TaskId};
 pub use job::{BuildJobError, DataEdge, Job, JobBuilder};
 pub use node::{Node, ResourcePool};

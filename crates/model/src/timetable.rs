@@ -220,6 +220,74 @@ impl Timetable {
         Ok(id)
     }
 
+    /// Builds a timetable from a batch of windows already sorted by start
+    /// and pairwise non-overlapping, assigning ids in batch order — the
+    /// bulk twin of repeated [`Timetable::reserve`] calls.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the batch violates sortedness or
+    /// overlaps (checked once at the end); release builds trust the
+    /// caller.
+    #[must_use]
+    pub fn from_sorted<I>(batch: I) -> Self
+    where
+        I: IntoIterator<Item = (TimeWindow, ReservationOwner)>,
+    {
+        let mut tt = Timetable::new();
+        tt.extend_sorted(batch);
+        tt
+    }
+
+    /// Bulk-merges a batch of windows, already sorted by start and known
+    /// to be non-overlapping — pairwise *and* against the existing
+    /// reservations. One O(existing + batch) merge instead of one O(n)
+    /// `Vec::insert` per window: laying down the §4 background load
+    /// (~143k reservations per node at the reference scale) this turns an
+    /// O(n²) build into a linear one. Ids are assigned in batch order,
+    /// exactly as sequential [`Timetable::reserve`] calls would.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the merged calendar violates sortedness
+    /// or overlaps (checked once at the end); release builds trust the
+    /// caller.
+    pub fn extend_sorted<I>(&mut self, batch: I)
+    where
+        I: IntoIterator<Item = (TimeWindow, ReservationOwner)>,
+    {
+        let batch = batch.into_iter();
+        if self.reservations.is_empty() {
+            self.reservations.reserve(batch.size_hint().0);
+            for (window, owner) in batch {
+                let id = ReservationId(self.next_id);
+                self.next_id += 1;
+                self.reservations.push(Reservation { id, window, owner });
+            }
+        } else {
+            let old = std::mem::take(&mut self.reservations);
+            let mut merged = Vec::with_capacity(old.len() + batch.size_hint().0);
+            let mut old_iter = old.into_iter().peekable();
+            for (window, owner) in batch {
+                while old_iter
+                    .peek()
+                    .is_some_and(|r| r.window.start() <= window.start())
+                {
+                    merged.push(old_iter.next().expect("peeked"));
+                }
+                let id = ReservationId(self.next_id);
+                self.next_id += 1;
+                merged.push(Reservation { id, window, owner });
+            }
+            merged.extend(old_iter);
+            self.reservations = merged;
+        }
+        debug_assert!(
+            self.invariants_hold(),
+            "extend_sorted batch must be sorted and non-overlapping"
+        );
+    }
+
     /// Releases a reservation, returning it if it existed.
     pub fn release(&mut self, id: ReservationId) -> Option<Reservation> {
         let idx = self.reservations.iter().position(|r| r.id == id)?;
@@ -394,6 +462,60 @@ mod tests {
         tt.reserve(w(10, 12), bg(2)).unwrap();
         tt.reserve(w(0, 5), bg(3)).unwrap();
         assert_eq!(tt.len(), 3);
+    }
+
+    #[test]
+    fn extend_sorted_matches_sequential_reserves() {
+        let batch = [w(3, 5), w(8, 10), w(12, 13)];
+        let mut bulk = Timetable::new();
+        bulk.reserve(w(0, 2), bg(0)).unwrap();
+        bulk.reserve(w(6, 7), bg(1)).unwrap();
+        let mut seq = bulk.clone();
+        bulk.extend_sorted(batch.iter().map(|&win| (win, bg(9))));
+        for &win in &batch {
+            seq.reserve(win, bg(9)).unwrap();
+        }
+        let a: Vec<_> = bulk
+            .iter()
+            .map(|r| (r.id(), r.window(), r.owner()))
+            .collect();
+        let b: Vec<_> = seq
+            .iter()
+            .map(|r| (r.id(), r.window(), r.owner()))
+            .collect();
+        assert_eq!(a, b, "bulk merge == one reserve per window");
+        // The id sequence continues identically after the bulk merge.
+        assert_eq!(
+            bulk.reserve(w(20, 21), bg(5)).unwrap(),
+            seq.reserve(w(20, 21), bg(5)).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_sorted_fast_path_appends() {
+        let tt = Timetable::from_sorted([(w(0, 2), bg(0)), (w(2, 4), bg(1)), (w(9, 11), bg(2))]);
+        assert_eq!(tt.len(), 3);
+        let windows: Vec<_> = tt.iter().map(|r| r.window()).collect();
+        assert_eq!(windows, vec![w(0, 2), w(2, 4), w(9, 11)]);
+        assert!(!tt.is_free(w(0, 1)));
+        assert!(tt.is_free(w(4, 9)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "extend_sorted")]
+    fn extend_sorted_rejects_unsorted_batches_in_debug() {
+        let mut tt = Timetable::new();
+        tt.extend_sorted([(w(5, 6), bg(0)), (w(0, 1), bg(1))]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "extend_sorted")]
+    fn extend_sorted_rejects_overlap_with_existing_in_debug() {
+        let mut tt = Timetable::new();
+        tt.reserve(w(3, 7), bg(0)).unwrap();
+        tt.extend_sorted([(w(5, 6), bg(1))]);
     }
 
     #[test]

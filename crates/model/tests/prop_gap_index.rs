@@ -1,0 +1,233 @@
+//! Differential property suite for the gap-indexed probe path.
+//!
+//! The DESIGN.md §9 contract: every query answered through a snapshot's
+//! [`GapIndex`] is **bit-identical** to the linear reference — the
+//! [`Timetable`] jump-walk for base-only probes, a materialized
+//! base + tentative [`Timetable`] for overlay probes. These tests pin
+//! that contract on random reservation sets, including the degenerate
+//! shapes (empty calendars, fully packed touching windows, zero
+//! durations, clipped deadlines) where off-by-one descent bugs live.
+
+use gridsched_model::availability::{
+    set_probe_index_enabled, set_probe_index_min_windows, TimetableOverlay,
+};
+use gridsched_model::gap_index::GapIndex;
+use gridsched_model::ids::DomainId;
+use gridsched_model::node::ResourcePool;
+use gridsched_model::perf::Perf;
+use gridsched_model::timetable::{ReservationOwner, Timetable};
+use gridsched_model::window::TimeWindow;
+use gridsched_sim::check::{check, Gen};
+use gridsched_sim::time::{SimDuration, SimTime};
+
+fn gen_window(g: &mut Gen) -> TimeWindow {
+    let start = g.u64_in(0, 299);
+    // Length 1..=19, with a bias toward tight packing: dense calendars
+    // exercise the zero-capacity interior gaps of touching windows.
+    let len = if g.chance(0.3) { 1 } else { g.u64_in(1, 19) };
+    TimeWindow::new(SimTime::from_ticks(start), SimTime::from_ticks(start + len)).expect("len >= 1")
+}
+
+/// A random timetable built by accept/reject `reserve` attempts.
+fn gen_timetable(g: &mut Gen, max_attempts: usize) -> Timetable {
+    let attempts = g.vec_of(0, max_attempts, gen_window);
+    let mut tt = Timetable::new();
+    for (i, w) in attempts.into_iter().enumerate() {
+        let _ = tt.reserve(w, ReservationOwner::Background(i as u64));
+    }
+    tt
+}
+
+/// A probe drawn to hit every regime: zero durations, starts beyond the
+/// horizon, deadlines from impossible to unbounded.
+fn gen_probe(g: &mut Gen) -> (SimTime, SimDuration, SimTime) {
+    let not_before = SimTime::from_ticks(g.u64_in(0, 400));
+    let duration = if g.chance(0.1) {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_ticks(g.u64_in(1, 30))
+    };
+    let deadline = if g.chance(0.3) {
+        SimTime::MAX
+    } else {
+        SimTime::from_ticks(g.u64_in(0, 500))
+    };
+    (not_before, duration, deadline)
+}
+
+/// Index descent == linear jump-walk on the bare timetable, for every
+/// probe shape.
+#[test]
+fn indexed_earliest_fit_matches_linear_walk() {
+    check(512, |g| {
+        let tt = gen_timetable(g, 49);
+        let windows: Vec<TimeWindow> = tt.iter().map(|r| r.window()).collect();
+        let index = GapIndex::build(&windows);
+        assert_eq!(index.gap_count(), windows.len().saturating_sub(1));
+        for _ in 0..8 {
+            let (not_before, duration, deadline) = gen_probe(g);
+            assert_eq!(
+                index.earliest_fit(&windows, not_before, duration, deadline),
+                tt.earliest_fit(not_before, duration, deadline),
+                "windows={windows:?} probe=({not_before}, {duration}, {deadline})"
+            );
+        }
+    });
+}
+
+/// The seek primitive agrees with the linear reference, and an indexed
+/// overlay's `free_windows` equals the materialized timetable's.
+#[test]
+fn indexed_free_windows_match_materialized_reference() {
+    check(256, |g| {
+        let tt = gen_timetable(g, 39);
+        let windows: Vec<TimeWindow> = tt.iter().map(|r| r.window()).collect();
+        let index = GapIndex::build(&windows);
+        let t = SimTime::from_ticks(g.u64_in(0, 400));
+        let linear_seek = windows.iter().position(|w| w.end() > t);
+        assert_eq!(
+            index.first_ending_after(&windows, t),
+            linear_seek.unwrap_or(windows.len())
+        );
+
+        let mut pool = ResourcePool::new();
+        let node = pool.add_node(DomainId::new(0), Perf::FULL);
+        *pool.timetable_mut(node) = tt.clone();
+        let overlay = TimetableOverlay::new(pool.snapshot());
+        let lo = g.u64_in(0, 300);
+        let range = TimeWindow::new(
+            SimTime::from_ticks(lo),
+            SimTime::from_ticks(lo + g.u64_in(1, 200)),
+        )
+        .expect("len >= 1");
+        assert_eq!(overlay.free_windows(node, range), tt.free_windows(range));
+    });
+}
+
+/// The hybrid indexed walk (base index proposes, tentative windows veto)
+/// equals a materialized timetable holding the union of both layers.
+#[test]
+fn overlay_hybrid_probes_match_materialized_union() {
+    // The generated calendars are far below the default engagement
+    // floor; force the indexed path so the differential bites.
+    set_probe_index_min_windows(0);
+    check(512, |g| {
+        let base = gen_timetable(g, 39);
+        let mut pool = ResourcePool::new();
+        let node = pool.add_node(DomainId::new(0), Perf::FULL);
+        *pool.timetable_mut(node) = base.clone();
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        let mut union = base;
+        for w in g.vec_of(0, 9, gen_window) {
+            let overlay_ok = overlay.reserve_window(node, w).is_ok();
+            let union_ok = union.reserve(w, ReservationOwner::Background(999)).is_ok();
+            assert_eq!(overlay_ok, union_ok, "accept/reject parity for {w}");
+        }
+        for _ in 0..8 {
+            let (not_before, duration, deadline) = gen_probe(g);
+            assert_eq!(
+                overlay.earliest_fit(node, not_before, duration, deadline),
+                union.earliest_fit(not_before, duration, deadline),
+                "probe=({not_before}, {duration}, {deadline})"
+            );
+        }
+    });
+}
+
+/// Index answers survive `reserve_window` / `release_window` /
+/// `reset_to` epochs: warm overlay answers always equal a cold overlay
+/// over the same state, and a rebased overlay sees the mutated pool
+/// through a *new* snapshot (and a new index).
+#[test]
+fn index_survives_reserve_release_and_reset_epochs() {
+    set_probe_index_min_windows(0);
+    check(256, |g| {
+        let mut pool = ResourcePool::new();
+        let node = pool.add_node(DomainId::new(0), Perf::FULL);
+        *pool.timetable_mut(node) = gen_timetable(g, 29);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        let mut held: Vec<TimeWindow> = Vec::new();
+        for _ in 0..12 {
+            if g.chance(0.6) || held.is_empty() {
+                let w = gen_window(g);
+                if overlay.reserve_window(node, w).is_ok() {
+                    held.push(w);
+                }
+            } else {
+                let victim = *g.pick(&held);
+                assert!(overlay.release_window(node, victim));
+                held.retain(|&w| w != victim);
+            }
+            let (not_before, duration, deadline) = gen_probe(g);
+            // Cold reference: a fresh overlay with the same tentative set.
+            let mut cold = TimetableOverlay::new(overlay.base().clone());
+            for &w in &held {
+                cold.reserve_window(node, w).expect("same state is free");
+            }
+            assert_eq!(
+                overlay.earliest_fit(node, not_before, duration, deadline),
+                cold.earliest_fit(node, not_before, duration, deadline)
+            );
+        }
+        // Mutate the pool itself: the old snapshot's index must be
+        // untouched, and a rebased overlay must answer from fresh state.
+        let stale = overlay.base().clone();
+        let stale_windows: Vec<TimeWindow> = stale.windows(node).to_vec();
+        let extra = gen_window(g);
+        let extra_applied = pool
+            .timetable_mut(node)
+            .reserve(extra, ReservationOwner::Background(7_000))
+            .is_ok();
+        if g.chance(0.5) {
+            let victim = pool.timetable(node).iter().map(|r| r.id()).next();
+            if let Some(id) = victim {
+                pool.timetable_mut(node).release(id);
+            }
+        }
+        assert_eq!(
+            stale.windows(node),
+            stale_windows.as_slice(),
+            "snapshots are immutable under pool mutation"
+        );
+        overlay.reset_to(pool.snapshot());
+        let fresh = TimetableOverlay::new(pool.snapshot());
+        let (not_before, duration, deadline) = gen_probe(g);
+        assert_eq!(
+            overlay.earliest_fit(node, not_before, duration, deadline),
+            fresh.earliest_fit(node, not_before, duration, deadline),
+            "rebased overlay answers from the new epoch (extra={extra} applied={extra_applied})"
+        );
+    });
+}
+
+/// Flipping the process-global switch never changes an answer — only
+/// which internal path produced it.
+#[test]
+fn toggle_off_is_observationally_identical() {
+    set_probe_index_min_windows(0);
+    check(128, |g| {
+        let mut pool = ResourcePool::new();
+        let node = pool.add_node(DomainId::new(0), Perf::FULL);
+        *pool.timetable_mut(node) = gen_timetable(g, 39);
+        let mut overlay = TimetableOverlay::new(pool.snapshot());
+        for w in g.vec_of(0, 5, gen_window) {
+            let _ = overlay.reserve_window(node, w);
+        }
+        let probes: Vec<_> = (0..6).map(|_| gen_probe(g)).collect();
+        let on: Vec<_> = probes
+            .iter()
+            .map(|&(nb, d, dl)| overlay.earliest_fit(node, nb, d, dl))
+            .collect();
+        // Cloned overlay for the off run: same base and tentative set;
+        // the probes are distinct, so the clone's cold path (now the
+        // linear walk) actually runs.
+        let off_overlay = overlay.clone();
+        set_probe_index_enabled(false);
+        let off: Vec<_> = probes
+            .iter()
+            .map(|&(nb, d, dl)| off_overlay.earliest_fit(node, nb, d, dl))
+            .collect();
+        set_probe_index_enabled(true);
+        assert_eq!(on, off);
+    });
+}
