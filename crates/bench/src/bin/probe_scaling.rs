@@ -25,12 +25,24 @@
 //!   for scale: both cold paths sit above this floor.
 //! * `index build`  — the one-off O(R) cost a snapshot pays on its first
 //!   probe of a node, amortized over every session sharing the snapshot.
+//! * `cold/warm capture` — a full [`AvailabilitySnapshot`] capture with
+//!   the calendar cache disabled (every capture refreezes the window
+//!   slice, O(R)) vs. enabled and primed (the capture reuses the frozen
+//!   calendar and its already-built index by `Arc`). The ratio at the
+//!   largest pool is the gated `index_cache_warm_speedup`, and the shape
+//!   also proves the warm capture serves probes with **zero** rebuilds.
+//! * `fan-out`      — a cold chain-head probe batch across a 64-node pool,
+//!   dispatched over the persistent worker pool vs. the sequential loop
+//!   (bit-identical answers, asserted). Reported as
+//!   `probe_fanout_speedup`, not gated: the win is the parallel index
+//!   builds, which shrink once calendars are cached.
 //!
 //! Results land in `BENCH_probe_scaling.json` (override with `--out`).
 //! CI reruns a reduced version and gates it via
 //! `bench_check --probe-index` ([`probe_gate`]): cold speedup at the
 //! largest pool must clear the floor, and that pool must hold ≥ 100k
-//! reservations.
+//! reservations. `bench_check --index-cache` gates the same file's
+//! warm-capture keys ([`index_cache_gate`]).
 //!
 //! Run with: `cargo bench-probe` (alias for
 //! `cargo run --release -p gridsched-bench --bin probe_scaling`).
@@ -41,12 +53,15 @@
 //! [`GapIndex`]: gridsched::model::gap_index::GapIndex
 //! [`Timetable::from_sorted`]: gridsched::model::timetable::Timetable::from_sorted
 //! [`probe_gate`]: gridsched_bench::probe_gate
+//! [`index_cache_gate`]: gridsched_bench::index_cache_gate
 
 use std::time::{Duration, Instant};
 
-use gridsched::model::availability::TimetableOverlay;
+use gridsched::core::session::PlanningSession;
+use gridsched::model::availability::{set_probe_fanout_enabled, ProbeRequest, TimetableOverlay};
 use gridsched::model::gap_index::GapIndex;
 use gridsched::model::ids::DomainId;
+use gridsched::model::index_cache::set_index_cache_enabled;
 use gridsched::model::node::ResourcePool;
 use gridsched::model::perf::Perf;
 use gridsched::model::timetable::{ReservationOwner, Timetable};
@@ -103,8 +118,11 @@ struct SizeResult {
     indexed_typical_ns: u128,
     warm_memo_ns: u128,
     index_build_ns: u128,
+    capture_cold_ns: u128,
+    capture_warm_ns: u128,
     speedup_hard: f64,
     speedup_typical: f64,
+    speedup_capture: f64,
 }
 
 fn json_line(r: &SizeResult) -> String {
@@ -114,7 +132,9 @@ fn json_line(r: &SizeResult) -> String {
             "\"linear_hard_ns\": {}, \"indexed_hard_ns\": {}, ",
             "\"linear_typical_ns\": {}, \"indexed_typical_ns\": {}, ",
             "\"warm_memo_ns\": {}, \"index_build_ns\": {}, ",
-            "\"speedup_hard\": {:.3}, \"speedup_typical\": {:.3}}}"
+            "\"capture_cold_ns\": {}, \"capture_warm_ns\": {}, ",
+            "\"speedup_hard\": {:.3}, \"speedup_typical\": {:.3}, ",
+            "\"speedup_capture\": {:.3}}}"
         ),
         r.reservations,
         r.linear_hard_ns,
@@ -123,9 +143,91 @@ fn json_line(r: &SizeResult) -> String {
         r.indexed_typical_ns,
         r.warm_memo_ns,
         r.index_build_ns,
+        r.capture_cold_ns,
+        r.capture_warm_ns,
         r.speedup_hard,
         r.speedup_typical,
+        r.speedup_capture,
     )
+}
+
+/// Outcome of the cross-node fan-out shape (one 64-node pool).
+struct FanoutResult {
+    nodes: usize,
+    windows_per_node: usize,
+    sequential_ns: u128,
+    fanned_ns: u128,
+    speedup: f64,
+}
+
+/// Times a cold chain-head probe batch over `nodes` dense calendars,
+/// dispatched across the worker pool vs. the sequential loop. The cache
+/// stays disabled so every iteration refreezes and rebuilds — the shape
+/// the fan-out exists for (parallel index builds on a cold pool).
+fn fanout_shape(total_reservations: usize, budget: Duration, rng: &mut SimRng) -> FanoutResult {
+    const NODES: usize = 64;
+    let per_node = (total_reservations / NODES).max(1_000);
+    let mut pool = ResourcePool::new();
+    let mut requests: Vec<ProbeRequest> = Vec::with_capacity(NODES);
+    for n in 0..NODES {
+        let id = pool.add_node(DomainId::new((n % 4) as u32), Perf::FULL);
+        let cal = synthesize(per_node, &mut rng.fork(n as u64));
+        *pool.timetable_mut(id) = Timetable::from_sorted(
+            cal.windows
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (w, ReservationOwner::Background(i as u64))),
+        );
+        requests.push(ProbeRequest {
+            node: id,
+            not_before: SimTime::ZERO,
+            duration: SimDuration::from_ticks(cal.max_gap + 1),
+            deadline: SimTime::MAX,
+        });
+    }
+    // Opening a session installs the worker-pool probe executor; the
+    // capture cache stays out of the way so each timed iteration pays
+    // the full freeze + build cost the fan-out parallelizes.
+    let _executor = PlanningSession::open(&pool);
+    set_index_cache_enabled(false);
+
+    let run_batch = |out: &mut Vec<Option<SimTime>>| {
+        let overlay = TimetableOverlay::new(pool.snapshot());
+        overlay.earliest_fit_batch(&requests, out);
+        overlay.take_index_stats()
+    };
+    // The timings only mean anything if the paths agree (and dispatch).
+    let mut fanned_out = Vec::new();
+    let fanned_stats = run_batch(&mut fanned_out);
+    assert_eq!(fanned_stats.fanouts, 1, "64-node cold batch dispatches");
+    set_probe_fanout_enabled(false);
+    let mut sequential_out = Vec::new();
+    let sequential_stats = run_batch(&mut sequential_out);
+    assert_eq!(sequential_stats.fanouts, 0);
+    assert_eq!(fanned_out, sequential_out, "fan-out is bit-identical");
+    assert_eq!(fanned_stats.seeks, sequential_stats.seeks);
+    assert_eq!(fanned_stats.builds, sequential_stats.builds);
+
+    let group = Group::new(&format!("fan-out, {NODES} nodes x {per_node} reservations"))
+        .with_budget(budget);
+    let mut out = Vec::new();
+    let sequential = group.bench("cold probe batch, sequential loop", || {
+        run_batch(&mut out);
+        out.len()
+    });
+    set_probe_fanout_enabled(true);
+    let fanned = group.bench("cold probe batch, pooled fan-out", || {
+        run_batch(&mut out);
+        out.len()
+    });
+    set_index_cache_enabled(true);
+    FanoutResult {
+        nodes: NODES,
+        windows_per_node: per_node,
+        sequential_ns: sequential.mean.as_nanos(),
+        fanned_ns: fanned.mean.as_nanos(),
+        speedup: sequential.speedup_over(&fanned),
+    }
 }
 
 fn main() {
@@ -153,6 +255,10 @@ fn main() {
     );
 
     let mut results: Vec<SizeResult> = Vec::new();
+    // Cache counters from the *largest* size's warm-capture shape; the
+    // gate keys below report these.
+    let mut warm_capture_hits = 0u64;
+    let mut warm_capture_rebuilds = 0u64;
     for (idx, &n) in sizes.iter().enumerate() {
         let cal = synthesize(n, &mut master.fork(idx as u64 + 1));
         let mut probe_rng = master.fork(1_000 + idx as u64);
@@ -239,10 +345,51 @@ fn main() {
             overlay.earliest_fit(node, warm_nb, warm_d, SimTime::MAX)
         });
 
+        // Capture shapes: a full snapshot with the calendar cache
+        // disabled (every capture refreezes the window slice, O(R)) vs.
+        // enabled and primed (the capture reuses the frozen calendar —
+        // and its already-built index — by `Arc`).
+        set_index_cache_enabled(false);
+        let capture_cold = group.bench("cold capture, cache disabled", || {
+            pool.snapshot().windows(node).len()
+        });
+        set_index_cache_enabled(true);
+        // Prime: one capture inserts the frozen calendar, one cold probe
+        // builds its index inside the shared calendar.
+        let primed = TimetableOverlay::new(pool.snapshot());
+        let _ = primed.earliest_fit(node, hard[0], hard_duration, SimTime::MAX);
+        let _ = primed.take_index_stats();
+        let _ = pool.index_cache().take_stats();
+        let capture_warm = group.bench("warm capture, cache hit", || {
+            pool.snapshot().windows(node).len()
+        });
+        let cache_stats = pool.index_cache().take_stats();
+        assert!(
+            cache_stats.hits >= 1 && cache_stats.misses == 0,
+            "warm captures at {n} reservations must all hit the cache \
+             (hits {}, misses {})",
+            cache_stats.hits,
+            cache_stats.misses,
+        );
+        // A fresh overlay over a warm capture probes without rebuilding:
+        // the cached calendar carries its index across generations.
+        let warm_capture = TimetableOverlay::new(pool.snapshot());
+        let _ = warm_capture.earliest_fit(node, hard[0], hard_duration, SimTime::MAX);
+        let warm_stats = warm_capture.take_index_stats();
+        assert_eq!(
+            warm_stats.builds, 0,
+            "warm capture at {n} reservations rebuilt its index"
+        );
+        assert!(warm_stats.seeks >= 1, "warm probe must use the index");
+        warm_capture_hits = cache_stats.hits;
+        warm_capture_rebuilds = warm_stats.builds;
+
         let speedup_hard = linear_hard.speedup_over(&indexed_hard);
         let speedup_typical = linear_typical.speedup_over(&indexed_typical);
+        let speedup_capture = capture_cold.speedup_over(&capture_warm);
         println!(
-            "  -> hard {speedup_hard:.2}x, typical {speedup_typical:.2}x, index built in {index_build:?}\n"
+            "  -> hard {speedup_hard:.2}x, typical {speedup_typical:.2}x, \
+             warm capture {speedup_capture:.2}x, index built in {index_build:?}\n"
         );
         results.push(SizeResult {
             reservations: n,
@@ -252,12 +399,24 @@ fn main() {
             indexed_typical_ns: indexed_typical.mean.as_nanos(),
             warm_memo_ns: warm.mean.as_nanos(),
             index_build_ns: index_build.as_nanos(),
+            capture_cold_ns: capture_cold.mean.as_nanos(),
+            capture_warm_ns: capture_warm.mean.as_nanos(),
             speedup_hard,
             speedup_typical,
+            speedup_capture,
         });
     }
 
     let largest = results.last().expect("at least one size");
+    let fanout = fanout_shape(
+        largest.reservations,
+        Duration::from_millis(budget_ms),
+        &mut master.fork(5_000),
+    );
+    println!(
+        "  -> fan-out {:.2}x over {} nodes x {} reservations\n",
+        fanout.speedup, fanout.nodes, fanout.windows_per_node,
+    );
     let sizes_json = results
         .iter()
         .map(json_line)
@@ -271,6 +430,15 @@ fn main() {
             "  \"probe_index_speedup_cold\": {cold:.3},\n",
             "  \"probe_index_speedup_typical\": {typ:.3},\n",
             "  \"max_reservations\": {max_res},\n",
+            "  \"index_cache_warm_speedup\": {cache:.3},\n",
+            "  \"index_cache_windows\": {cache_windows},\n",
+            "  \"index_cache_warm_rebuilds\": {cache_rebuilds},\n",
+            "  \"index_cache_warm_hits\": {cache_hits},\n",
+            "  \"probe_fanout_speedup\": {fan:.3},\n",
+            "  \"probe_fanout_nodes\": {fan_nodes},\n",
+            "  \"probe_fanout_windows_per_node\": {fan_windows},\n",
+            "  \"probe_fanout_sequential_ns\": {fan_seq},\n",
+            "  \"probe_fanout_fanned_ns\": {fan_par},\n",
             "  \"bench\": \"probe_scaling\",\n",
             "  \"seed\": {seed},\n",
             "  \"budget_ms\": {budget_ms},\n",
@@ -281,6 +449,15 @@ fn main() {
         cold = largest.speedup_hard,
         typ = largest.speedup_typical,
         max_res = largest.reservations,
+        cache = largest.speedup_capture,
+        cache_windows = largest.reservations,
+        cache_rebuilds = warm_capture_rebuilds,
+        cache_hits = warm_capture_hits,
+        fan = fanout.speedup,
+        fan_nodes = fanout.nodes,
+        fan_windows = fanout.windows_per_node,
+        fan_seq = fanout.sequential_ns,
+        fan_par = fanout.fanned_ns,
         seed = seed,
         budget_ms = budget_ms,
         probes = probe_count,
@@ -303,4 +480,18 @@ fn main() {
             largest.speedup_hard >= 5.0,
         );
     }
+    verdict(
+        "warm capture of the unchanged largest pool had zero index rebuilds",
+        warm_capture_rebuilds == 0 && warm_capture_hits >= 1,
+    );
+    if largest.reservations >= 100_000 {
+        verdict(
+            "warm capture at >= 100k reservations clears the 10x target",
+            largest.speedup_capture >= 10.0,
+        );
+    }
+    verdict(
+        "pooled fan-out is bit-identical to the sequential probe loop",
+        true, // asserted inside fanout_shape, answers and counters
+    );
 }

@@ -41,6 +41,8 @@ pub mod keys {
         "min-domain-ratio",
         "probe-index",
         "min-probe-speedup",
+        "index-cache",
+        "min-cache-speedup",
     ];
     /// `coordination_bridge` binary.
     pub const COORDINATION_BRIDGE: &[&str] = &["jobs", "local-jobs", "seed"];
@@ -418,6 +420,52 @@ pub fn probe_gate(fresh: &str, min_speedup: f64) -> (Vec<GateLine>, bool) {
     (lines, pass)
 }
 
+/// Gates the warm-capture keys of a fresh `probe_scaling` result: a warm
+/// [`AvailabilitySnapshot`] capture of an unchanged pool must be at
+/// least `min_speedup`× the cold (cache-disabled) capture at the
+/// benchmark's largest pool, that pool must hold ≥ 100k windows for the
+/// ratio to mean anything, the warm capture must have rebuilt **zero**
+/// indexes, and it must have registered at least one cache hit (proof
+/// the cached path — not a lucky allocator — produced the speedup). The
+/// threshold is absolute for the same reason as [`bench_gate`].
+///
+/// [`AvailabilitySnapshot`]: gridsched::model::availability::AvailabilitySnapshot
+#[must_use]
+pub fn index_cache_gate(fresh: &str, min_speedup: f64) -> (Vec<GateLine>, bool) {
+    let warm = json_number(fresh, "index_cache_warm_speedup");
+    let windows = json_number(fresh, "index_cache_windows");
+    let rebuilds = json_number(fresh, "index_cache_warm_rebuilds");
+    let hits = json_number(fresh, "index_cache_warm_hits");
+    let lines = vec![
+        GateLine {
+            key: "index_cache_warm_speedup",
+            fresh: warm,
+            baseline: Some(min_speedup),
+            pass: warm.is_some_and(|v| v >= min_speedup),
+        },
+        GateLine {
+            key: "index_cache_windows_ge_100k",
+            fresh: windows,
+            baseline: Some(100_000.0),
+            pass: windows.is_some_and(|w| w >= 100_000.0),
+        },
+        GateLine {
+            key: "index_cache_warm_rebuilds",
+            fresh: rebuilds,
+            baseline: Some(0.0),
+            pass: rebuilds == Some(0.0),
+        },
+        GateLine {
+            key: "index_cache_warm_hits",
+            fresh: hits,
+            baseline: Some(1.0),
+            pass: hits.is_some_and(|h| h >= 1.0),
+        },
+    ];
+    let pass = lines.iter().all(|l| l.pass);
+    (lines, pass)
+}
+
 /// Prints a HOLDS/DIFFERS verdict line for a paper-claim check.
 pub fn verdict(label: &str, holds: bool) {
     let mark = if holds { "HOLDS" } else { "DIFFERS" };
@@ -652,6 +700,50 @@ mod tests {
 
         // Missing keys fail.
         assert!(!probe_gate("{}", 1.0).1);
+    }
+
+    #[test]
+    fn index_cache_gate_checks_speedup_scale_and_rebuilds() {
+        let good = "{\"index_cache_warm_speedup\": 42.7, \
+                    \"index_cache_windows\": 200000, \
+                    \"index_cache_warm_rebuilds\": 0, \
+                    \"index_cache_warm_hits\": 37}";
+        let (lines, pass) = index_cache_gate(good, 10.0);
+        assert!(pass);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].fresh, Some(42.7));
+        assert_eq!(lines[0].baseline, Some(10.0));
+
+        // Below the warm-capture floor fails.
+        assert!(!index_cache_gate(good, 100.0).1);
+
+        // A toy-sized pool fails even with a huge ratio.
+        let tiny = "{\"index_cache_warm_speedup\": 80.0, \
+                    \"index_cache_windows\": 5000, \
+                    \"index_cache_warm_rebuilds\": 0, \
+                    \"index_cache_warm_hits\": 4}";
+        let (lines, pass) = index_cache_gate(tiny, 10.0);
+        assert!(!pass);
+        assert!(lines[0].pass);
+        assert!(!lines[1].pass);
+
+        // Any rebuild on the warm path fails: the cache went stale or
+        // was bypassed, so the speedup measured something else.
+        let rebuilt = "{\"index_cache_warm_speedup\": 42.7, \
+                       \"index_cache_windows\": 200000, \
+                       \"index_cache_warm_rebuilds\": 1, \
+                       \"index_cache_warm_hits\": 37}";
+        assert!(!index_cache_gate(rebuilt, 10.0).1);
+
+        // Zero recorded hits fails: nothing proves the cache served.
+        let cold = "{\"index_cache_warm_speedup\": 42.7, \
+                    \"index_cache_windows\": 200000, \
+                    \"index_cache_warm_rebuilds\": 0, \
+                    \"index_cache_warm_hits\": 0}";
+        assert!(!index_cache_gate(cold, 10.0).1);
+
+        // Missing keys fail.
+        assert!(!index_cache_gate("{}", 1.0).1);
     }
 
     #[test]

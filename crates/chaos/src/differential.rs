@@ -1,6 +1,6 @@
 //! The differential axes: configurations of one campaign that must agree.
 //!
-//! Five axes, each a bit-identity contract the test suite pins with
+//! Six axes, each a bit-identity contract the test suite pins with
 //! hand-picked seeds and this module fuzzes with generated ones:
 //!
 //! * [`Axis::Executors`] — `Sequential`, `Scoped` and the pooled `Auto`
@@ -14,6 +14,11 @@
 //!   `earliest_fit` probes that would stay on the linear merged walk go
 //!   through the index instead) changes nothing observable: the two
 //!   probe paths are bit-identical by the DESIGN.md §9 contract.
+//! * [`Axis::IndexCache`] — the cross-snapshot calendar cache is a pure
+//!   reuse layer: forcing every capture through it (cache on with the
+//!   engagement floor at zero, so cached gap indexes actually serve
+//!   probes) and switching it off entirely both replay the campaign
+//!   bit-identically.
 //! * [`Axis::BatchOnline`] — a batch campaign over a degenerate zero-gap
 //!   release stream matches an online serving run over the same arrivals,
 //!   whenever admission control stayed out of the way (see
@@ -28,9 +33,8 @@ use gridsched::flow::oracle;
 use gridsched::flow::simulation::{run_campaign, run_campaign_instrumented, CampaignConfig};
 use gridsched::flow::VoReport;
 use gridsched::metrics::telemetry::Telemetry;
-use gridsched::model::availability::{
-    set_probe_index_min_windows, DEFAULT_PROBE_INDEX_MIN_WINDOWS,
-};
+use gridsched::model::availability::ProbeIndexGuard;
+use gridsched::model::index_cache::set_index_cache_enabled;
 
 use crate::fingerprint::{normalized_fingerprint, online_comparable, report_fingerprint};
 use crate::space::ChaosCampaign;
@@ -50,17 +54,20 @@ pub enum Axis {
     Telemetry,
     /// Gap-indexed vs linear cold `earliest_fit` probes.
     ProbeIndex,
+    /// Calendar-cache-forced vs calendar-cache-disabled captures.
+    IndexCache,
     /// Batch vs online on degenerate zero-gap arrivals.
     BatchOnline,
 }
 
 impl Axis {
     /// Every axis, in execution order.
-    pub const ALL: [Axis; 5] = [
+    pub const ALL: [Axis; 6] = [
         Axis::Executors,
         Axis::Collapse,
         Axis::Telemetry,
         Axis::ProbeIndex,
+        Axis::IndexCache,
         Axis::BatchOnline,
     ];
 
@@ -72,6 +79,7 @@ impl Axis {
             Axis::Collapse => "collapse",
             Axis::Telemetry => "telemetry",
             Axis::ProbeIndex => "probe-index",
+            Axis::IndexCache => "index-cache",
             Axis::BatchOnline => "batch-online",
         }
     }
@@ -276,13 +284,14 @@ pub fn run_axes(campaign: &ChaosCampaign, inject: Option<Axis>) -> AxisReport {
     // below the default engagement floor, so the base run probes
     // linearly; this variant replays the whole campaign with the floor
     // dropped to zero, forcing every cold probe through the gap index.
-    // The floor is restored before any verdict so later axes (and other
-    // campaigns in the same process, which tolerate either path by the
-    // same contract) see the default again.
+    // The guard restores the floor before any verdict so later axes (and
+    // other campaigns in the same process, which tolerate either path by
+    // the same contract) see the default again.
     {
-        set_probe_index_min_windows(0);
-        let result = audited(&base_config, "probe-index-forced");
-        set_probe_index_min_windows(DEFAULT_PROBE_INDEX_MIN_WINDOWS);
+        let result = {
+            let _knobs = ProbeIndexGuard::with_floor(0);
+            audited(&base_config, "probe-index-forced")
+        };
         let mut fp = match result {
             Ok(report) => report_fingerprint(&report),
             Err(failure) => return failed(failure),
@@ -300,7 +309,52 @@ pub fn run_axes(campaign: &ChaosCampaign, inject: Option<Axis>) -> AxisReport {
         }
     }
 
-    // Axis 5: batch vs online on degenerate zero-gap arrivals.
+    // Axis 5: the cross-snapshot calendar cache. Replay once with the
+    // cache forced on and the engagement floor at zero (every capture
+    // consults the cache and cached gap indexes actually answer probes),
+    // then once with the cache disabled outright; both must match the
+    // base fingerprint bit for bit.
+    {
+        let forced = {
+            let _knobs = ProbeIndexGuard::with_floor(0);
+            set_index_cache_enabled(true);
+            audited(&base_config, "index-cache-forced")
+        };
+        let fp = match forced {
+            Ok(report) => report_fingerprint(&report),
+            Err(failure) => return failed(failure),
+        };
+        if fp != base {
+            return failed(ChaosFailure::Divergence {
+                axis: Axis::IndexCache,
+                variant: "index-cache-forced",
+                expected: base,
+                actual: fp,
+            });
+        }
+        let disabled = {
+            let _knobs = ProbeIndexGuard::capture();
+            set_index_cache_enabled(false);
+            audited(&base_config, "index-cache-disabled")
+        };
+        let mut fp = match disabled {
+            Ok(report) => report_fingerprint(&report),
+            Err(failure) => return failed(failure),
+        };
+        if inject == Some(Axis::IndexCache) {
+            fp ^= INJECTION_MASK;
+        }
+        if fp != base {
+            return failed(ChaosFailure::Divergence {
+                axis: Axis::IndexCache,
+                variant: "index-cache-disabled",
+                expected: base,
+                actual: fp,
+            });
+        }
+    }
+
+    // Axis 6: batch vs online on degenerate zero-gap arrivals.
     let batch = match audited(&campaign.zero_gap_config(), "batch-zero-gap") {
         Ok(report) => report,
         Err(failure) => return failed(failure),

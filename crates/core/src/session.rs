@@ -23,8 +23,11 @@ use std::collections::HashMap;
 
 use gridsched_sim::time::SimTime;
 
+use gridsched_exec::WorkerPool;
 use gridsched_metrics::telemetry::{Counter, SpanId, Telemetry};
-use gridsched_model::availability::{AvailabilitySnapshot, TimetableOverlay};
+use gridsched_model::availability::{
+    install_probe_executor, AvailabilitySnapshot, TimetableOverlay,
+};
 use gridsched_model::ids::TaskId;
 use gridsched_model::node::ResourcePool;
 
@@ -32,6 +35,14 @@ use crate::distribution::{Distribution, Placement};
 use crate::method::{run_method_chains, ScheduleError, ScheduleRequest};
 use crate::objective::Objective;
 use crate::scratch::Scratch;
+
+/// The process-wide probe executor: fans `earliest_fit_batch` cold probes
+/// across the shared scenario-sweep [`WorkerPool`] when it is idle, and
+/// declines (forcing the caller's sequential fallback) while a sweep has
+/// the pool busy. Installed on first session open; first install wins.
+fn pool_probe_executor(len: usize, task: &(dyn Fn(usize) + Sync)) -> bool {
+    WorkerPool::global().run_tasks_if_idle(len, task)
+}
 
 /// A planning session: a pool reference plus one shared availability
 /// snapshot that every what-if view of the session reads through.
@@ -105,10 +116,16 @@ impl<'p> PlanningSession<'p> {
         telemetry: &Telemetry,
         parent: Option<SpanId>,
     ) -> Self {
+        install_probe_executor(pool_probe_executor);
         telemetry.incr(Counter::SessionsOpened);
         let span = telemetry.span_under("session_open", parent);
         let snapshot = pool.snapshot();
         drop(span);
+        // The capture consulted the pool's calendar cache; drain its stats
+        // here (they are deltas since the previous drain).
+        let cache_stats = pool.index_cache().take_stats();
+        telemetry.add(Counter::IndexCacheHits, cache_stats.hits);
+        telemetry.add(Counter::IndexCacheEvictions, cache_stats.evictions);
         PlanningSession {
             pool,
             snapshot,
@@ -206,6 +223,8 @@ impl<'p> PlanningSession<'p> {
             .add(Counter::IndexRebuilds, probe_stats.builds);
         self.telemetry
             .add(Counter::IndexBypasses, probe_stats.bypasses);
+        self.telemetry
+            .add(Counter::ProbeFanouts, probe_stats.fanouts);
         // Plan conflicts are observed either way: a successful pass records
         // the collisions it routed around, a failed pass the ones that
         // stranded it.
@@ -528,9 +547,9 @@ mod tests {
     #[test]
     fn index_counters_flow_through_session_runs() {
         // Fixture calendars are tiny; drop the engagement floor so the
-        // indexed path (and its counters) actually runs. Safe globally:
-        // paths are bit-identical, and only this test reads the counters.
-        gridsched_model::availability::set_probe_index_min_windows(0);
+        // indexed path (and its counters) actually runs. The guard restores
+        // every probe knob on drop, and paths are bit-identical either way.
+        let _knobs = gridsched_model::availability::ProbeIndexGuard::with_floor(0);
         let job = fig2_job_with_deadline(SimDuration::from_ticks(60));
         let mut pool = fig2_pool();
         for i in 0..pool.len() {

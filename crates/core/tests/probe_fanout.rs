@@ -1,0 +1,165 @@
+//! Determinism suite for the cross-node probe fan-out.
+//!
+//! The DESIGN.md §9 contract extends to the batch path: a probe batch
+//! dispatched across worker threads is **bit-identical** to the
+//! sequential per-request loop — same answers, and the same seek /
+//! build / bypass counters (only `fanouts` tells the paths apart).
+
+use std::collections::HashMap;
+
+use gridsched_core::method::ScheduleRequest;
+use gridsched_core::session::PlanningSession;
+use gridsched_data::policy::DataPolicy;
+use gridsched_metrics::telemetry::{Counter, Telemetry};
+use gridsched_model::availability::{
+    set_probe_fanout_enabled, set_probe_fanout_min_nodes, ProbeIndexGuard, ProbeRequest,
+    TimetableOverlay,
+};
+use gridsched_model::estimate::EstimateScenario;
+use gridsched_model::fixtures::fig2_job_with_deadline;
+use gridsched_model::ids::{DomainId, NodeId};
+use gridsched_model::index_cache::set_index_cache_enabled;
+use gridsched_model::node::ResourcePool;
+use gridsched_model::perf::Perf;
+use gridsched_model::timetable::ReservationOwner;
+use gridsched_model::window::TimeWindow;
+use gridsched_sim::time::{SimDuration, SimTime};
+
+/// A pool whose every node carries a distinct dense calendar.
+fn dense_pool(nodes: u32) -> ResourcePool {
+    let mut pool = ResourcePool::new();
+    for n in 0..nodes {
+        let id = pool.add_node(DomainId::new(n % 3), Perf::FULL);
+        for i in 0..30u64 {
+            let start = i * 7 + u64::from(n) % 5;
+            pool.timetable_mut(id)
+                .reserve(
+                    TimeWindow::new(
+                        SimTime::from_ticks(start),
+                        SimTime::from_ticks(start + 2 + (i + u64::from(n)) % 3),
+                    )
+                    .unwrap(),
+                    ReservationOwner::Background(i),
+                )
+                .unwrap();
+        }
+    }
+    pool
+}
+
+fn requests(pool: &ResourcePool) -> Vec<ProbeRequest> {
+    (0..pool.len())
+        .map(|n| ProbeRequest {
+            node: NodeId::new(n as u32),
+            not_before: SimTime::from_ticks((n as u64) % 11),
+            duration: SimDuration::from_ticks(1 + (n as u64) % 5),
+            deadline: if n % 4 == 0 {
+                SimTime::from_ticks(40 + n as u64)
+            } else {
+                SimTime::MAX
+            },
+        })
+        .collect()
+}
+
+/// The pooled batch answers and counters are exactly the sequential
+/// loop's; only the `fanouts` counter records the dispatch.
+#[test]
+fn pooled_batch_matches_sequential_loop_exactly() {
+    let _knobs = ProbeIndexGuard::with_floor(0);
+    set_probe_fanout_min_nodes(8);
+    // Fresh calendars per snapshot so the two overlays' build counters
+    // are independently comparable.
+    set_index_cache_enabled(false);
+    let pool = dense_pool(32);
+    // Opening a session installs the worker-pool probe executor.
+    let _session = PlanningSession::open(&pool);
+    let reqs = requests(&pool);
+
+    let batched_overlay = TimetableOverlay::new(pool.snapshot());
+    let mut batched = Vec::new();
+    batched_overlay.earliest_fit_batch(&reqs, &mut batched);
+    let batched_stats = batched_overlay.take_index_stats();
+
+    set_probe_fanout_enabled(false);
+    let seq_overlay = TimetableOverlay::new(pool.snapshot());
+    let mut sequential = Vec::new();
+    seq_overlay.earliest_fit_batch(&reqs, &mut sequential);
+    let seq_stats = seq_overlay.take_index_stats();
+
+    assert_eq!(batched, sequential, "bit-identical answers");
+    assert_eq!(batched_stats.seeks, seq_stats.seeks);
+    assert_eq!(batched_stats.builds, seq_stats.builds);
+    assert_eq!(batched_stats.bypasses, seq_stats.bypasses);
+    assert_eq!(seq_stats.fanouts, 0, "fan-out was switched off");
+    assert_eq!(batched_stats.fanouts, 1, "one dispatched batch");
+}
+
+/// Batches that fail the dispatch preconditions (below the node-count
+/// threshold, or out-of-order/duplicate node indices) fall back to the
+/// sequential loop and still answer identically.
+#[test]
+fn ineligible_batches_fall_back_to_the_sequential_loop() {
+    let _knobs = ProbeIndexGuard::with_floor(0);
+    set_index_cache_enabled(false);
+    let pool = dense_pool(12);
+    let _session = PlanningSession::open(&pool);
+
+    // Below the (default 64) node-count threshold.
+    let reqs = requests(&pool);
+    let overlay = TimetableOverlay::new(pool.snapshot());
+    let mut out = Vec::new();
+    overlay.earliest_fit_batch(&reqs, &mut out);
+    assert_eq!(overlay.take_index_stats().fanouts, 0);
+
+    // Above the threshold but with a duplicate node: memo effects would
+    // differ across orderings, so the batch must not dispatch.
+    set_probe_fanout_min_nodes(4);
+    let mut dup = requests(&pool);
+    dup.push(dup[0]);
+    let overlay = TimetableOverlay::new(pool.snapshot());
+    let mut dup_out = Vec::new();
+    overlay.earliest_fit_batch(&dup, &mut dup_out);
+    assert_eq!(overlay.take_index_stats().fanouts, 0);
+    let expected: Vec<_> = dup
+        .iter()
+        .map(|r| overlay.earliest_fit(r.node, r.not_before, r.duration, r.deadline))
+        .collect();
+    assert_eq!(dup_out, expected);
+}
+
+/// End to end: a full planning run with fan-out forced produces the
+/// same distribution as one with fan-out disabled, and the fanned run
+/// reconciles through the `probe_fanouts` telemetry counter.
+#[test]
+fn planned_distributions_are_identical_with_and_without_fanout() {
+    let _knobs = ProbeIndexGuard::with_floor(0);
+    set_probe_fanout_min_nodes(4);
+    let pool = dense_pool(16);
+    let job = fig2_job_with_deadline(SimDuration::from_ticks(400));
+    let policy = DataPolicy::remote_access();
+    let req = ScheduleRequest {
+        job: &job,
+        pool: &pool,
+        policy: &policy,
+        scenario: EstimateScenario::BEST,
+        release: SimTime::ZERO,
+    };
+
+    let telemetry = Telemetry::new();
+    let session = PlanningSession::open_instrumented(&pool, &telemetry, None);
+    let fanned = session
+        .reschedule(&req, &HashMap::new())
+        .expect("fanned plan");
+    assert!(
+        telemetry.counter(Counter::ProbeFanouts) > 0,
+        "chain-head batches dispatched across the pool"
+    );
+
+    set_probe_fanout_enabled(false);
+    let sequential = PlanningSession::open(&pool)
+        .reschedule(&req, &HashMap::new())
+        .expect("sequential plan");
+    assert_eq!(fanned.placements(), sequential.placements());
+    assert_eq!(fanned.collisions(), sequential.collisions());
+}

@@ -152,11 +152,21 @@ pub enum Counter {
     /// index was switched off (chaos axis / benches only; answers are
     /// bit-identical either way).
     IndexBypasses,
+    /// Snapshot captures of a node answered by the pool's cross-snapshot
+    /// calendar cache (frozen windows + gap index reused, nothing
+    /// copied or rebuilt).
+    IndexCacheHits,
+    /// Cached calendars dropped to respect the cache's byte budget.
+    IndexCacheEvictions,
+    /// Cold-probe batches fanned out across worker threads by the Pareto
+    /// allocator's node loop (answers bit-identical to the sequential
+    /// loop; this is the only counter that sees the dispatch).
+    ProbeFanouts,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 40] = [
         Counter::JobsReleased,
         Counter::JobsActivated,
         Counter::FlowAssignments,
@@ -194,6 +204,9 @@ impl Counter {
         Counter::IndexSeeks,
         Counter::IndexRebuilds,
         Counter::IndexBypasses,
+        Counter::IndexCacheHits,
+        Counter::IndexCacheEvictions,
+        Counter::ProbeFanouts,
     ];
 
     const COUNT: usize = Counter::ALL.len();
@@ -239,6 +252,9 @@ impl Counter {
             Counter::IndexSeeks => "index_seeks",
             Counter::IndexRebuilds => "index_rebuilds",
             Counter::IndexBypasses => "index_bypasses",
+            Counter::IndexCacheHits => "index_cache_hits",
+            Counter::IndexCacheEvictions => "index_cache_evictions",
+            Counter::ProbeFanouts => "probe_fanouts",
         }
     }
 }

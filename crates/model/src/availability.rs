@@ -56,19 +56,39 @@
 //! The index only engages for calendars of at least
 //! [`DEFAULT_PROBE_INDEX_MIN_WINDOWS`] base windows
 //! ([`set_probe_index_min_windows`] overrides the floor): below that,
-//! deadline-clipped probes finish the linear walk faster than the
-//! one-off O(R) build amortizes, since many snapshots live for a single
-//! job's generation.
+//! deadline-clipped probes finish the linear walk faster than the build
+//! amortizes even across captures.
+//!
+//! # Cross-snapshot calendar sharing
+//!
+//! `capture` does not copy or index from scratch every time: each node's
+//! frozen windows + index live in an [`crate::index_cache::NodeCalendar`]
+//! keyed by the timetable's revision in the pool's
+//! [`crate::index_cache::IndexCache`]. A capture of an *unchanged* node
+//! is an `Arc` bump reusing both the window slice and any already built
+//! index — which is what lets the engagement floor sit at 1k windows
+//! instead of 16k: the build amortizes over every capture of the
+//! unchanged node, not just one snapshot's lifetime.
+//!
+//! # Cross-node probe fan-out
+//!
+//! [`TimetableOverlay::earliest_fit_batch`] answers one probe per node
+//! for a whole batch of nodes, dispatching the indexed **cold** probes
+//! (the ones that may pay an O(R) index build) across worker threads via
+//! an installed [`ProbeExecutor`] and merging results in request order.
+//! Answers and the [`IndexStats`] counters are bit-identical to the
+//! sequential loop; only the `fanouts` counter observes the dispatch.
 
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gridsched_sim::time::{SimDuration, SimTime};
 
 use crate::gap_index::GapIndex;
 use crate::ids::NodeId;
+use crate::index_cache::{index_cache_enabled, set_index_cache_enabled, NodeCalendar};
 use crate::node::ResourcePool;
 use crate::timetable::{ReservationOwner, Timetable};
 use crate::window::TimeWindow;
@@ -96,18 +116,21 @@ pub fn probe_index_enabled() -> bool {
 /// windows than this answer cold probes linearly even when the index is
 /// enabled.
 ///
-/// The index trades an O(R) build per (snapshot, node) for O(log R)
-/// probes, so it only pays where calendars are large and snapshots are
-/// probed enough to amortize the build. Below this floor the linear walk
-/// wins outright: application-level probes are deadline-clipped to a
-/// short prefix of the calendar, and a snapshot often lives for a single
-/// job (`Strategy::generate` captures one per generation), so a mid-size
-/// build is pure overhead. 16k sits ~2.5× above the §4 sweep calendars
-/// (~6k windows/node, where indexing measurably *slowed* generation) and
-/// well below the ≥ 100k regime the index is for, where a hard probe's
-/// full walk costs more than the build amortized over a handful of
-/// probes (see `BENCH_probe_scaling.json`).
-pub const DEFAULT_PROBE_INDEX_MIN_WINDOWS: usize = 16_384;
+/// The index trades an O(R) build per (calendar, revision) for O(log R)
+/// probes, so it only pays where calendars are large enough that the
+/// amortized build beats deadline-clipped linear walks. The floor used to
+/// sit at 16k because every snapshot rebuilt from scratch and a snapshot
+/// often lives for a single job's generation; with the cross-snapshot
+/// [`crate::index_cache::IndexCache`] a build is paid once per timetable
+/// *revision* and reused by every later capture of the unchanged node, so
+/// the §4 sweep calendars (~6k windows/node) amortize it across the whole
+/// sweep and the floor drops to 1k. Below 1k even a cached index buys
+/// little: probes bisect a few hundred windows in a handful of hops
+/// either way, and the first capture after every mutation would still pay
+/// a (tiny) build. The warm-capture shape of `BENCH_probe_scaling.json`
+/// justifies the number; the strategy-sweep gate (`bench_check
+/// --require-pooled`) pins that generation did not regress.
+pub const DEFAULT_PROBE_INDEX_MIN_WINDOWS: usize = 1_000;
 
 /// Per-node engagement floor for the gap index, in base windows. Like
 /// [`set_probe_index_enabled`], safe to change at any time: the paths
@@ -128,6 +151,151 @@ pub fn probe_index_min_windows() -> usize {
     PROBE_INDEX_MIN_WINDOWS.load(Ordering::SeqCst)
 }
 
+/// Default for [`set_probe_fanout_min_nodes`]: probe batches smaller than
+/// this stay on the calling thread. Dispatch costs one hand-off per
+/// batch, and the per-probe win is only the cold index build (warm
+/// indexed probes are O(log R) — nanoseconds); campaign-sized pools
+/// (tens of nodes) never clear this bar, which keeps the strategy-sweep
+/// hot path untouched.
+pub const DEFAULT_PROBE_FANOUT_MIN_NODES: usize = 64;
+
+/// Process-global switch for cross-node probe fan-out (default **on**,
+/// though fan-out additionally requires an installed [`ProbeExecutor`]
+/// and a batch of at least [`probe_fanout_min_nodes`] nodes). Answers are
+/// bit-identical either way; only the `fanouts` counter observes it.
+static PROBE_FANOUT_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Minimum batch size (distinct nodes) at which
+/// [`TimetableOverlay::earliest_fit_batch`] dispatches cold probes to the
+/// executor.
+static PROBE_FANOUT_MIN_NODES: AtomicUsize = AtomicUsize::new(DEFAULT_PROBE_FANOUT_MIN_NODES);
+
+/// Switches cross-node probe fan-out on or off process-wide.
+pub fn set_probe_fanout_enabled(enabled: bool) {
+    PROBE_FANOUT_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether probe batches may currently dispatch to the executor.
+#[must_use]
+pub fn probe_fanout_enabled() -> bool {
+    PROBE_FANOUT_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Sets the minimum batch size for probe fan-out, process-wide.
+pub fn set_probe_fanout_min_nodes(min: usize) {
+    PROBE_FANOUT_MIN_NODES.store(min, Ordering::SeqCst);
+}
+
+/// The current minimum batch size for probe fan-out.
+#[must_use]
+pub fn probe_fanout_min_nodes() -> usize {
+    PROBE_FANOUT_MIN_NODES.load(Ordering::SeqCst)
+}
+
+/// Executor hook for probe fan-out: run `task(0..len)` across worker
+/// threads, returning `false` to decline (no task ran — the caller
+/// computes sequentially). `gridsched-model` cannot depend on the worker
+/// pool crate, so the pool installs itself here via
+/// [`install_probe_executor`]; declining when the pool is busy with a
+/// scenario sweep is the executor's responsibility.
+pub type ProbeExecutor = fn(len: usize, task: &(dyn Fn(usize) + Sync)) -> bool;
+
+static PROBE_EXECUTOR: OnceLock<ProbeExecutor> = OnceLock::new();
+
+/// Installs the process-wide probe executor; the first install wins and
+/// later calls are ignored (the hook is a pure performance choice, so a
+/// stable winner keeps behavior deterministic).
+pub fn install_probe_executor(executor: ProbeExecutor) {
+    let _ = PROBE_EXECUTOR.set(executor);
+}
+
+fn probe_executor() -> Option<ProbeExecutor> {
+    PROBE_EXECUTOR.get().copied()
+}
+
+/// RAII guard for the process-global probe knobs: captures the current
+/// [`set_probe_index_enabled`] / [`set_probe_index_min_windows`] /
+/// [`set_index_cache_enabled`]
+/// / [`set_probe_fanout_enabled`] / [`set_probe_fanout_min_nodes`] values
+/// on construction and restores them on drop, so tests and chaos axes can
+/// force a configuration without leaking it into the rest of the process.
+///
+/// The guard also holds a process-wide lock while alive: concurrent test
+/// threads forcing different configurations serialize instead of racing
+/// each other's restores. Hold at most one guard per thread (a second
+/// would self-deadlock).
+///
+/// ```
+/// use gridsched_model::availability::{probe_index_min_windows, ProbeIndexGuard};
+///
+/// let before = probe_index_min_windows();
+/// {
+///     let _guard = ProbeIndexGuard::with_floor(0);
+///     assert_eq!(probe_index_min_windows(), 0);
+/// }
+/// assert_eq!(probe_index_min_windows(), before);
+/// ```
+#[derive(Debug)]
+pub struct ProbeIndexGuard {
+    index_enabled: bool,
+    min_windows: usize,
+    cache_enabled: bool,
+    fanout_enabled: bool,
+    fanout_min_nodes: usize,
+    _serial: std::sync::MutexGuard<'static, ()>,
+}
+
+/// Serializes [`ProbeIndexGuard`] holders (see its docs).
+static KNOB_SERIAL: Mutex<()> = Mutex::new(());
+
+impl ProbeIndexGuard {
+    /// Captures the current knob values without changing anything.
+    #[must_use]
+    pub fn capture() -> Self {
+        // A holder that panicked mid-test poisons the lock; the saved
+        // values it restored on unwind are still coherent, so recover.
+        let serial = KNOB_SERIAL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        ProbeIndexGuard {
+            index_enabled: probe_index_enabled(),
+            min_windows: probe_index_min_windows(),
+            cache_enabled: index_cache_enabled(),
+            fanout_enabled: probe_fanout_enabled(),
+            fanout_min_nodes: probe_fanout_min_nodes(),
+            _serial: serial,
+        }
+    }
+
+    /// Captures the knobs, then forces the engagement floor to
+    /// `min_windows` (the common test shape: `with_floor(0)` exercises
+    /// the indexed path on tiny calendars).
+    #[must_use]
+    pub fn with_floor(min_windows: usize) -> Self {
+        let guard = ProbeIndexGuard::capture();
+        set_probe_index_min_windows(min_windows);
+        guard
+    }
+
+    /// Captures the knobs, then switches the indexed path on or off.
+    #[must_use]
+    pub fn with_enabled(enabled: bool) -> Self {
+        let guard = ProbeIndexGuard::capture();
+        set_probe_index_enabled(enabled);
+        guard
+    }
+}
+
+impl Drop for ProbeIndexGuard {
+    fn drop(&mut self) {
+        set_probe_index_enabled(self.index_enabled);
+        set_probe_index_min_windows(self.min_windows);
+        set_index_cache_enabled(self.cache_enabled);
+        set_probe_fanout_enabled(self.fanout_enabled);
+        set_probe_fanout_min_nodes(self.fanout_min_nodes);
+    }
+}
+
 /// Gap-index activity of one [`TimetableOverlay`], drained by the
 /// planning session into the workspace telemetry counters
 /// (`index_seeks` / `index_rebuilds` / `index_bypasses`).
@@ -143,6 +311,11 @@ pub struct IndexStats {
     /// is below the engagement floor
     /// ([`set_probe_index_min_windows`]).
     pub bypasses: u64,
+    /// Probe batches whose cold probes were dispatched across worker
+    /// threads ([`TimetableOverlay::earliest_fit_batch`]); the only
+    /// counter that distinguishes the fanned-out path from the
+    /// sequential loop.
+    pub fanouts: u64,
 }
 
 impl IndexStats {
@@ -153,6 +326,7 @@ impl IndexStats {
             seeks: self.seeks + other.seeks,
             builds: self.builds + other.builds,
             bypasses: self.bypasses + other.bypasses,
+            fanouts: self.fanouts + other.fanouts,
         }
     }
 }
@@ -179,6 +353,20 @@ impl fmt::Display for PlanConflict {
 
 impl std::error::Error for PlanConflict {}
 
+/// One cold `earliest_fit` question of a probe batch
+/// ([`Availability::earliest_fit_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRequest {
+    /// Node to probe.
+    pub node: NodeId,
+    /// Earliest admissible start.
+    pub not_before: SimTime,
+    /// Slot length.
+    pub duration: SimDuration,
+    /// Latest admissible end.
+    pub deadline: SimTime,
+}
+
 /// Node-indexed availability that schedule construction can query and
 /// tentatively reserve against.
 ///
@@ -202,6 +390,21 @@ pub trait Availability {
         duration: SimDuration,
         deadline: SimTime,
     ) -> Option<SimTime>;
+
+    /// Batch twin of [`Availability::earliest_fit`]: answers
+    /// `out[k] = earliest_fit(requests[k])` with `out` resized to the
+    /// batch, exactly as the sequential loop in request order would.
+    /// The default implementation *is* that loop; [`TimetableOverlay`]
+    /// overrides it to fan indexed cold probes out across worker
+    /// threads (bit-identically — DESIGN.md §9).
+    fn earliest_fit_batch(&self, requests: &[ProbeRequest], out: &mut Vec<Option<SimTime>>) {
+        out.clear();
+        out.extend(
+            requests
+                .iter()
+                .map(|r| self.earliest_fit(r.node, r.not_before, r.duration, r.deadline)),
+        );
+    }
 
     /// Tentatively reserves `window` on `node` for `owner`.
     ///
@@ -297,29 +500,51 @@ pub struct AvailabilitySnapshot {
 
 #[derive(Debug)]
 struct SnapshotInner {
-    /// `nodes[NodeId::index]` = that node's reserved windows, sorted by
-    /// start, pairwise non-overlapping.
-    nodes: Box<[Box<[TimeWindow]>]>,
-    /// Lazily built gap indexes, one per node, living exactly as long as
-    /// the snapshot. Snapshots are immutable, so an index never needs
-    /// invalidation — pool mutations only become visible through a *new*
-    /// snapshot (with fresh, empty locks). `OnceLock` makes the build
-    /// race-free across scenario threads and guarantees it runs at most
-    /// once per node per snapshot.
-    gap_indexes: Box<[OnceLock<GapIndex>]>,
+    /// `nodes[NodeId::index]` = that node's frozen calendar: reserved
+    /// windows (sorted by start, pairwise non-overlapping) plus the
+    /// lazily built gap index over them. Calendars are shared with the
+    /// pool's cross-snapshot [`crate::index_cache::IndexCache`] when it
+    /// is warm, so an unchanged node's windows *and* its built index
+    /// survive across captures. Snapshots stay immutable either way —
+    /// pool mutations retag the timetable revision and only become
+    /// visible through a new capture freezing a new calendar.
+    nodes: Box<[Arc<NodeCalendar>]>,
 }
 
 impl AvailabilitySnapshot {
     /// Captures the current reservations of every node in `pool`.
+    ///
+    /// Consults the pool's [`crate::index_cache::IndexCache`] first
+    /// (unless [`set_index_cache_enabled`] switched it off): a node whose
+    /// timetable revision matches its cached calendar is reused by `Arc`
+    /// bump — no window copy, no index rebuild — and only changed nodes
+    /// freeze fresh calendars (which warm the cache for the next
+    /// capture).
     #[must_use]
     pub fn capture(pool: &ResourcePool) -> Self {
-        let nodes: Box<[Box<[TimeWindow]>]> = pool
-            .nodes()
-            .map(|n| pool.timetable(n.id()).iter().map(|r| r.window()).collect())
-            .collect();
-        let gap_indexes = nodes.iter().map(|_| OnceLock::new()).collect();
+        let use_cache = index_cache_enabled();
+        let cache = pool.index_cache();
+        let freeze = |n: &crate::node::Node| -> Arc<NodeCalendar> {
+            let timetable = pool.timetable(n.id());
+            if use_cache {
+                let revision = timetable.revision();
+                if let Some(calendar) = cache.lookup(n.id().index(), revision) {
+                    return calendar;
+                }
+                let calendar = Arc::new(NodeCalendar::new(
+                    timetable.iter().map(|r| r.window()).collect(),
+                ));
+                cache.insert(n.id().index(), revision, Arc::clone(&calendar));
+                calendar
+            } else {
+                Arc::new(NodeCalendar::new(
+                    timetable.iter().map(|r| r.window()).collect(),
+                ))
+            }
+        };
+        let nodes: Box<[Arc<NodeCalendar>]> = pool.nodes().map(freeze).collect();
         AvailabilitySnapshot {
-            inner: Arc::new(SnapshotInner { nodes, gap_indexes }),
+            inner: Arc::new(SnapshotInner { nodes }),
         }
     }
 
@@ -329,6 +554,17 @@ impl AvailabilitySnapshot {
         self.inner.nodes.len()
     }
 
+    /// The frozen calendar of `node` (shared with the pool's cache and
+    /// any other snapshot of the same revision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the captured pool.
+    #[must_use]
+    pub fn calendar(&self, node: NodeId) -> &Arc<NodeCalendar> {
+        &self.inner.nodes[node.index()]
+    }
+
     /// The captured reserved windows of `node`, in start order.
     ///
     /// # Panics
@@ -336,7 +572,7 @@ impl AvailabilitySnapshot {
     /// Panics if `node` was not part of the captured pool.
     #[must_use]
     pub fn windows(&self, node: NodeId) -> &[TimeWindow] {
-        &self.inner.nodes[node.index()]
+        self.inner.nodes[node.index()].windows()
     }
 
     /// The gap index of `node`, building it on first use.
@@ -352,15 +588,13 @@ impl AvailabilitySnapshot {
 
     /// [`AvailabilitySnapshot::gap_index`], additionally recording in
     /// `built` whether *this call* performed the lazy build — across all
-    /// holders of the snapshot at most one call per node ever observes
-    /// `true`, which is what makes the `index_rebuilds` telemetry counter
-    /// deterministic.
+    /// holders of the calendar (every snapshot and cache entry sharing
+    /// it) at most one call per calendar ever observes `true`, which is
+    /// what makes the `index_rebuilds` telemetry counter deterministic
+    /// and lets warm captures report zero rebuilds.
     #[must_use]
     pub fn gap_index_tracked(&self, node: NodeId, built: &mut bool) -> &GapIndex {
-        self.inner.gap_indexes[node.index()].get_or_init(|| {
-            *built = true;
-            GapIndex::build(&self.inner.nodes[node.index()])
-        })
+        self.inner.nodes[node.index()].gap_index_tracked(built)
     }
 }
 
@@ -496,6 +730,59 @@ impl<'a> MergedWindows<'a> {
         let w = self.peek()?;
         self.advance();
         Some(w)
+    }
+}
+
+/// The pure core of the indexed cold probe, shared by the sequential
+/// path and the fan-out workers: only reads the frozen calendar and the
+/// node's tentative slice — never the overlay's interior-mutable cells —
+/// so it is safe to run off-thread while the owning overlay merges
+/// results. Returns the answer plus whether *this call* built the gap
+/// index (see [`NodeCalendar::gap_index_tracked`]).
+///
+/// Each round asks the index for the earliest **base-only** fit `s` at
+/// or after the candidate — every start below `s` is blocked by the base
+/// alone, so none can be the merged answer. If no tentative window
+/// intersects `[s, s + duration)`, `s` *is* the merged answer. Otherwise
+/// the first tentative window `w` ending after `s` blocks every start in
+/// `[s, w.end())`, so the candidate jumps to `w.end()` — exactly where
+/// the linear walk lands when it hops `w`. Each round retires one
+/// tentative window, so the loop runs at most `tentative + 1` rounds of
+/// O(log B + log T).
+fn indexed_probe(
+    calendar: &NodeCalendar,
+    tentative: &[TimeWindow],
+    not_before: SimTime,
+    duration: SimDuration,
+    deadline: SimTime,
+) -> (Option<SimTime>, bool) {
+    let mut built = false;
+    let gap = calendar.gap_index_tracked(&mut built);
+    let base = calendar.windows();
+    if tentative.is_empty() {
+        return (
+            gap.earliest_fit(base, not_before, duration, deadline),
+            built,
+        );
+    }
+    let mut candidate = not_before;
+    loop {
+        // Unbounded-deadline base probe (always `Some`: the trailing gap
+        // is infinite); the caller's deadline is applied to each proposal
+        // below, which matches the linear walk's early exit because
+        // candidates only move forward.
+        let Some(s) = gap.earliest_fit(base, candidate, duration, SimTime::MAX) else {
+            return (None, built);
+        };
+        let end = s.saturating_add(duration);
+        if end > deadline {
+            return (None, built);
+        }
+        let j = tentative.partition_point(|w| w.end() <= s);
+        match tentative.get(j) {
+            Some(w) if w.start() < end => candidate = w.end(),
+            _ => return (Some(s), built),
+        }
     }
 }
 
@@ -636,22 +923,50 @@ impl TimetableOverlay {
             return Some(not_before);
         }
         let idx = node.index();
-        let cache = self.cache[idx].get();
-        if let Some(memo) = cache.fit {
-            if memo.epoch == cache.epoch
-                && memo.duration == duration
-                && memo.deadline == deadline
-                && not_before >= memo.not_before
-            {
-                match memo.result {
-                    Some(hit) if not_before <= hit => return Some(hit),
-                    None => return None,
-                    _ => {}
-                }
-            }
+        if let Some(answer) = self.fit_memo_answer(idx, not_before, duration, deadline) {
+            return answer;
         }
         let result = self.earliest_fit_uncached(node, not_before, duration, deadline);
-        // Re-read: the uncached walk refreshed the cursor memo through the
+        self.write_fit_memo(idx, not_before, duration, deadline, result);
+        result
+    }
+
+    /// The fit-memo fast path of [`TimetableOverlay::earliest_fit`]:
+    /// `Some(answer)` when the node's memo covers the probe, `None` when
+    /// the cold path must run.
+    fn fit_memo_answer(
+        &self,
+        idx: usize,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+    ) -> Option<Option<SimTime>> {
+        let cache = self.cache[idx].get();
+        let memo = cache.fit?;
+        if memo.epoch == cache.epoch
+            && memo.duration == duration
+            && memo.deadline == deadline
+            && not_before >= memo.not_before
+        {
+            match memo.result {
+                Some(hit) if not_before <= hit => return Some(Some(hit)),
+                None => return Some(None),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Stores a cold probe's answer in the node's fit memo.
+    fn write_fit_memo(
+        &self,
+        idx: usize,
+        not_before: SimTime,
+        duration: SimDuration,
+        deadline: SimTime,
+        result: Option<SimTime>,
+    ) {
+        // Re-read: a linear walk refreshed the cursor memo through the
         // same cell.
         let mut cache = self.cache[idx].get();
         cache.fit = Some(FitMemo {
@@ -662,7 +977,6 @@ impl TimetableOverlay {
             result,
         });
         self.cache[idx].set(cache);
-        result
     }
 
     /// The cold path behind [`TimetableOverlay::earliest_fit`]: the
@@ -707,35 +1021,18 @@ impl TimetableOverlay {
         deadline: SimTime,
     ) -> Option<SimTime> {
         debug_assert!(!duration.is_zero(), "zero durations short-circuit earlier");
-        let mut built = false;
-        let gap = self.base.gap_index_tracked(node, &mut built);
-        let base = self.base.windows(node);
+        let (result, built) = indexed_probe(
+            self.base.calendar(node),
+            &self.tentative[node.index()],
+            not_before,
+            duration,
+            deadline,
+        );
         let mut stats = self.index_stats.get();
         stats.seeks += 1;
         stats.builds += u64::from(built);
         self.index_stats.set(stats);
-
-        let tentative = self.tentative[node.index()].as_slice();
-        if tentative.is_empty() {
-            return gap.earliest_fit(base, not_before, duration, deadline);
-        }
-        let mut candidate = not_before;
-        loop {
-            // Unbounded-deadline base probe (always `Some`: the trailing
-            // gap is infinite); the caller's deadline is applied to each
-            // proposal below, which matches the linear walk's early exit
-            // because candidates only move forward.
-            let s = gap.earliest_fit(base, candidate, duration, SimTime::MAX)?;
-            let end = s.saturating_add(duration);
-            if end > deadline {
-                return None;
-            }
-            let j = tentative.partition_point(|w| w.end() <= s);
-            match tentative.get(j) {
-                Some(w) if w.start() < end => candidate = w.end(),
-                _ => return Some(s),
-            }
-        }
+        result
     }
 
     /// The linear cold path: the pre-index merged base + tentative walk,
@@ -764,6 +1061,137 @@ impl TimetableOverlay {
                 _ => return Some(candidate),
             }
         }
+    }
+
+    /// Batch twin of [`TimetableOverlay::earliest_fit`]: answers
+    /// `out[k] = earliest_fit(requests[k])`, fanning the indexed **cold**
+    /// probes (the only per-probe work heavy enough to ship — they may
+    /// pay an O(R) index build) out across worker threads via the
+    /// installed [`ProbeExecutor`] and merging results in request order.
+    ///
+    /// Bit-identical to the sequential loop, counters included: memo
+    /// hits, zero durations and below-floor linear probes run inline in
+    /// request order (preserving each node's cursor-memo side effects),
+    /// and every cold result lands in its slot before memos and
+    /// [`IndexStats`] are updated — in request order again. Only the
+    /// `fanouts` counter observes a dispatch.
+    ///
+    /// Falls back to the plain sequential loop when fan-out is switched
+    /// off ([`set_probe_fanout_enabled`]), the batch is smaller than
+    /// [`probe_fanout_min_nodes`], no executor is installed or it
+    /// declines (pool busy with a scenario sweep), or the requests do not
+    /// target strictly ascending nodes (the per-node-uniqueness shape the
+    /// Pareto allocator's node loop emits; duplicates would let a memo
+    /// written by an earlier probe answer a later one, which the fan-out
+    /// cannot reproduce).
+    pub fn earliest_fit_batch(&self, requests: &[ProbeRequest], out: &mut Vec<Option<SimTime>>) {
+        if !self.try_fan_out(requests, out) {
+            out.clear();
+            out.extend(
+                requests
+                    .iter()
+                    .map(|r| self.earliest_fit(r.node, r.not_before, r.duration, r.deadline)),
+            );
+        }
+    }
+
+    /// The dispatching path behind [`TimetableOverlay::earliest_fit_batch`];
+    /// `false` means "not dispatched, run the sequential loop".
+    fn try_fan_out(&self, requests: &[ProbeRequest], out: &mut Vec<Option<SimTime>>) -> bool {
+        if !probe_fanout_enabled()
+            || !probe_index_enabled()
+            || requests.len() < probe_fanout_min_nodes()
+        {
+            return false;
+        }
+        let Some(executor) = probe_executor() else {
+            return false;
+        };
+        if !requests
+            .windows(2)
+            .all(|p| p[0].node.index() < p[1].node.index())
+        {
+            return false;
+        }
+        out.clear();
+        out.resize(requests.len(), None);
+        // Pass 1 (request order): answer everything that must stay on
+        // this thread — zero durations and memo hits (no memo writes,
+        // same as `earliest_fit`), plus below-floor linear probes (their
+        // cursor-memo side effects are per-node, and nodes are unique, so
+        // running them now is order-equivalent to the sequential loop).
+        let min_windows = probe_index_min_windows();
+        let mut cold: Vec<usize> = Vec::new();
+        for (k, r) in requests.iter().enumerate() {
+            if r.duration.is_zero() {
+                out[k] = Some(r.not_before);
+                continue;
+            }
+            let idx = r.node.index();
+            if let Some(answer) = self.fit_memo_answer(idx, r.not_before, r.duration, r.deadline) {
+                out[k] = answer;
+                continue;
+            }
+            if self.base.windows(r.node).len() >= min_windows {
+                cold.push(k);
+            } else {
+                let mut stats = self.index_stats.get();
+                stats.bypasses += 1;
+                self.index_stats.set(stats);
+                let result = self.earliest_fit_linear(r.node, r.not_before, r.duration, r.deadline);
+                self.write_fit_memo(idx, r.not_before, r.duration, r.deadline, result);
+                out[k] = result;
+            }
+        }
+        // Pass 2: ship the cold probes. Workers only touch the frozen
+        // calendars and tentative slices (`indexed_probe` is cell-free);
+        // results land in per-probe `OnceLock` slots, keyed by position,
+        // so merge order — and therefore every memo and counter update —
+        // is the request order regardless of completion order.
+        let slots: Vec<OnceLock<(Option<SimTime>, bool)>> =
+            cold.iter().map(|_| OnceLock::new()).collect();
+        if cold.len() > 1 {
+            let base = &self.base;
+            let tentative = &self.tentative;
+            let task = |i: usize| {
+                let r = &requests[cold[i]];
+                let value = indexed_probe(
+                    base.calendar(r.node),
+                    &tentative[r.node.index()],
+                    r.not_before,
+                    r.duration,
+                    r.deadline,
+                );
+                let _ = slots[i].set(value);
+            };
+            if executor(cold.len(), &task) {
+                let mut stats = self.index_stats.get();
+                stats.fanouts += 1;
+                self.index_stats.set(stats);
+            }
+        }
+        // Pass 3 (request order): merge. A slot the executor declined to
+        // fill computes inline — identical answer by the §9 contract.
+        for (i, &k) in cold.iter().enumerate() {
+            let r = &requests[k];
+            let (result, built) = match slots[i].get() {
+                Some(&value) => value,
+                None => indexed_probe(
+                    self.base.calendar(r.node),
+                    &self.tentative[r.node.index()],
+                    r.not_before,
+                    r.duration,
+                    r.deadline,
+                ),
+            };
+            let mut stats = self.index_stats.get();
+            stats.seeks += 1;
+            stats.builds += u64::from(built);
+            self.index_stats.set(stats);
+            self.write_fit_memo(r.node.index(), r.not_before, r.duration, r.deadline, result);
+            out[k] = result;
+        }
+        true
     }
 
     /// Free windows of `node` inside `range`, in time order — the cursor
@@ -868,6 +1296,10 @@ impl Availability for TimetableOverlay {
         deadline: SimTime,
     ) -> Option<SimTime> {
         TimetableOverlay::earliest_fit(self, node, not_before, duration, deadline)
+    }
+
+    fn earliest_fit_batch(&self, requests: &[ProbeRequest], out: &mut Vec<Option<SimTime>>) {
+        TimetableOverlay::earliest_fit_batch(self, requests, out);
     }
 
     fn reserve(
@@ -997,11 +1429,11 @@ mod tests {
     #[test]
     fn index_stats_count_seeks_and_one_shared_build() {
         // Tiny calendars sit under the default engagement floor; drop it
-        // so the indexed path actually runs. Global, but safe for the
-        // concurrently running tests: paths are bit-identical, and only
-        // the stats tests read the counters (each through its own
-        // overlay's cells).
-        set_probe_index_min_windows(0);
+        // so the indexed path actually runs. The guard restores the
+        // global on exit; concurrent tests stay safe because the paths
+        // are bit-identical and only the stats tests read the counters
+        // (each through its own overlay's cells).
+        let _knobs = ProbeIndexGuard::with_floor(0);
         let pool = pool_with_windows(&[w(0, 4), w(10, 12)]);
         let node = NodeId::new(0);
         let snap = pool.snapshot();
@@ -1023,7 +1455,7 @@ mod tests {
 
     #[test]
     fn reset_to_rebases_onto_a_fresh_index_epoch() {
-        set_probe_index_min_windows(0);
+        let _knobs = ProbeIndexGuard::with_floor(0);
         let mut pool = pool_with_windows(&[w(0, 4)]);
         let node = NodeId::new(0);
         let mut overlay = TimetableOverlay::new(pool.snapshot());

@@ -36,6 +36,7 @@ pub mod estimate;
 pub mod fixtures;
 pub mod gap_index;
 pub mod ids;
+pub mod index_cache;
 pub mod job;
 pub mod node;
 pub mod perf;
@@ -44,10 +45,14 @@ pub mod timetable;
 pub mod volume;
 pub mod window;
 
-pub use availability::{Availability, AvailabilitySnapshot, PlanConflict, TimetableOverlay};
+pub use availability::{
+    Availability, AvailabilitySnapshot, PlanConflict, ProbeIndexGuard, ProbeRequest,
+    TimetableOverlay,
+};
 pub use estimate::{EstimateScenario, ScenarioSweep};
 pub use gap_index::GapIndex;
 pub use ids::{DataId, DomainId, GlobalTaskId, JobId, NodeId, TaskId};
+pub use index_cache::{IndexCache, IndexCacheStats, NodeCalendar};
 pub use job::{BuildJobError, DataEdge, Job, JobBuilder};
 pub use node::{Node, ResourcePool};
 pub use perf::{Perf, PerfGroup};

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::ids::{DomainId, NodeId};
+use crate::index_cache::IndexCache;
 use crate::perf::{Perf, PerfGroup};
 use crate::timetable::Timetable;
 
@@ -81,6 +82,12 @@ pub struct ResourcePool {
     /// the hierarchy layer can enumerate job-manager domains without a
     /// per-call scan.
     domains: Vec<DomainId>,
+    /// Cross-snapshot calendar cache keyed by `(node, revision)`:
+    /// [`ResourcePool::snapshot`] reuses frozen window slices and gap
+    /// indexes of unchanged nodes across captures. Cloning a pool starts
+    /// with a fresh empty cache (the `IndexCache` `Clone` impl), so the
+    /// derived pool `Clone` stays a deep, independent copy.
+    index_cache: IndexCache,
 }
 
 impl ResourcePool {
@@ -155,6 +162,13 @@ impl ResourcePool {
     #[must_use]
     pub fn snapshot(&self) -> crate::availability::AvailabilitySnapshot {
         crate::availability::AvailabilitySnapshot::capture(self)
+    }
+
+    /// The pool's cross-snapshot calendar cache (hit/eviction stats are
+    /// drained from here into the telemetry counters).
+    #[must_use]
+    pub fn index_cache(&self) -> &IndexCache {
+        &self.index_cache
     }
 
     /// Iterates over the nodes of one domain.

@@ -7,11 +7,32 @@
 //! reservation time in the local batch-job management system").
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gridsched_sim::time::{SimDuration, SimTime};
 
 use crate::ids::GlobalTaskId;
 use crate::window::TimeWindow;
+
+/// Process-global revision allocator for [`Timetable`]s. Starts at 1:
+/// revision 0 is reserved for pristine empty timetables, so "same
+/// revision" always implies "same reserved windows" — a nonzero revision
+/// is handed out exactly once, and revision 0 only ever tags an empty
+/// calendar. That implication is what lets the cross-snapshot
+/// [`crate::index_cache::IndexCache`] key cached window slices and gap
+/// indexes by `(node, revision)` without any content comparison, and it
+/// survives wholesale replacement (`*timetable_mut(n) = Timetable::…`)
+/// because the replacement carries its own globally unique revision.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+/// Revision tag of a pristine empty [`Timetable`].
+pub const EMPTY_REVISION: u64 = 0;
+
+fn next_revision() -> u64 {
+    // Relaxed suffices: the value is an opaque unique tag, never used to
+    // order other memory operations.
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Identifier of one reservation inside one [`Timetable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -136,6 +157,11 @@ pub struct Timetable {
     /// Sorted by window start; pairwise non-overlapping.
     reservations: Vec<Reservation>,
     next_id: u64,
+    /// Monotonic content tag: [`EMPTY_REVISION`] while pristine, replaced
+    /// with a globally unique value by every mutation that changes the
+    /// reserved windows. Clones keep the tag (identical content); the
+    /// first mutation of either clone retags it.
+    revision: u64,
 }
 
 impl Timetable {
@@ -143,6 +169,21 @@ impl Timetable {
     #[must_use]
     pub fn new() -> Self {
         Timetable::default()
+    }
+
+    /// The calendar's content revision: [`EMPTY_REVISION`] for a pristine
+    /// empty timetable, otherwise a process-globally unique tag assigned
+    /// by the last window-changing mutation. Equal revisions imply equal
+    /// reserved windows, which is the key contract of the cross-snapshot
+    /// [`crate::index_cache::IndexCache`].
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Retags the calendar after a window-changing mutation.
+    fn bump_revision(&mut self) {
+        self.revision = next_revision();
     }
 
     /// Number of active reservations.
@@ -216,6 +257,7 @@ impl Timetable {
             .partition_point(|r| r.window.start() < window.start());
         self.reservations
             .insert(idx, Reservation { id, window, owner });
+        self.bump_revision();
         debug_assert!(self.invariants_hold());
         Ok(id)
     }
@@ -257,6 +299,7 @@ impl Timetable {
         I: IntoIterator<Item = (TimeWindow, ReservationOwner)>,
     {
         let batch = batch.into_iter();
+        let before = self.reservations.len();
         if self.reservations.is_empty() {
             self.reservations.reserve(batch.size_hint().0);
             for (window, owner) in batch {
@@ -282,6 +325,9 @@ impl Timetable {
             merged.extend(old_iter);
             self.reservations = merged;
         }
+        if self.reservations.len() != before {
+            self.bump_revision();
+        }
         debug_assert!(
             self.invariants_hold(),
             "extend_sorted batch must be sorted and non-overlapping"
@@ -291,7 +337,9 @@ impl Timetable {
     /// Releases a reservation, returning it if it existed.
     pub fn release(&mut self, id: ReservationId) -> Option<Reservation> {
         let idx = self.reservations.iter().position(|r| r.id == id)?;
-        Some(self.reservations.remove(idx))
+        let released = self.reservations.remove(idx);
+        self.bump_revision();
+        Some(released)
     }
 
     /// Releases every reservation held by `owner`; returns how many were
@@ -299,7 +347,11 @@ impl Timetable {
     pub fn release_owned_by(&mut self, owner: ReservationOwner) -> usize {
         let before = self.reservations.len();
         self.reservations.retain(|r| r.owner != owner);
-        before - self.reservations.len()
+        let removed = before - self.reservations.len();
+        if removed > 0 {
+            self.bump_revision();
+        }
+        removed
     }
 
     /// Voids every **task-owned** reservation overlapping `window`,
@@ -319,6 +371,9 @@ impl Timetable {
             }
             !hit
         });
+        if !voided.is_empty() {
+            self.bump_revision();
+        }
         debug_assert!(self.invariants_hold());
         voided
     }
@@ -335,6 +390,9 @@ impl Timetable {
             }
             !hit
         });
+        if !removed.is_empty() {
+            self.bump_revision();
+        }
         removed
     }
 

@@ -8,9 +8,7 @@
 //! shapes (empty calendars, fully packed touching windows, zero
 //! durations, clipped deadlines) where off-by-one descent bugs live.
 
-use gridsched_model::availability::{
-    set_probe_index_enabled, set_probe_index_min_windows, TimetableOverlay,
-};
+use gridsched_model::availability::{set_probe_index_enabled, ProbeIndexGuard, TimetableOverlay};
 use gridsched_model::gap_index::GapIndex;
 use gridsched_model::ids::DomainId;
 use gridsched_model::node::ResourcePool;
@@ -109,8 +107,9 @@ fn indexed_free_windows_match_materialized_reference() {
 #[test]
 fn overlay_hybrid_probes_match_materialized_union() {
     // The generated calendars are far below the default engagement
-    // floor; force the indexed path so the differential bites.
-    set_probe_index_min_windows(0);
+    // floor; force the indexed path so the differential bites. The guard
+    // serializes knob-forcing tests and restores the floor on drop.
+    let _knobs = ProbeIndexGuard::with_floor(0);
     check(512, |g| {
         let base = gen_timetable(g, 39);
         let mut pool = ResourcePool::new();
@@ -140,7 +139,7 @@ fn overlay_hybrid_probes_match_materialized_union() {
 /// through a *new* snapshot (and a new index).
 #[test]
 fn index_survives_reserve_release_and_reset_epochs() {
-    set_probe_index_min_windows(0);
+    let _knobs = ProbeIndexGuard::with_floor(0);
     check(256, |g| {
         let mut pool = ResourcePool::new();
         let node = pool.add_node(DomainId::new(0), Perf::FULL);
@@ -204,7 +203,9 @@ fn index_survives_reserve_release_and_reset_epochs() {
 /// which internal path produced it.
 #[test]
 fn toggle_off_is_observationally_identical() {
-    set_probe_index_min_windows(0);
+    // The guard serializes with other knob-forcing tests, so the inner
+    // enabled-off window cannot leak into a concurrent test thread.
+    let _knobs = ProbeIndexGuard::with_floor(0);
     check(128, |g| {
         let mut pool = ResourcePool::new();
         let node = pool.add_node(DomainId::new(0), Perf::FULL);
